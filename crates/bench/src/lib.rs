@@ -1,0 +1,11 @@
+//! Shared experiment infrastructure for the APF reproduction harness.
+//!
+//! The `experiments` binary (`cargo run --release -p apf-bench --bin
+//! experiments -- <id>`) regenerates every table and figure of the paper's
+//! evaluation (§3 and §7); this library holds the standard setups (models,
+//! datasets, optimizers, scales) and reporting helpers it uses, so that
+//! integration tests can exercise the same code paths.
+
+pub mod motivation;
+pub mod report;
+pub mod setups;

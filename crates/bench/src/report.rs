@@ -1,0 +1,116 @@
+//! Reporting helpers: aligned console tables and CSV emission under
+//! `results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use apf_fedsim::ExperimentLog;
+
+/// Directory all experiment artifacts are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("APF_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+    let p = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Writes a CSV file under `results/`.
+///
+/// # Panics
+/// Panics on I/O errors (the harness treats them as fatal).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("cannot create results file");
+    writeln!(f, "{}", headers.join(",")).expect("write failed");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write failed");
+    }
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Saves an [`ExperimentLog`] as both CSV and JSON under `results/`.
+pub fn save_log(log: &ExperimentLog, stem: &str) {
+    let dir = results_dir();
+    log.write_csv(dir.join(format!("{stem}.csv"))).expect("cannot write log csv");
+    fs::write(dir.join(format!("{stem}.json")), log.to_json()).expect("cannot write log json");
+    println!("wrote {}/{stem}.{{csv,json}}", dir.display());
+}
+
+/// Loads a previously saved log, if present.
+pub fn load_log(stem: &str) -> Option<ExperimentLog> {
+    let path = results_dir().join(format!("{stem}.json"));
+    let data = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+/// Formats a byte count as MB with two decimals.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / 1e6)
+}
+
+/// Checks whether `path` exists under `results/`.
+pub fn results_file_exists(name: &str) -> bool {
+    results_dir().join(name).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_mb_format() {
+        assert_eq!(fmt_mb(2_500_000), "2.50 MB");
+        assert_eq!(fmt_mb(0), "0.00 MB");
+    }
+
+    #[test]
+    fn save_and_load_log_roundtrip() {
+        std::env::set_var("APF_RESULTS_DIR", std::env::temp_dir().join("apf_test_results"));
+        let mut log = ExperimentLog::new("roundtrip-test");
+        log.push(apf_fedsim::RoundRecord {
+            round: 0,
+            loss: 1.0,
+            accuracy: Some(0.5),
+            best_accuracy: 0.5,
+            frozen_ratio: 0.0,
+            bytes_up: 1,
+            bytes_down: 1,
+            cum_bytes: 2,
+            compute_secs: 0.0,
+            comm_secs: 0.0,
+            cum_secs: 0.0,
+        });
+        save_log(&log, "roundtrip-test");
+        let back = load_log("roundtrip-test").expect("log should load");
+        assert_eq!(back, log);
+        std::env::remove_var("APF_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,681 @@
+//! The `APF_Manager` of Algorithm 1: per-client bookkeeping that freezes
+//! stable scalars, synchronizes only the rest, and adapts freezing periods.
+
+use apf_tensor::{derive_seed, splitmix64};
+
+use crate::config::ApfConfig;
+use crate::controller::FreezeController;
+use crate::perturbation::EmaPerturbation;
+
+/// Communication/freezing statistics for one synchronization round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncReport {
+    /// The round this report describes.
+    pub round: u64,
+    /// Total scalar count of the model.
+    pub total: usize,
+    /// Scalars frozen during this round (excluded from sync).
+    pub frozen: usize,
+    /// Bytes pushed to the server this round.
+    pub bytes_up: u64,
+    /// Bytes pulled from the server this round.
+    pub bytes_down: u64,
+    /// Whether a stability check ran at the end of this round.
+    pub checked: bool,
+    /// The stability threshold in force after this round.
+    pub threshold: f32,
+}
+
+impl SyncReport {
+    /// Fraction of scalars frozen this round.
+    pub fn frozen_ratio(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.frozen as f32 / self.total as f32
+        }
+    }
+}
+
+/// Per-client APF state machine (Alg. 1 / Fig. 10 of the paper).
+///
+/// One manager wraps one client's flat parameter vector. All mask-relevant
+/// state is derived exclusively from *synchronized* quantities (the
+/// post-aggregation model, the round number, and the shared seed), so every
+/// client's manager computes bit-identical masks with zero mask traffic —
+/// the property §6.2 relies on.
+///
+/// Round lifecycle (round `r`):
+/// 1. during local training call [`ApfManager::rollback`] after each local
+///    iteration (emulated scalar freezing by rollback, Alg. 1 line 2);
+/// 2. at round end call [`ApfManager::select_unfrozen`] and ship the compact
+///    tensor (`masked_select`, line 4);
+/// 3. scatter the aggregate back with [`ApfManager::apply_aggregate`]
+///    (`masked_fill`, line 6);
+/// 4. call [`ApfManager::finish_round`], which runs the stability check when
+///    due (lines 7–8) plus the APF#/APF++ random freezing, and reports
+///    communication statistics.
+///
+/// [`ApfManager::sync`] bundles all four for single-process use.
+pub struct ApfManager {
+    cfg: ApfConfig,
+    controller: Box<dyn FreezeController>,
+    n: usize,
+    ema: EmaPerturbation,
+    freeze_len: Vec<u32>,
+    /// First round index at which the scalar trains again; scalar `j` is
+    /// frozen during round `r` iff `r < unfreeze_round[j]`.
+    unfreeze_round: Vec<u64>,
+    /// Last synchronized global values — the rollback target.
+    pinned: Vec<f32>,
+    /// Parameter values at the previous stability check.
+    check_ref: Vec<f32>,
+    threshold: f32,
+    checks_run: u64,
+}
+
+impl std::fmt::Debug for ApfManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApfManager")
+            .field("n", &self.n)
+            .field("threshold", &self.threshold)
+            .field("controller", &self.controller.name())
+            .field("checks_run", &self.checks_run)
+            .finish()
+    }
+}
+
+impl ApfManager {
+    /// Creates a manager for a model whose initial (already synchronized)
+    /// parameters are `init`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`ApfConfig::validate`].
+    pub fn new(init: &[f32], cfg: ApfConfig, controller: Box<dyn FreezeController>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid APF config: {e}");
+        }
+        let n = init.len();
+        ApfManager {
+            controller,
+            n,
+            ema: EmaPerturbation::new(n, cfg.ema_alpha),
+            freeze_len: vec![0; n],
+            unfreeze_round: vec![0; n],
+            pinned: init.to_vec(),
+            check_ref: init.to_vec(),
+            threshold: cfg.stability_threshold,
+            checks_run: 0,
+            cfg,
+        }
+    }
+
+    /// Number of managed scalars.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the manager tracks zero scalars.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The stability threshold currently in force (after any decays).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Number of stability checks run so far.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+
+    /// Current per-scalar freezing periods (rounds).
+    pub fn freezing_periods(&self) -> &[u32] {
+        &self.freeze_len
+    }
+
+    /// Current per-scalar effective perturbations (EMA form).
+    pub fn perturbations(&self) -> Vec<f32> {
+        self.ema.values()
+    }
+
+    /// Whether scalar `j` is frozen during round `round`.
+    pub fn is_frozen(&self, j: usize, round: u64) -> bool {
+        round < self.unfreeze_round[j]
+    }
+
+    /// The freezing mask for round `round` (`M_is_frozen` of Alg. 1).
+    pub fn frozen_mask(&self, round: u64) -> Vec<bool> {
+        self.unfreeze_round.iter().map(|&u| round < u).collect()
+    }
+
+    /// Number of scalars frozen during `round`.
+    pub fn frozen_count(&self, round: u64) -> usize {
+        self.unfreeze_round.iter().filter(|&&u| round < u).count()
+    }
+
+    /// Pins frozen scalars back to their last synchronized values
+    /// (Alg. 1 line 2, the rollback emulation of per-scalar freezing).
+    ///
+    /// Call after every local training iteration of round `round`.
+    ///
+    /// # Panics
+    /// Panics if `params.len()` differs from the managed scalar count.
+    pub fn rollback(&self, params: &mut [f32], round: u64) {
+        assert_eq!(params.len(), self.n, "parameter length mismatch");
+        for j in 0..self.n {
+            if round < self.unfreeze_round[j] {
+                params[j] = self.pinned[j];
+            }
+        }
+    }
+
+    /// Packs the unfrozen scalars of `params` into a compact upload tensor
+    /// (Alg. 1 line 4, `masked_select`).
+    ///
+    /// # Panics
+    /// Panics if `params.len()` differs from the managed scalar count.
+    pub fn select_unfrozen(&self, params: &[f32], round: u64) -> Vec<f32> {
+        assert_eq!(params.len(), self.n, "parameter length mismatch");
+        let mut out = Vec::with_capacity(self.n - self.frozen_count(round));
+        for j in 0..self.n {
+            if round >= self.unfreeze_round[j] {
+                out.push(params[j]);
+            }
+        }
+        out
+    }
+
+    /// Scatters the aggregated compact tensor back into the unfrozen slots
+    /// (Alg. 1 line 6, `masked_fill`) and re-pins the now-consistent model.
+    ///
+    /// # Panics
+    /// Panics if `agg` does not have exactly one value per unfrozen scalar.
+    pub fn apply_aggregate(&mut self, params: &mut [f32], agg: &[f32], round: u64) {
+        assert_eq!(params.len(), self.n, "parameter length mismatch");
+        let mut it = agg.iter();
+        for j in 0..self.n {
+            if round >= self.unfreeze_round[j] {
+                params[j] = *it.next().expect("aggregate shorter than unfrozen count");
+            } else {
+                // Frozen scalars must still hold their pinned value.
+                params[j] = self.pinned[j];
+            }
+        }
+        assert!(it.next().is_none(), "aggregate longer than unfrozen count");
+        self.pinned.copy_from_slice(params);
+    }
+
+    /// Ends round `round`: runs the stability check when due, applies the
+    /// variant's random freezing, and returns the round's statistics.
+    ///
+    /// Must be called after [`ApfManager::apply_aggregate`] with the
+    /// synchronized parameters.
+    ///
+    /// # Panics
+    /// Panics if `params.len()` differs from the managed scalar count.
+    pub fn finish_round(&mut self, params: &[f32], round: u64) -> SyncReport {
+        assert_eq!(params.len(), self.n, "parameter length mismatch");
+        let frozen_now = self.frozen_count(round);
+        let unfrozen_now = (self.n - frozen_now) as u64;
+        let checked = (round + 1).is_multiple_of(u64::from(self.cfg.check_every_rounds));
+        if checked {
+            self.stability_check(params, round);
+        }
+        self.random_freeze(round);
+        SyncReport {
+            round,
+            total: self.n,
+            frozen: frozen_now,
+            bytes_up: unfrozen_now * self.cfg.bytes_per_scalar,
+            bytes_down: unfrozen_now * self.cfg.bytes_per_scalar,
+            checked,
+            threshold: self.threshold,
+        }
+    }
+
+    /// One-call round synchronization for single-process use: rollback,
+    /// select, aggregate (via the supplied closure, which receives the
+    /// compact upload and returns the aggregated compact download), scatter,
+    /// and finish.
+    pub fn sync<F>(&mut self, params: &mut [f32], round: u64, aggregate: F) -> SyncReport
+    where
+        F: FnOnce(&[f32]) -> Vec<f32>,
+    {
+        self.rollback(params, round);
+        let upload = self.select_unfrozen(params, round);
+        let download = aggregate(&upload);
+        self.apply_aggregate(params, &download, round);
+        self.finish_round(params, round)
+    }
+
+    /// Alg. 1 `StabilityCheck`, with the refinement that only scalars that
+    /// actually trained since the previous check feed the EMA (frozen
+    /// scalars produce zero deltas that would spuriously look "stable").
+    fn stability_check(&mut self, params: &[f32], round: u64) {
+        self.checks_run += 1;
+        // A scalar participated in training this round iff it is unfrozen now.
+        let trained: Vec<bool> = (0..self.n).map(|j| round >= self.unfreeze_round[j]).collect();
+        let delta: Vec<f32> = (0..self.n)
+            .map(|j| if trained[j] { params[j] - self.check_ref[j] } else { 0.0 })
+            .collect();
+        self.ema.update_masked(&delta, &trained);
+        for j in 0..self.n {
+            if !trained[j] {
+                continue;
+            }
+            let stable = self.ema.value(j) < self.threshold;
+            self.freeze_len[j] = self.controller.next_len(self.freeze_len[j], stable);
+            self.unfreeze_round[j] = round + 1 + u64::from(self.freeze_len[j]);
+        }
+        self.check_ref.copy_from_slice(params);
+        if let Some(decay) = self.cfg.threshold_decay {
+            let frozen_next = self.frozen_count(round + 1);
+            if frozen_next as f32 >= decay.trigger_fraction * self.n as f32 && self.n > 0 {
+                self.threshold *= decay.factor;
+            }
+        }
+    }
+
+    pub(crate) fn snapshot_impl(&self) -> crate::state::ApfState {
+        let (e, a, updates) = self.ema.raw();
+        crate::state::ApfState {
+            cfg: self.cfg,
+            ema_e: e.to_vec(),
+            ema_a: a.to_vec(),
+            ema_updates: updates,
+            freeze_len: self.freeze_len.clone(),
+            unfreeze_round: self.unfreeze_round.clone(),
+            pinned: self.pinned.clone(),
+            check_ref: self.check_ref.clone(),
+            threshold: self.threshold,
+            checks_run: self.checks_run,
+        }
+    }
+
+    pub(crate) fn restore_impl(
+        state: crate::state::ApfState,
+        controller: Box<dyn FreezeController>,
+    ) -> ApfManager {
+        let n = state.pinned.len();
+        ApfManager {
+            controller,
+            n,
+            ema: EmaPerturbation::from_raw(
+                state.cfg.ema_alpha,
+                state.ema_e,
+                state.ema_a,
+                state.ema_updates,
+            ),
+            freeze_len: state.freeze_len,
+            unfreeze_round: state.unfreeze_round,
+            pinned: state.pinned,
+            check_ref: state.check_ref,
+            threshold: state.threshold,
+            checks_run: state.checks_run,
+            cfg: state.cfg,
+        }
+    }
+
+    /// APF# / APF++ random freezing (§5): each scalar unfrozen at round
+    /// `round + 1` is frozen with the variant's probability for a variant-
+    /// drawn length. Draws are keyed on `(seed, round, j)` so they are
+    /// order-independent and identical on every client.
+    fn random_freeze(&mut self, round: u64) {
+        let prob = self.cfg.variant.freeze_prob(round);
+        if prob <= 0.0 {
+            return;
+        }
+        let max_len = u64::from(self.cfg.variant.max_freeze_len(round).max(1));
+        let base = derive_seed(self.cfg.seed, round);
+        for j in 0..self.n {
+            if round + 1 < self.unfreeze_round[j] {
+                continue; // already frozen beyond next round
+            }
+            let h = splitmix64(base ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < prob {
+                let h2 = splitmix64(h ^ 0xABCD_EF01_2345_6789);
+                let len = 1 + h2 % max_len; // uniform in [1, max_len]
+                self.unfreeze_round[j] = round + 1 + len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApfVariant;
+    use crate::controller::Aimd;
+
+    fn cfg_every(check_every_rounds: u32) -> ApfConfig {
+        ApfConfig { check_every_rounds, ..ApfConfig::default() }
+    }
+
+    /// Drives a manager through rounds where each scalar follows a scripted
+    /// per-round update, mimicking single-client training.
+    fn drive(
+        mgr: &mut ApfManager,
+        params: &mut [f32],
+        rounds: std::ops::Range<u64>,
+        update: impl Fn(u64, usize) -> f32,
+    ) -> Vec<SyncReport> {
+        let mut reports = Vec::new();
+        for r in rounds {
+            // Local training: apply the scripted update, then rollback.
+            for (j, p) in params.iter_mut().enumerate() {
+                *p += update(r, j);
+            }
+            let report = mgr.sync(params, r, |up| up.to_vec());
+            reports.push(report);
+        }
+        reports
+    }
+
+    #[test]
+    fn oscillating_scalars_get_frozen() {
+        let mut params = vec![0.0f32; 4];
+        let mut mgr = ApfManager::new(
+            &params,
+            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            Box::new(Aimd::default()),
+        );
+        // Scalars 0,1 oscillate; scalars 2,3 drift steadily.
+        let reports = drive(&mut mgr, &mut params, 0..40, |r, j| {
+            if j < 2 {
+                if r % 2 == 0 {
+                    0.1
+                } else {
+                    -0.1
+                }
+            } else {
+                0.1
+            }
+        });
+        let last = reports.last().unwrap();
+        assert_eq!(last.total, 4);
+        // The two oscillators should be frozen by the end.
+        assert!(last.frozen >= 2, "frozen {}", last.frozen);
+        // Drifting scalars must never freeze under Standard APF (query the
+        // upcoming round 40, whose mask the round-39 check just set), while
+        // the oscillators accumulated growing freezing periods.
+        assert!(!mgr.is_frozen(2, 40));
+        assert!(!mgr.is_frozen(3, 40));
+        assert!(mgr.freezing_periods()[0] >= 2);
+        assert!(mgr.freezing_periods()[1] >= 2);
+        assert_eq!(mgr.freezing_periods()[2], 0);
+        assert_eq!(mgr.freezing_periods()[3], 0);
+    }
+
+    #[test]
+    fn frozen_scalars_are_rolled_back_and_excluded() {
+        let init = vec![1.0f32, 2.0];
+        let mut mgr = ApfManager::new(
+            &init,
+            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            Box::new(Aimd::default()),
+        );
+        let mut params = init.clone();
+        // Oscillate scalar 0 until it becomes frozen for the *next* round.
+        let mut r = 0u64;
+        loop {
+            assert!(r < 100, "oscillator never froze");
+            if !mgr.is_frozen(0, r) {
+                params[0] += if r % 2 == 0 { 0.5 } else { -0.5 };
+            }
+            params[1] += 0.3;
+            mgr.sync(&mut params, r, |up| up.to_vec());
+            r += 1;
+            if mgr.is_frozen(0, r) {
+                break;
+            }
+        }
+        // Scalar 0 is frozen during round r: it keeps its pinned value and
+        // the upload shrinks to scalar 1 alone.
+        let pinned = params[0];
+        params[0] += 99.0; // local drift that must be rolled back
+        params[1] += 0.3;
+        let rep = mgr.sync(&mut params, r, |up| up.to_vec());
+        assert_eq!(params[0], pinned, "frozen scalar not rolled back");
+        assert_eq!(rep.frozen, 1);
+        assert_eq!(rep.bytes_up, 4, "only one f32 should go up");
+    }
+
+    #[test]
+    fn reports_account_bytes_both_directions() {
+        let params = vec![0.0f32; 10];
+        let mut mgr = ApfManager::new(&params, cfg_every(5), Box::new(Aimd::default()));
+        let mut p = params.clone();
+        let rep = mgr.sync(&mut p, 0, |up| up.to_vec());
+        assert_eq!(rep.bytes_up, 40);
+        assert_eq!(rep.bytes_down, 40);
+        assert_eq!(rep.frozen_ratio(), 0.0);
+    }
+
+    #[test]
+    fn aimd_period_grows_with_sustained_stability() {
+        let mut params = vec![0.0f32; 1];
+        let mut mgr = ApfManager::new(
+            &params,
+            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            Box::new(Aimd::default()),
+        );
+        let mut periods = Vec::new();
+        for r in 0..200u64 {
+            // Pure oscillation while unfrozen.
+            if !mgr.is_frozen(0, r) {
+                params[0] += if r % 2 == 0 { 0.2 } else { -0.2 };
+            }
+            mgr.sync(&mut params, r, |up| up.to_vec());
+            periods.push(mgr.freezing_periods()[0]);
+        }
+        let max_period = *periods.iter().max().unwrap();
+        assert!(max_period >= 3, "period should grow additively, got {max_period}");
+    }
+
+    #[test]
+    fn drifting_after_freeze_halves_period() {
+        // Script: stable for a while, then persistent drift. The freezing
+        // period must collapse multiplicatively.
+        let mut params = vec![0.0f32; 1];
+        let mut mgr = ApfManager::new(
+            &params,
+            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            Box::new(Aimd::default()),
+        );
+        let mut grew_to = 0;
+        for r in 0..60u64 {
+            if !mgr.is_frozen(0, r) {
+                params[0] += if r % 2 == 0 { 0.2 } else { -0.2 };
+            }
+            mgr.sync(&mut params, r, |up| up.to_vec());
+            grew_to = grew_to.max(mgr.freezing_periods()[0]);
+        }
+        assert!(grew_to >= 2);
+        // Now drift hard whenever unfrozen.
+        for r in 60..200u64 {
+            if !mgr.is_frozen(0, r) {
+                params[0] += 1.0;
+            }
+            mgr.sync(&mut params, r, |up| up.to_vec());
+        }
+        assert_eq!(
+            mgr.freezing_periods()[0],
+            0,
+            "sustained drift must collapse the period to zero"
+        );
+        assert!(!mgr.is_frozen(0, 200));
+    }
+
+    #[test]
+    fn threshold_decays_when_most_params_frozen() {
+        let n = 10;
+        let mut params = vec![0.0f32; n];
+        let mut mgr = ApfManager::new(
+            &params,
+            ApfConfig { check_every_rounds: 1, ..ApfConfig::default() },
+            Box::new(Aimd { increment: 50, decrease_factor: 2 }),
+        );
+        let t0 = mgr.threshold();
+        // Everything oscillates -> everything freezes -> threshold halves.
+        for r in 0..20u64 {
+            for (j, p) in params.iter_mut().enumerate() {
+                if !mgr.is_frozen(j, r) {
+                    *p += if r % 2 == 0 { 0.1 } else { -0.1 };
+                }
+            }
+            mgr.sync(&mut params, r, |up| up.to_vec());
+        }
+        assert!(mgr.threshold() < t0, "threshold {} should have decayed", mgr.threshold());
+    }
+
+    #[test]
+    fn apf_sharp_freezes_some_unstable_params() {
+        let n = 400;
+        let mut params = vec![0.0f32; n];
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            variant: ApfVariant::Sharp { prob: 0.5 },
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
+        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        // All scalars drift (never naturally stable).
+        for (j, p) in params.iter_mut().enumerate() {
+            *p += 0.1 + j as f32 * 1e-4;
+        }
+        mgr.sync(&mut params, 0, |up| up.to_vec());
+        // After round 0's random freezing, roughly half must be frozen for round 1.
+        let frozen = mgr.frozen_count(1);
+        assert!(
+            (100..300).contains(&frozen),
+            "APF# should freeze ~50% (got {frozen}/{n})"
+        );
+        // And they thaw after one round (length exactly 1).
+        assert_eq!(mgr.frozen_count(2), 0);
+    }
+
+    #[test]
+    fn apf_plusplus_probability_grows_with_rounds() {
+        let n = 500;
+        let cfg = ApfConfig {
+            check_every_rounds: 1_000_000, // disable stability checks
+            variant: ApfVariant::PlusPlus { a1: 1.0 / 100.0, a2: 0.0 },
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
+        let params = vec![0.0f32; n];
+        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        let mut p = params.clone();
+        // Early round: low probability.
+        mgr.sync(&mut p, 5, |up| up.to_vec());
+        let early = mgr.frozen_count(6);
+        // Late round: ~50% probability at K=50.
+        let mut mgr2 = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        let mut p2 = params.clone();
+        mgr2.sync(&mut p2, 50, |up| up.to_vec());
+        let late = mgr2.frozen_count(51);
+        assert!(late > early + 50, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn masks_identical_across_clients() {
+        // Two managers fed the same synchronized values step in lockstep.
+        let n = 64;
+        let cfg = ApfConfig {
+            check_every_rounds: 2,
+            variant: ApfVariant::Sharp { prob: 0.3 },
+            ..ApfConfig::default()
+        };
+        let init = vec![0.0f32; n];
+        let mut a = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut b = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut pa = init.clone();
+        let mut pb = init.clone();
+        for r in 0..30u64 {
+            for j in 0..n {
+                // Different *local* trajectories...
+                let da = if (r + j as u64) % 2 == 0 { 0.1 } else { -0.1 };
+                let db = if (r + j as u64) % 2 == 0 { 0.12 } else { -0.12 };
+                if !a.is_frozen(j, r) {
+                    pa[j] += da;
+                    pb[j] += db;
+                }
+            }
+            // ...but a shared aggregate (mean), as in real FL.
+            a.rollback(&mut pa, r);
+            b.rollback(&mut pb, r);
+            let ua = a.select_unfrozen(&pa, r);
+            let ub = b.select_unfrozen(&pb, r);
+            assert_eq!(ua.len(), ub.len(), "round {r}: upload sizes diverged");
+            let agg: Vec<f32> = ua.iter().zip(&ub).map(|(x, y)| (x + y) / 2.0).collect();
+            a.apply_aggregate(&mut pa, &agg, r);
+            b.apply_aggregate(&mut pb, &agg, r);
+            let ra = a.finish_round(&pa, r);
+            let rb = b.finish_round(&pb, r);
+            assert_eq!(ra, rb, "round {r}: reports diverged");
+            assert_eq!(a.frozen_mask(r + 1), b.frozen_mask(r + 1), "round {r}: masks diverged");
+            assert_eq!(pa, pb, "round {r}: models diverged");
+        }
+    }
+
+    #[test]
+    fn apply_aggregate_restores_frozen_to_pinned() {
+        let init = vec![5.0f32, 7.0];
+        let mut mgr = ApfManager::new(&init, cfg_every(1), Box::new(Aimd::default()));
+        // Manually freeze scalar 1 by oscillating it.
+        let mut params = init.clone();
+        for r in 0..20u64 {
+            if !mgr.is_frozen(1, r) {
+                params[1] += if r % 2 == 0 { 0.1 } else { -0.1 };
+            }
+            params[0] += 0.2;
+            mgr.sync(&mut params, r, |up| up.to_vec());
+        }
+        assert!(mgr.is_frozen(1, 20), "oscillator should be frozen by now");
+        let pinned = params[1];
+        // Corrupt the frozen slot, then apply an aggregate: it must be restored.
+        params[1] = -999.0;
+        let up = mgr.select_unfrozen(&params, 20);
+        mgr.apply_aggregate(&mut params, &up, 20);
+        assert_eq!(params[1], pinned);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregate shorter")]
+    fn short_aggregate_panics() {
+        let init = vec![0.0f32; 3];
+        let mut mgr = ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default()));
+        let mut p = init.clone();
+        mgr.apply_aggregate(&mut p, &[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid APF config")]
+    fn invalid_config_panics() {
+        let _ = ApfManager::new(
+            &[0.0],
+            ApfConfig { check_every_rounds: 0, ..ApfConfig::default() },
+            Box::new(Aimd::default()),
+        );
+    }
+
+    #[test]
+    fn check_cadence_respected() {
+        let init = vec![0.0f32; 2];
+        let mut mgr = ApfManager::new(&init, cfg_every(5), Box::new(Aimd::default()));
+        let mut p = init.clone();
+        let mut checks = Vec::new();
+        for r in 0..10u64 {
+            let rep = mgr.sync(&mut p, r, |up| up.to_vec());
+            checks.push(rep.checked);
+        }
+        assert_eq!(
+            checks,
+            vec![false, false, false, false, true, false, false, false, false, true]
+        );
+        assert_eq!(mgr.checks_run(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Effective perturbation: the paper's parameter-stability metric.
+//!
+//! For a scalar parameter with recent updates `u_{k-S+1} .. u_k`, the
+//! effective perturbation (Eq. 2) is
+//! `P_k = |Σ u_i| / Σ |u_i|` — 1.0 when updates all point the same way,
+//! near 0 when consecutive updates cancel (pure oscillation around an
+//! optimum). [`WindowedPerturbation`] implements the literal sliding-window
+//! definition used by the §3 motivation study; [`EmaPerturbation`] implements
+//! the memory-efficient exponential-moving-average form (Eq. 17) that the
+//! production `APF_Manager` uses.
+
+/// Sliding-window effective perturbation (Eq. 1–2).
+///
+/// Stores the last `window` update vectors; memory is `window * n` scalars,
+/// which is why the paper replaces it with the EMA form on edge devices.
+#[derive(Debug, Clone)]
+pub struct WindowedPerturbation {
+    window: usize,
+    n: usize,
+    buf: Vec<Vec<f32>>,
+    next: usize,
+    filled: usize,
+}
+
+impl WindowedPerturbation {
+    /// Creates a tracker for `n` scalars over a `window`-update window.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowedPerturbation { window, n, buf: Vec::new(), next: 0, filled: 0 }
+    }
+
+    /// Number of tracked scalars.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no updates have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Records one update vector `u_k = x_k - x_{k-1}`.
+    ///
+    /// # Panics
+    /// Panics if `update.len() != n`.
+    pub fn push_update(&mut self, update: &[f32]) {
+        assert_eq!(update.len(), self.n, "update length mismatch");
+        if self.buf.len() < self.window {
+            self.buf.push(update.to_vec());
+        } else {
+            self.buf[self.next].copy_from_slice(update);
+        }
+        self.next = (self.next + 1) % self.window;
+        self.filled = (self.filled + 1).min(self.window);
+    }
+
+    /// Per-scalar effective perturbation over the current window.
+    ///
+    /// Scalars with zero total movement (denominator 0) report 0.0: a
+    /// parameter that never moves is maximally stable. With no recorded
+    /// updates every scalar reports 1.0 (assume unstable until observed).
+    pub fn values(&self) -> Vec<f32> {
+        if self.filled == 0 {
+            return vec![1.0; self.n];
+        }
+        let mut num = vec![0.0f32; self.n];
+        let mut den = vec![0.0f32; self.n];
+        for upd in self.buf.iter().take(self.filled) {
+            for j in 0..self.n {
+                num[j] += upd[j];
+                den[j] += upd[j].abs();
+            }
+        }
+        num.iter()
+            .zip(&den)
+            .map(|(&s, &a)| if a == 0.0 { 0.0 } else { (s.abs() / a).min(1.0) })
+            .collect()
+    }
+
+    /// Mean effective perturbation across all scalars (the Fig. 2 curve).
+    pub fn mean(&self) -> f32 {
+        let v = self.values();
+        v.iter().sum::<f32>() / v.len().max(1) as f32
+    }
+}
+
+/// EMA effective perturbation (Eq. 17):
+/// `E_K = α E_{K-1} + (1-α) Δ_K`, `A_K = α A_{K-1} + (1-α) |Δ_K|`,
+/// `P_K = |E_K| / A_K`.
+#[derive(Debug, Clone)]
+pub struct EmaPerturbation {
+    alpha: f32,
+    e: Vec<f32>,
+    a: Vec<f32>,
+    updates: u64,
+}
+
+impl EmaPerturbation {
+    /// Creates an EMA tracker for `n` scalars with smoothing factor `alpha`
+    /// (the paper uses 0.99).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= alpha < 1.0`.
+    pub fn new(n: usize, alpha: f32) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        EmaPerturbation { alpha, e: vec![0.0; n], a: vec![0.0; n], updates: 0 }
+    }
+
+    /// Number of tracked scalars.
+    pub fn len(&self) -> usize {
+        self.e.len()
+    }
+
+    /// Whether no deltas have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.updates == 0
+    }
+
+    /// Records the cumulative update `Δ_K` since the previous stability
+    /// check, but only for scalars where `mask[j]` is true (frozen scalars
+    /// accumulate no genuine updates and must not dilute their history —
+    /// §6.1's once-for-multiple-rounds checking applies to *trained*
+    /// parameters).
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn update_masked(&mut self, delta: &[f32], mask: &[bool]) {
+        assert_eq!(delta.len(), self.e.len(), "delta length mismatch");
+        assert_eq!(mask.len(), self.e.len(), "mask length mismatch");
+        for j in 0..delta.len() {
+            if mask[j] {
+                self.e[j] = self.alpha * self.e[j] + (1.0 - self.alpha) * delta[j];
+                self.a[j] = self.alpha * self.a[j] + (1.0 - self.alpha) * delta[j].abs();
+            }
+        }
+        self.updates += 1;
+    }
+
+    /// Records `Δ_K` for every scalar.
+    pub fn update(&mut self, delta: &[f32]) {
+        let mask = vec![true; self.e.len()];
+        self.update_masked(delta, &mask);
+    }
+
+    /// The effective perturbation of scalar `j`.
+    ///
+    /// Returns 1.0 before any update has been recorded for the scalar
+    /// (unobserved ⇒ assumed unstable); 0.0 if the scalar has history but
+    /// zero accumulated movement.
+    pub fn value(&self, j: usize) -> f32 {
+        if self.a[j] == 0.0 {
+            if self.updates == 0 {
+                1.0
+            } else {
+                // Has been observed but never moved: maximally stable...
+                // unless it was never genuinely updated (e/a both zero from
+                // masking), which we treat the same way — a scalar that
+                // produced no movement is indistinguishable from converged.
+                0.0
+            }
+        } else {
+            (self.e[j].abs() / self.a[j]).min(1.0)
+        }
+    }
+
+    /// Per-scalar effective perturbations.
+    pub fn values(&self) -> Vec<f32> {
+        (0..self.e.len()).map(|j| self.value(j)).collect()
+    }
+
+    /// Mean effective perturbation.
+    pub fn mean(&self) -> f32 {
+        if self.e.is_empty() {
+            return 0.0;
+        }
+        self.values().iter().sum::<f32>() / self.e.len() as f32
+    }
+
+    /// Raw state `(E, A, update count)` for checkpointing.
+    pub fn raw(&self) -> (&[f32], &[f32], u64) {
+        (&self.e, &self.a, self.updates)
+    }
+
+    /// Rebuilds a tracker from raw checkpoint state.
+    ///
+    /// # Panics
+    /// Panics if `e` and `a` lengths differ or `alpha` is invalid.
+    pub fn from_raw(alpha: f32, e: Vec<f32>, a: Vec<f32>, updates: u64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        assert_eq!(e.len(), a.len(), "E/A length mismatch");
+        EmaPerturbation { alpha, e, a, updates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_monotone_updates_give_one() {
+        let mut w = WindowedPerturbation::new(2, 4);
+        for _ in 0..4 {
+            w.push_update(&[0.1, -0.2]);
+        }
+        let v = w.values();
+        assert!((v[0] - 1.0).abs() < 1e-6);
+        assert!((v[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowed_perfect_oscillation_gives_zero() {
+        let mut w = WindowedPerturbation::new(1, 4);
+        for i in 0..4 {
+            w.push_update(&[if i % 2 == 0 { 0.5 } else { -0.5 }]);
+        }
+        assert!(w.values()[0] < 1e-6);
+    }
+
+    #[test]
+    fn windowed_window_slides() {
+        let mut w = WindowedPerturbation::new(1, 2);
+        w.push_update(&[1.0]);
+        w.push_update(&[-1.0]);
+        assert!(w.values()[0] < 1e-6);
+        // Two more same-direction updates push the oscillation out.
+        w.push_update(&[1.0]);
+        w.push_update(&[1.0]);
+        assert!((w.values()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowed_empty_reports_unstable() {
+        let w = WindowedPerturbation::new(3, 5);
+        assert_eq!(w.values(), vec![1.0, 1.0, 1.0]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn windowed_zero_movement_is_stable() {
+        let mut w = WindowedPerturbation::new(1, 3);
+        w.push_update(&[0.0]);
+        w.push_update(&[0.0]);
+        assert_eq!(w.values()[0], 0.0);
+    }
+
+    #[test]
+    fn ema_matches_windowed_qualitatively() {
+        // Oscillating scalar -> near 0; drifting scalar -> near 1.
+        let mut ema = EmaPerturbation::new(2, 0.9);
+        for i in 0..200 {
+            let osc = if i % 2 == 0 { 0.3 } else { -0.3 };
+            ema.update(&[osc, 0.05]);
+        }
+        assert!(ema.value(0) < 0.1, "oscillating {}", ema.value(0));
+        assert!(ema.value(1) > 0.9, "drifting {}", ema.value(1));
+    }
+
+    #[test]
+    fn ema_first_update_is_one() {
+        let mut ema = EmaPerturbation::new(1, 0.99);
+        assert_eq!(ema.value(0), 1.0);
+        ema.update(&[0.7]);
+        assert!((ema.value(0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_masked_scalars_keep_state() {
+        let mut ema = EmaPerturbation::new(2, 0.5);
+        ema.update(&[1.0, 1.0]);
+        let before = ema.value(1);
+        // Update only scalar 0 for a while with oscillation.
+        for i in 0..10 {
+            let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+            ema.update_masked(&[v, 123.0], &[true, false]);
+        }
+        assert!(ema.value(0) < 0.5);
+        assert_eq!(ema.value(1), before, "masked scalar state must not change");
+    }
+
+    #[test]
+    fn ema_values_bounded() {
+        let mut ema = EmaPerturbation::new(3, 0.8);
+        for i in 0..50 {
+            ema.update(&[(i as f32).sin(), 1.0, -2.0]);
+        }
+        for v in ema.values() {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ema_rejects_bad_alpha() {
+        let _ = EmaPerturbation::new(1, 1.0);
+    }
+}

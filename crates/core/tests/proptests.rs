@@ -1,0 +1,125 @@
+//! Property-based tests for the APF core invariants.
+
+use apf::{Aimd, ApfConfig, ApfManager, ApfVariant, EmaPerturbation, WindowedPerturbation};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn windowed_perturbation_in_unit_interval(
+        updates in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 3), 1..20),
+    ) {
+        let mut w = WindowedPerturbation::new(3, 8);
+        for u in &updates {
+            w.push_update(u);
+        }
+        for v in w.values() {
+            prop_assert!((0.0..=1.0).contains(&v), "{}", v);
+        }
+    }
+
+    #[test]
+    fn ema_perturbation_in_unit_interval(
+        deltas in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 4), 1..30),
+        alpha in 0.0f32..0.999,
+    ) {
+        let mut e = EmaPerturbation::new(4, alpha);
+        for d in &deltas {
+            e.update(d);
+        }
+        for v in e.values() {
+            prop_assert!((0.0..=1.0).contains(&v), "{}", v);
+        }
+    }
+
+    #[test]
+    fn same_sign_updates_keep_perturbation_at_one(
+        mags in proptest::collection::vec(0.001f32..2.0, 2..20),
+    ) {
+        let mut w = WindowedPerturbation::new(1, 32);
+        let mut e = EmaPerturbation::new(1, 0.9);
+        for &m in &mags {
+            w.push_update(&[m]);
+            e.update(&[m]);
+        }
+        prop_assert!((w.values()[0] - 1.0).abs() < 1e-5);
+        prop_assert!((e.value(0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frozen_scalars_never_appear_in_upload(
+        seed in 0u64..500,
+        rounds in 5u64..40,
+    ) {
+        // Random oscillation/drift mix; invariant: upload length always
+        // equals n - frozen_count, and rollback pins frozen scalars.
+        let n = 16usize;
+        let init = vec![0.0f32; n];
+        let cfg = ApfConfig { check_every_rounds: 1, seed, ..ApfConfig::default() };
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut p = init.clone();
+        for r in 0..rounds {
+            for (j, v) in p.iter_mut().enumerate() {
+                let h = apf_tensor::splitmix64(seed ^ (r * 1000 + j as u64));
+                let osc = j % 2 == 0;
+                *v += if osc {
+                    if r % 2 == 0 { 0.1 } else { -0.1 }
+                } else {
+                    ((h % 100) as f32 / 1000.0) + 0.01
+                };
+            }
+            mgr.rollback(&mut p, r);
+            let frozen = mgr.frozen_count(r);
+            let up = mgr.select_unfrozen(&p, r);
+            prop_assert_eq!(up.len(), n - frozen);
+            let down = up.clone();
+            mgr.apply_aggregate(&mut p, &down, r);
+            let rep = mgr.finish_round(&p, r);
+            prop_assert_eq!(rep.frozen, frozen);
+            prop_assert_eq!(rep.bytes_up, (n - frozen) as u64 * 4);
+        }
+    }
+
+    #[test]
+    fn freezing_period_zero_means_never_frozen_for_drifters(
+        steps in 1u64..60,
+    ) {
+        // A scalar that always drifts in one direction must never freeze
+        // under Standard APF.
+        let init = vec![0.0f32];
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut p = init.clone();
+        for r in 0..steps {
+            p[0] += 0.05;
+            mgr.sync(&mut p, r, |u| u.to_vec());
+            prop_assert!(!mgr.is_frozen(0, r + 1), "drifter frozen at round {}", r);
+        }
+    }
+
+    #[test]
+    fn sharp_freeze_fraction_tracks_probability(
+        prob in 0.05f64..0.95,
+        seed in 0u64..100,
+    ) {
+        let n = 2000usize;
+        let cfg = ApfConfig {
+            check_every_rounds: 1_000_000,
+            variant: ApfVariant::Sharp { prob },
+            threshold_decay: None,
+            seed,
+            ..ApfConfig::default()
+        };
+        let init = vec![0.0f32; n];
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut p = init.clone();
+        mgr.sync(&mut p, 0, |u| u.to_vec());
+        let frac = mgr.frozen_count(1) as f64 / n as f64;
+        prop_assert!((frac - prob).abs() < 0.08, "frac {} vs prob {}", frac, prob);
+    }
+}

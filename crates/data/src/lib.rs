@@ -1,0 +1,35 @@
+//! Dataset substrate for the APF reproduction.
+//!
+//! The paper evaluates on CIFAR-10 and a keyword-spotting (KWS) subset of
+//! Speech Commands. Neither is available offline here, so this crate provides
+//! synthetic stand-ins that exercise the same code paths (see DESIGN.md §3
+//! for the substitution argument):
+//!
+//! * [`synth_images`] — a 10-class image task on `[3, 16, 16]` tensors built
+//!   from smoothed Gaussian class prototypes plus per-sample noise and
+//!   brightness jitter (drives the conv nets);
+//! * [`synth_kws`] — a 10-class sequence task on `[20, 10]` feature
+//!   sequences built from class-dependent sinusoid banks plus noise (drives
+//!   the LSTM).
+//!
+//! Federated splits: [`dirichlet_partition`] (the paper's §7.1 Dirichlet
+//! α=1 non-IID setup), [`classes_per_client_partition`] (the "extremely
+//! non-IID, k classes per client" setup of §7.3), and [`iid_partition`].
+//!
+//! # Example
+//!
+//! ```
+//! use apf_data::{synth_images, dirichlet_partition};
+//!
+//! let ds = synth_images(200, 0);
+//! let parts = dirichlet_partition(ds.labels(), 4, 1.0, 7);
+//! assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 200);
+//! ```
+
+mod dataset;
+mod partition;
+mod synth;
+
+pub use dataset::{Batches, Dataset};
+pub use partition::{classes_per_client_partition, dirichlet_partition, iid_partition, sample_gamma};
+pub use synth::{synth_images, synth_images_split, synth_kws, synth_kws_split, with_label_noise, IMAGE_SHAPE, KWS_SHAPE, NUM_CLASSES};

@@ -1,0 +1,87 @@
+//! Property-based tests for partitioners and datasets.
+
+use apf_data::{
+    classes_per_client_partition, dirichlet_partition, iid_partition, synth_images, Dataset,
+};
+use apf_tensor::Tensor;
+use proptest::prelude::*;
+
+fn assert_exact_cover(parts: &[Vec<usize>], n: usize) -> Result<(), TestCaseError> {
+    let mut seen = vec![false; n];
+    for p in parts {
+        for &i in p {
+            prop_assert!(i < n);
+            prop_assert!(!seen[i], "index {} assigned twice", i);
+            seen[i] = true;
+        }
+    }
+    prop_assert!(seen.iter().all(|&s| s), "some index unassigned");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn dirichlet_always_exact_cover(
+        n in 1usize..300,
+        clients in 1usize..12,
+        alpha in 0.1f64..50.0,
+        classes in 1usize..11,
+        seed in 0u64..1000,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let parts = dirichlet_partition(&labels, clients, alpha, seed);
+        prop_assert_eq!(parts.len(), clients);
+        assert_exact_cover(&parts, n)?;
+    }
+
+    #[test]
+    fn classes_per_client_cover_when_enough_owners(
+        clients in 1usize..10,
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // With clients*k >= classes every class has at least one owner, so
+        // the partition must be an exact cover.
+        let classes = (clients * k).min(10);
+        let n = classes * 20;
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let parts = classes_per_client_partition(&labels, clients, k, seed);
+        assert_exact_cover(&parts, n)?;
+        // No client may exceed k distinct classes.
+        for p in &parts {
+            let mut cs: Vec<usize> = p.iter().map(|&i| labels[i]).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            prop_assert!(cs.len() <= k);
+        }
+    }
+
+    #[test]
+    fn iid_parts_are_balanced(n in 1usize..500, clients in 1usize..16, seed in 0u64..100) {
+        let parts = iid_partition(n, clients, seed);
+        assert_exact_cover(&parts, n)?;
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+    }
+
+    #[test]
+    fn dataset_select_preserves_labels(idx in proptest::collection::vec(0usize..30, 1..20)) {
+        let ds = synth_images(30, 0);
+        let sub = ds.select(&idx);
+        prop_assert_eq!(sub.len(), idx.len());
+        for (j, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(sub.labels()[j], ds.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn batches_partition_dataset(n in 1usize..100, bs in 1usize..32, seed in 0u64..100) {
+        let inputs = Tensor::zeros(&[n, 2]);
+        let ds = Dataset::new(inputs, (0..n).map(|i| i % 3).collect(), 3);
+        let mut rng = apf_tensor::seeded_rng(seed);
+        let total: usize = ds.batches(bs, &mut rng).map(|(_, y)| y.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+}

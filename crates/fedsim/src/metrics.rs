@@ -1,0 +1,187 @@
+//! Per-round metric records and experiment logs (CSV/JSON export).
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Mean local training loss across clients this round.
+    pub loss: f32,
+    /// Test accuracy of the global model (recorded every `eval_every`
+    /// rounds; `None` on skipped rounds).
+    pub accuracy: Option<f32>,
+    /// Best test accuracy observed so far (the paper plots best-ever, §3.1
+    /// footnote 2).
+    pub best_accuracy: f32,
+    /// Fraction of scalars excluded from synchronization this round.
+    pub frozen_ratio: f32,
+    /// Bytes uploaded this round, summed over clients.
+    pub bytes_up: u64,
+    /// Bytes downloaded this round, summed over clients.
+    pub bytes_down: u64,
+    /// Cumulative bytes (both directions, all clients) including the initial
+    /// model distribution.
+    pub cum_bytes: u64,
+    /// Wall-clock compute time of this round (slowest client), seconds.
+    pub compute_secs: f64,
+    /// Simulated transfer time of this round (slowest client), seconds.
+    pub comm_secs: f64,
+    /// Cumulative simulated round time, seconds.
+    pub cum_secs: f64,
+}
+
+/// The full metric trace of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExperimentLog {
+    /// Experiment label, e.g. `"lenet5/apf"`.
+    pub name: String,
+    /// One record per round.
+    pub records: Vec<RoundRecord>,
+}
+
+impl ExperimentLog {
+    /// Creates an empty log with the given label.
+    pub fn new(name: &str) -> Self {
+        ExperimentLog { name: name.to_owned(), records: Vec::new() }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: RoundRecord) {
+        self.records.push(r);
+    }
+
+    /// Best test accuracy over the whole run (0.0 if never evaluated).
+    pub fn best_accuracy(&self) -> f32 {
+        self.records.last().map_or(0.0, |r| r.best_accuracy)
+    }
+
+    /// Final cumulative transmission volume in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.cum_bytes)
+    }
+
+    /// Mean per-round simulated time in seconds.
+    pub fn mean_round_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.last().unwrap().cum_secs / self.records.len() as f64
+    }
+
+    /// Mean frozen ratio over all rounds.
+    pub fn mean_frozen_ratio(&self) -> f32 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.frozen_ratio).sum::<f32>() / self.records.len() as f32
+    }
+
+    /// Serializes the log as a CSV table.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,loss,accuracy,best_accuracy,frozen_ratio,bytes_up,bytes_down,cum_bytes,compute_secs,comm_secs,cum_secs\n",
+        );
+        for r in &self.records {
+            let acc = r.accuracy.map_or(String::new(), |a| format!("{a:.4}"));
+            out.push_str(&format!(
+                "{},{:.4},{},{:.4},{:.4},{},{},{},{:.6},{:.6},{:.6}\n",
+                r.round,
+                r.loss,
+                acc,
+                r.best_accuracy,
+                r.frozen_ratio,
+                r.bytes_up,
+                r.bytes_down,
+                r.cum_bytes,
+                r.compute_secs,
+                r.comm_secs,
+                r.cum_secs,
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Serializes the log as JSON.
+    ///
+    /// # Panics
+    /// Never in practice (the log is always serializable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("log serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u64, acc: Option<f32>, best: f32, bytes: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            loss: 1.0,
+            accuracy: acc,
+            best_accuracy: best,
+            frozen_ratio: 0.25,
+            bytes_up: bytes,
+            bytes_down: bytes,
+            cum_bytes: bytes * (round + 1) * 2,
+            compute_secs: 0.1,
+            comm_secs: 0.2,
+            cum_secs: 0.3 * (round + 1) as f64,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut log = ExperimentLog::new("t");
+        log.push(rec(0, Some(0.5), 0.5, 100));
+        log.push(rec(1, None, 0.5, 100));
+        log.push(rec(2, Some(0.7), 0.7, 100));
+        assert_eq!(log.best_accuracy(), 0.7);
+        assert_eq!(log.total_bytes(), 600);
+        assert!((log.mean_round_secs() - 0.3).abs() < 1e-9);
+        assert!((log.mean_frozen_ratio() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut log = ExperimentLog::new("t");
+        log.push(rec(0, Some(0.5), 0.5, 10));
+        let csv = log.to_csv();
+        assert!(csv.starts_with("round,loss"));
+        assert_eq!(csv.lines().count(), 2);
+        // Skipped evaluations serialize as an empty field.
+        let mut log2 = ExperimentLog::new("t2");
+        log2.push(rec(0, None, 0.0, 10));
+        assert!(log2.to_csv().lines().nth(1).unwrap().contains(",,"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut log = ExperimentLog::new("t");
+        log.push(rec(0, Some(0.1), 0.1, 5));
+        let back: ExperimentLog = serde_json::from_str(&log.to_json()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn empty_log_defaults() {
+        let log = ExperimentLog::new("e");
+        assert_eq!(log.best_accuracy(), 0.0);
+        assert_eq!(log.total_bytes(), 0);
+        assert_eq!(log.mean_round_secs(), 0.0);
+    }
+}

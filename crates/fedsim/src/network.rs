@@ -1,0 +1,65 @@
+//! Bandwidth/time model of the edge links (§7.1: 9 Mbps down, 3 Mbps up per
+//! client; the server-side 10 Gbps uplink is never the bottleneck at these
+//! scales and is ignored).
+
+/// Per-client link model used to convert byte counts into simulated transfer
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Client download bandwidth in Mbps.
+    pub down_mbps: f64,
+    /// Client upload bandwidth in Mbps.
+    pub up_mbps: f64,
+}
+
+impl Default for NetworkModel {
+    /// The paper's global-Internet setup: 9 Mbps down, 3 Mbps up.
+    fn default() -> Self {
+        NetworkModel { down_mbps: 9.0, up_mbps: 3.0 }
+    }
+}
+
+impl NetworkModel {
+    /// Transfer time in seconds for a synchronous round in which the busiest
+    /// client uploads `bytes_up` and downloads `bytes_down` (all clients
+    /// transfer in parallel over their own links, so the slowest — i.e.
+    /// largest — transfer gates the barrier).
+    ///
+    /// # Panics
+    /// Panics if either bandwidth is not positive.
+    pub fn transfer_secs(&self, bytes_up: u64, bytes_down: u64) -> f64 {
+        assert!(self.down_mbps > 0.0 && self.up_mbps > 0.0, "bandwidth must be positive");
+        let up = bytes_up as f64 * 8.0 / (self.up_mbps * 1e6);
+        let down = bytes_down as f64 * 8.0 / (self.down_mbps * 1e6);
+        up + down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let n = NetworkModel::default();
+        assert_eq!(n.down_mbps, 9.0);
+        assert_eq!(n.up_mbps, 3.0);
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        let n = NetworkModel { down_mbps: 8.0, up_mbps: 8.0 };
+        // 1 MB up + 1 MB down at 8 Mbps = 1 s + 1 s.
+        assert!((n.transfer_secs(1_000_000, 1_000_000) - 2.0).abs() < 1e-9);
+        assert_eq!(n.transfer_secs(0, 0), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_links() {
+        let n = NetworkModel::default();
+        // Upload at 3 Mbps is 3x slower than download at 9 Mbps.
+        let up_only = n.transfer_secs(900_000, 0);
+        let down_only = n.transfer_secs(0, 900_000);
+        assert!((up_only / down_only - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Flat parameter views: the model as one vector of scalars.
+//!
+//! APF manipulates the model at scalar granularity (§3.2.2): "that vector can
+//! be obtained by first expanding all the model tensors into a vector and
+//! then concatenating those vectors together". [`FlatSpec`] records that
+//! concatenation order once, so per-tensor names can be mapped back onto
+//! ranges of the flat vector (used by the Fig. 3 per-layer analysis).
+
+/// One named parameter tensor inside the flat concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Tensor name, e.g. `"conv1-w"`.
+    pub name: String,
+    /// Offset of the first scalar in the flat vector.
+    pub offset: usize,
+    /// Number of scalars.
+    pub len: usize,
+    /// Whether optimizers may update these scalars (false for buffers such
+    /// as batch-norm running statistics).
+    pub trainable: bool,
+}
+
+/// The full layout of a model's flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlatSpec {
+    params: Vec<ParamSpec>,
+    total: usize,
+}
+
+impl FlatSpec {
+    /// Builds a spec from `(name, len, trainable)` triples in traversal order.
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, usize, bool)>) -> Self {
+        let mut params = Vec::new();
+        let mut offset = 0;
+        for (name, len, trainable) in entries {
+            params.push(ParamSpec { name, offset, len, trainable });
+            offset += len;
+        }
+        FlatSpec { params, total: offset }
+    }
+
+    /// Total number of scalars.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// The named tensors in concatenation order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Looks up a tensor range by name.
+    pub fn get(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// A per-scalar trainability mask of length [`FlatSpec::total_len`].
+    pub fn trainable_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.total];
+        for p in &self.params {
+            if p.trainable {
+                mask[p.offset..p.offset + p.len].fill(true);
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlatSpec {
+        FlatSpec::from_entries(vec![
+            ("conv1-w".to_owned(), 4, true),
+            ("conv1-b".to_owned(), 2, true),
+            ("bn-rm".to_owned(), 2, false),
+        ])
+    }
+
+    #[test]
+    fn offsets_accumulate() {
+        let s = spec();
+        assert_eq!(s.total_len(), 8);
+        assert_eq!(s.get("conv1-b").unwrap().offset, 4);
+        assert_eq!(s.get("bn-rm").unwrap().offset, 6);
+        assert!(s.get("nope").is_none());
+    }
+
+    #[test]
+    fn trainable_mask_marks_buffers() {
+        let m = spec().trainable_mask();
+        assert_eq!(m, vec![true, true, true, true, true, true, false, false]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pooling layers.
+
+use apf_tensor::{maxpool2d_backward, maxpool2d_forward, PoolSpec, Tensor};
+use rand::rngs::StdRng;
+
+use crate::layer::{Layer, Mode};
+
+/// 2-D max pooling.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    spec: PoolSpec,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with a square window and equal stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d { spec: PoolSpec { kernel, stride }, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        let shape = x.shape().to_vec();
+        let (out, arg) = maxpool2d_forward(&x, &self.spec);
+        self.cache = Some((arg, shape));
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (arg, shape) = self.cache.take().expect("maxpool backward before forward");
+        maxpool2d_backward(&grad, &arg, &shape)
+    }
+
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "global avg pool expects [N,C,H,W]");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for nc in 0..n * c {
+            out[nc] = x.data()[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() * inv;
+        }
+        self.cached_shape = Some(s);
+        Tensor::from_vec(out, &[n, c])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let s = self.cached_shape.take().expect("global avg pool backward before forward");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; n * c * h * w];
+        for nc in 0..n * c {
+            let g = grad.data()[nc] * inv;
+            out[nc * h * w..(nc + 1) * h * w].fill(g);
+        }
+        Tensor::from_vec(out, &s)
+    }
+
+    fn kind(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_tensor::seeded_rng;
+
+    #[test]
+    fn global_avg_pool_mean_and_grad() {
+        let mut rng = seeded_rng(1);
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]);
+        let y = gap.forward(x, Mode::Eval, &mut rng);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let g = gap.backward(Tensor::from_vec(vec![4.0, 8.0], &[1, 2]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut rng = seeded_rng(0);
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = pool.forward(x, Mode::Train, &mut rng);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let g = pool.backward(Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(g.data()[5], 1.0);
+        assert_eq!(g.data()[15], 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Softmax cross-entropy loss and accuracy metrics.
+
+use apf_tensor::Tensor;
+
+/// Row-wise numerically stable softmax of a `[N, C]` logit matrix.
+///
+/// # Panics
+/// Panics if `logits` is not rank 2.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [N, C]");
+    let c = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(c) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch, plus the gradient w.r.t. logits.
+///
+/// Returns `(loss, grad)` where `grad` already includes the `1/N` batch
+/// averaging, so callers can backpropagate it directly.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "loss expects [N, C]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.data()[i * c + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * c + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the number of rows.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let p = softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: fd={fd} analytic={}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, 0.1, -0.7, 1.0, 2.0, 3.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        for row in grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+}

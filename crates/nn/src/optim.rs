@@ -1,0 +1,311 @@
+//! Optimizers operating on flat parameter/gradient vectors, plus
+//! learning-rate schedules.
+//!
+//! The paper's setup (§7.1): Adam for LeNet-5, SGD for ResNet-18 and LSTM,
+//! with weight decay 0.01; §7.8 additionally evaluates a multiplicative
+//! learning-rate decay.
+
+/// A learning-rate schedule mapping a step index to a learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate forever.
+    Constant(f32),
+    /// `initial * factor^(step / every)`: multiply by `factor` once every
+    /// `every` steps (the paper's "multiply by 0.99 every 10 epochs").
+    Multiplicative {
+        /// Rate at step 0.
+        initial: f32,
+        /// Per-interval multiplier (e.g. 0.99).
+        factor: f32,
+        /// Interval length in steps.
+        every: usize,
+    },
+    /// `initial / sqrt(1 + step)`: the `O(1/sqrt(T))` choice that satisfies
+    /// the convergence condition of Theorem 2 (Eq. 16).
+    InverseSqrt {
+        /// Rate at step 0.
+        initial: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::Multiplicative { initial, factor, every } => {
+                initial * factor.powi((step / every.max(1)) as i32)
+            }
+            LrSchedule::InverseSqrt { initial } => initial / (1.0 + step as f32).sqrt(),
+        }
+    }
+}
+
+/// An optimizer updating a flat parameter vector in place.
+///
+/// `trainable` marks scalars optimizers may touch; buffer scalars (batch-norm
+/// running statistics) are skipped entirely — no update and no weight decay.
+pub trait Optimizer: Send {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    /// Implementations panic if `params`, `grads` and `trainable` lengths
+    /// disagree.
+    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]);
+
+    /// Overrides the current learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// The current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Clears momentum/moment state (used when a client is reinitialized).
+    fn reset_state(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled-style
+/// L2 weight decay (`grad + wd * param`).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates plain SGD (no momentum, no decay).
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        assert_eq!(params.len(), trainable.len(), "param/mask length mismatch");
+        if self.momentum != 0.0 && self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            if !trainable[i] {
+                continue;
+            }
+            let g = grads[i] + self.weight_decay * params[i];
+            let update = if self.momentum != 0.0 {
+                let v = self.momentum * self.velocity[i] + g;
+                self.velocity[i] = v;
+                v
+            } else {
+                g
+            };
+            params[i] -= self.lr * update;
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with L2 weight decay folded into the gradient,
+/// matching PyTorch's `torch.optim.Adam(weight_decay=...)` semantics used by
+/// the paper for LeNet-5.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas `(0.9, 0.999)` and `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        assert_eq!(params.len(), trainable.len(), "param/mask length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            if !trainable[i] {
+                continue;
+            }
+            let g = grads[i] + self.weight_decay * params[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn reset_state(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // f(x) = x^2, grad = 2x.
+        let mut x = vec![10.0f32];
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = vec![2.0 * x[0]];
+            opt.step(&mut x, &g, &[true]);
+        }
+        assert!(x[0].abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut x = vec![10.0f32];
+            let mut opt = Sgd::new(0.01).with_momentum(momentum);
+            for _ in 0..50 {
+                let g = vec![2.0 * x[0]];
+                opt.step(&mut x, &g, &[true]);
+            }
+            x[0]
+        };
+        assert!(run(0.9).abs() < run(0.0).abs());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_with_zero_grad() {
+        let mut x = vec![1.0f32];
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut x, &[0.0], &[true]);
+        assert!((x[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_trainable_scalars_untouched() {
+        let mut x = vec![1.0f32, 1.0];
+        let g = vec![1.0f32, 1.0];
+        let mask = vec![true, false];
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.1);
+        sgd.step(&mut x, &g, &mask);
+        assert_ne!(x[0], 1.0);
+        assert_eq!(x[1], 1.0);
+        let mut adam = Adam::new(0.1).with_weight_decay(0.1);
+        let mut y = vec![1.0f32, 1.0];
+        adam.step(&mut y, &g, &mask);
+        assert_ne!(y[0], 1.0);
+        assert_eq!(y[1], 1.0);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut x = vec![3.0f32];
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            let g = vec![2.0 * x[0]];
+            opt.step(&mut x, &g, &[true]);
+        }
+        assert!(x[0].abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the first Adam step is ~lr regardless of
+        // gradient magnitude.
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(0.05);
+        opt.step(&mut x, &[1e-4], &[true]);
+        assert!((x[0].abs() - 0.05).abs() < 1e-3, "step {}", x[0]);
+    }
+
+    #[test]
+    fn schedules() {
+        let c = LrSchedule::Constant(0.1);
+        assert_eq!(c.lr_at(0), 0.1);
+        assert_eq!(c.lr_at(1000), 0.1);
+        let m = LrSchedule::Multiplicative { initial: 1.0, factor: 0.5, every: 10 };
+        assert_eq!(m.lr_at(0), 1.0);
+        assert_eq!(m.lr_at(9), 1.0);
+        assert_eq!(m.lr_at(10), 0.5);
+        assert_eq!(m.lr_at(25), 0.25);
+        let i = LrSchedule::InverseSqrt { initial: 1.0 };
+        assert_eq!(i.lr_at(0), 1.0);
+        assert!((i.lr_at(3) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_state_clears_momentum() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut x = vec![1.0f32];
+        opt.step(&mut x, &[1.0], &[true]);
+        opt.reset_state();
+        let mut y = vec![1.0f32];
+        let mut fresh = Sgd::new(0.1).with_momentum(0.9);
+        fresh.step(&mut y, &[1.0], &[true]);
+        let mut x2 = vec![1.0f32];
+        opt.step(&mut x2, &[1.0], &[true]);
+        assert_eq!(x2, y);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based gradient checks: every differentiable layer's backward
+//! pass must agree with central finite differences on random shapes and
+//! inputs. This is the strongest guarantee we can give that the manual
+//! backprop substrate (on which every APF experiment rests) is correct.
+
+use apf_nn::{
+    Activation, ActivationKind, BatchNorm2d, Flatten, Layer, LastStep, Linear, LstmLayer,
+    Mode, Sequential,
+};
+use apf_tensor::{seeded_rng, Tensor};
+use proptest::prelude::*;
+
+/// Central finite-difference check of `d(sum(output))/d(input)` against the
+/// layer's analytic backward, at a handful of positions.
+fn check_input_grad(
+    build: &dyn Fn() -> Box<dyn Layer>,
+    input: Tensor,
+    tol: f32,
+) -> Result<(), TestCaseError> {
+    let mut rng = seeded_rng(0);
+    let mut layer = build();
+    let y = layer.forward(input.clone(), Mode::Eval, &mut rng);
+    let analytic = layer.backward(Tensor::ones(y.shape()));
+    let eps = 1e-2;
+    let stride = (input.numel() / 5).max(1);
+    for idx in (0..input.numel()).step_by(stride) {
+        let mut xp = input.clone();
+        xp.data_mut()[idx] += eps;
+        let mut xm = input.clone();
+        xm.data_mut()[idx] -= eps;
+        let mut lp = build();
+        let yp = lp.forward(xp, Mode::Eval, &mut rng).sum();
+        let mut lm = build();
+        let ym = lm.forward(xm, Mode::Eval, &mut rng).sum();
+        let fd = (yp - ym) / (2.0 * eps);
+        let an = analytic.data()[idx];
+        prop_assert!(
+            (fd - an).abs() <= tol * (1.0 + fd.abs()),
+            "idx {}: fd={} analytic={}",
+            idx,
+            fd,
+            an
+        );
+    }
+    Ok(())
+}
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..n)
+            .map(|i| {
+                let h = apf_tensor::splitmix64(seed ^ i as u64);
+                let v = ((h % 2000) as f32 / 1000.0) - 1.0;
+                // Keep every value at least 0.05 from 0 so finite differences
+                // never straddle the ReLU kink (eps = 1e-2 below).
+                if v >= 0.0 {
+                    v + 0.05
+                } else {
+                    v - 0.05
+                }
+            })
+            .collect(),
+        shape,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn linear_grad_random_shapes(inf in 1usize..8, outf in 1usize..8, n in 1usize..4, seed in 0u64..1000) {
+        let build = move || -> Box<dyn Layer> {
+            let mut rng = seeded_rng(seed);
+            Box::new(Linear::new("l", inf, outf, &mut rng))
+        };
+        check_input_grad(&build, rand_tensor(&[n, inf], seed), 2e-2)?;
+    }
+
+    #[test]
+    fn activation_grads_random(n in 1usize..6, d in 1usize..8, seed in 0u64..1000, kind in 0u8..3) {
+        let kind = match kind {
+            0 => ActivationKind::Relu,
+            1 => ActivationKind::Tanh,
+            _ => ActivationKind::Sigmoid,
+        };
+        let build = move || -> Box<dyn Layer> { Box::new(Activation::new(kind)) };
+        check_input_grad(&build, rand_tensor(&[n, d], seed), 2e-2)?;
+    }
+
+    #[test]
+    fn lstm_grad_random_shapes(d in 1usize..4, h in 1usize..4, t in 1usize..4, seed in 0u64..200) {
+        let build = move || -> Box<dyn Layer> {
+            let mut rng = seeded_rng(seed);
+            Box::new(LstmLayer::new("l", d, h, &mut rng))
+        };
+        check_input_grad(&build, rand_tensor(&[2, t, d], seed), 3e-2)?;
+    }
+
+    #[test]
+    fn batchnorm_eval_grad(c in 1usize..4, hw in 1usize..4, seed in 0u64..200) {
+        // Eval mode: running stats are constants, so the gradient is exact.
+        let build = move || -> Box<dyn Layer> { Box::new(BatchNorm2d::new("bn", c)) };
+        check_input_grad(&build, rand_tensor(&[2, c, hw, hw], seed), 2e-2)?;
+    }
+
+    #[test]
+    fn shape_adapters_grads(n in 1usize..4, c in 1usize..4, hw in 1usize..4, t in 1usize..4, seed in 0u64..200) {
+        let build_f = || -> Box<dyn Layer> { Box::new(Flatten::new()) };
+        check_input_grad(&build_f, rand_tensor(&[n, c, hw, hw], seed), 1e-3)?;
+        let build_l = || -> Box<dyn Layer> { Box::new(LastStep::new()) };
+        check_input_grad(&build_l, rand_tensor(&[n, t, c], seed), 1e-3)?;
+    }
+
+    #[test]
+    fn sequential_composition_grad(seed in 0u64..200, hidden in 1usize..6) {
+        // A whole stack: gradient through composition must also match FD.
+        let build_model = move || {
+            let mut rng = seeded_rng(seed);
+            Sequential::new("s", seed)
+                .push(Linear::new("a", 3, hidden, &mut rng))
+                .push(Activation::new(ActivationKind::Tanh))
+                .push(Linear::new("b", hidden, 2, &mut rng))
+        };
+        let x = rand_tensor(&[2, 3], seed);
+        let mut m = build_model();
+        let y = m.forward(x.clone(), Mode::Eval);
+        let analytic = m.backward(Tensor::ones(y.shape()));
+        let eps = 1e-2;
+        for idx in [0usize, 3, 5] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp = build_model().forward(xp, Mode::Eval).sum();
+            let ym = build_model().forward(xm, Mode::Eval).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            prop_assert!(
+                (fd - analytic.data()[idx]).abs() <= 2e-2 * (1.0 + fd.abs()),
+                "idx {}: fd={} analytic={}", idx, fd, analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_grads_accumulate_linearly(seed in 0u64..500) {
+        // Backward twice with the same upstream gradient must exactly double
+        // every parameter gradient (accumulation contract of the Layer trait).
+        let mut rng = seeded_rng(seed);
+        let mut l = Linear::new("l", 4, 3, &mut rng);
+        let x = rand_tensor(&[2, 4], seed);
+        let y = l.forward(x.clone(), Mode::Eval, &mut rng);
+        l.backward(Tensor::ones(y.shape()));
+        let mut once = Vec::new();
+        l.visit_params(&mut |_, _, _, g| once.extend_from_slice(g.data()));
+        let y = l.forward(x, Mode::Eval, &mut rng);
+        l.backward(Tensor::ones(y.shape()));
+        let mut twice = Vec::new();
+        l.visit_params(&mut |_, _, _, g| twice.extend_from_slice(g.data()));
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! IEEE 754 binary16 conversion, bit-exact with hardware `f16` semantics
+//! (round-to-nearest-even, gradual underflow, Inf/NaN preservation).
+
+/// Converts one `f32` to its binary16 bit pattern (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN; keep a nonzero mantissa bit for NaN.
+        return sign | 0x7C00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent in f16 terms.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> Inf
+    }
+    if unbiased >= -14 {
+        // Normal f16: 10-bit mantissa with round-to-nearest-even.
+        let mant = frac >> 13;
+        let round_bits = frac & 0x1FFF;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mant as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant & 1) == 1) {
+            h += 1; // may carry into the exponent, which is still correct
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: target mantissa counts units of 2^-24, and the
+        // input significand `full` has weight 2^(unbiased - 23), so drop
+        // `(-unbiased - 1)` low bits (14 at the subnormal boundary, 23 at
+        // the smallest subnormal).
+        let full = frac | 0x80_0000; // implicit leading 1
+        let shift = (-unbiased - 1) as u32;
+        let mant = full >> shift;
+        let rem = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = sign | mant as u16;
+        if rem > half || (rem == half && (mant & 1) == 1) {
+            h += 1;
+        }
+        return h;
+    }
+    sign // underflow to signed zero
+}
+
+/// Converts a binary16 bit pattern back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1F;
+    let frac = u32::from(h & 0x3FF);
+    let bits = if exp == 0x1F {
+        // Inf / NaN.
+        sign | 0x7F80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut e = -14i32;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            f &= 0x3FF;
+            sign | (((e + 127) as u32) << 23) | (f << 13)
+        }
+    } else {
+        sign | ((u32::from(exp) + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes a slice to binary16 wire format.
+pub fn f16_encode(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&x| f32_to_f16_bits(x)).collect()
+}
+
+/// Restores `f32` values from binary16 wire format.
+pub fn f16_decode(wire: &[u16]) -> Vec<f32> {
+    wire.iter().map(|&h| f16_bits_to_f32(h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.125, -3.75, 65504.0] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert_eq!(back, x, "{x} -> {back}");
+            assert_eq!(back.is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        // binary16 has 11 significand bits: relative error <= 2^-11.
+        let mut x = 1e-3f32;
+        while x < 6e4 {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            let rel = ((back - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "x={x} back={back} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn tiny_values_underflow_to_zero() {
+        let tiny = 1e-30f32;
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), 0.0);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(-tiny)).is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals_representable() {
+        // 2^-24 is the smallest positive subnormal f16.
+        let x = 2.0f32.powi(-24);
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        assert_eq!(back, x);
+        // 2^-20 is subnormal but representable exactly.
+        let y = 2.0f32.powi(-20);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(y)), y);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: rounds to even (1.0).
+        let x = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+        let y = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(y)), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn slice_codec_shapes() {
+        let xs: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37).collect();
+        let wire = f16_encode(&xs);
+        assert_eq!(wire.len(), xs.len());
+        let back = f16_decode(&wire);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Quantization substrate for the APF reproduction.
+//!
+//! §7.7 of the paper stacks a `Quantization_Manager` on top of the
+//! `APF_Manager`: after APF filters out the frozen scalars, the surviving
+//! values are compressed to IEEE binary16 (`Tensor.half()`), halving wire
+//! size again. This crate provides that binary16 codec ([`f16_encode`] /
+//! [`f16_decode`]) plus two classic gradient quantizers kept as extra
+//! baselines: [`qsgd_encode`] (Alistarh et al.) and [`ternary_encode`]
+//! (TernGrad, Wen et al.).
+//!
+//! # Example
+//!
+//! ```
+//! use apf_quant::{f16_encode, f16_decode};
+//!
+//! let xs = vec![0.5f32, -1.25, 3.0];
+//! let wire = f16_encode(&xs);
+//! let back = f16_decode(&wire);
+//! assert_eq!(back, xs); // these values are exactly representable
+//! ```
+
+mod f16;
+mod qsgd;
+mod ternary;
+
+pub use f16::{f16_decode, f16_encode, f32_to_f16_bits, f16_bits_to_f32};
+pub use qsgd::{qsgd_decode, qsgd_encode, QsgdPayload};
+pub use ternary::{ternary_decode, ternary_encode, TernaryPayload};

@@ -1,0 +1,102 @@
+//! TernGrad-style ternary quantization (Wen et al., NeurIPS 2017): values
+//! become `s_max * b` with `b ∈ {-1, 0, 1}`, stochastically rounded so the
+//! estimator is unbiased.
+
+use apf_tensor::seeded_rng;
+use rand::Rng;
+
+/// A ternary-quantized vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TernaryPayload {
+    /// The scale `max |x|`.
+    pub scale: f32,
+    /// Per-value ternary code.
+    pub codes: Vec<i8>,
+}
+
+impl TernaryPayload {
+    /// Wire size in bytes: scale + 2 bits per value.
+    pub fn wire_bytes(&self) -> u64 {
+        4 + (2 * self.codes.len() as u64).div_ceil(8)
+    }
+}
+
+/// Quantizes `xs` to `{-1, 0, +1} * max|x|`, unbiased in expectation.
+pub fn ternary_encode(xs: &[f32], seed: u64) -> TernaryPayload {
+    let scale = xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let mut rng = seeded_rng(seed);
+    let codes = xs
+        .iter()
+        .map(|&x| {
+            if scale == 0.0 {
+                return 0;
+            }
+            let p = x.abs() / scale;
+            if rng.gen::<f32>() < p {
+                if x < 0.0 {
+                    -1
+                } else {
+                    1
+                }
+            } else {
+                0
+            }
+        })
+        .collect();
+    TernaryPayload { scale, codes }
+}
+
+/// Reconstructs the estimate from a ternary payload.
+pub fn ternary_decode(p: &TernaryPayload) -> Vec<f32> {
+    p.codes.iter().map(|&c| f32::from(c) * p.scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_three_levels() {
+        let xs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.7).sin()).collect();
+        let p = ternary_encode(&xs, 3);
+        assert!(p.codes.iter().all(|&c| (-1..=1).contains(&c)));
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let xs = vec![0.5f32, -0.25, 1.0, 0.0];
+        let trials = 4000;
+        let mut acc = vec![0.0f64; xs.len()];
+        for t in 0..trials {
+            let p = ternary_encode(&xs, t as u64);
+            for (a, v) in acc.iter_mut().zip(ternary_decode(&p)) {
+                *a += f64::from(v);
+            }
+        }
+        for (a, &x) in acc.iter().zip(&xs) {
+            let mean = a / f64::from(trials);
+            assert!((mean - f64::from(x)).abs() < 0.05, "mean {mean} vs {x}");
+        }
+    }
+
+    #[test]
+    fn max_magnitude_always_sent() {
+        let xs = vec![0.1f32, -2.0, 0.3];
+        let p = ternary_encode(&xs, 0);
+        assert_eq!(p.codes[1], -1, "the max-magnitude element has p=1");
+        assert_eq!(p.scale, 2.0);
+    }
+
+    #[test]
+    fn wire_bytes_quarter_byte_per_value() {
+        let xs = vec![1.0f32; 1024];
+        let p = ternary_encode(&xs, 0);
+        assert_eq!(p.wire_bytes(), 4 + 256);
+    }
+
+    #[test]
+    fn zero_vector() {
+        let p = ternary_encode(&[0.0, 0.0, 0.0], 0);
+        assert_eq!(ternary_decode(&p), vec![0.0, 0.0, 0.0]);
+    }
+}

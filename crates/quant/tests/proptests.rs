@@ -1,0 +1,86 @@
+//! Property-based tests for the quantization codecs.
+
+use apf_quant::{
+    f16_bits_to_f32, f16_decode, f16_encode, f32_to_f16_bits, qsgd_decode, qsgd_encode,
+    ternary_decode, ternary_encode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn f16_roundtrip_error_bound(x in -60000.0f32..60000.0) {
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        // Relative error <= 2^-11 for normals; absolute bound 2^-24 near zero.
+        let bound = (x.abs() / 2048.0).max(2.0f32.powi(-24));
+        prop_assert!((back - x).abs() <= bound, "x={} back={}", x, back);
+    }
+
+    #[test]
+    fn f16_idempotent(x in -60000.0f32..60000.0) {
+        // Quantizing an already-quantized value changes nothing.
+        let once = f16_bits_to_f32(f32_to_f16_bits(x));
+        let twice = f16_bits_to_f32(f32_to_f16_bits(once));
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_order_preserving(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let qlo = f16_bits_to_f32(f32_to_f16_bits(lo));
+        let qhi = f16_bits_to_f32(f32_to_f16_bits(hi));
+        prop_assert!(qlo <= qhi);
+    }
+
+    #[test]
+    fn f16_slice_roundtrip(xs in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+        let back = f16_decode(&f16_encode(&xs));
+        prop_assert_eq!(back.len(), xs.len());
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn qsgd_error_bounded_by_norm(
+        xs in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        s in 1u8..16,
+        seed in 0u64..100,
+    ) {
+        let p = qsgd_encode(&xs, s, seed);
+        let back = qsgd_decode(&p);
+        let norm = xs.iter().map(|x| x * x).sum::<f32>().sqrt();
+        for (a, b) in xs.iter().zip(&back) {
+            // Each element's quantization error is at most one level: norm/s.
+            prop_assert!((a - b).abs() <= norm / f32::from(s) + 1e-5);
+        }
+    }
+
+    #[test]
+    fn ternary_zero_codes_iff_no_signal(
+        xs in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        seed in 0u64..100,
+    ) {
+        let p = ternary_encode(&xs, seed);
+        let back = ternary_decode(&p);
+        for (a, b) in xs.iter().zip(&back) {
+            // Reconstruction magnitude never exceeds the scale.
+            prop_assert!(b.abs() <= p.scale + 1e-6);
+            // Nonzero reconstruction keeps the sign.
+            if *b != 0.0 {
+                prop_assert_eq!(a.signum(), b.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn payload_wire_sizes_beat_f32(
+        n in 64usize..512,
+    ) {
+        let xs = vec![0.5f32; n];
+        let q = qsgd_encode(&xs, 4, 0);
+        let t = ternary_encode(&xs, 0);
+        prop_assert!(q.wire_bytes() < 4 * n as u64);
+        prop_assert!(t.wire_bytes() < 4 * n as u64);
+        prop_assert!(t.wire_bytes() <= q.wire_bytes());
+    }
+}

@@ -1,0 +1,567 @@
+//! Convolution and pooling kernels (im2col-based), with full backward passes.
+//!
+//! Layout conventions: activations are `[N, C, H, W]`, convolution weights are
+//! `[O, C * kh * kw]` (pre-flattened), and the im2col matrix is
+//! `[C * kh * kw, N * out_h * out_w]` so that the forward pass is a single
+//! matrix product `weight x cols`.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Output spatial size for an `h x w` input.
+    ///
+    /// # Panics
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "input {h}x{w} (+pad {}) smaller than kernel {}",
+            self.padding,
+            self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Number of weight scalars: `out_channels * in_channels * kernel^2`.
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Square window side.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Output spatial size for an `h x w` input.
+    ///
+    /// # Panics
+    /// Panics if the input is smaller than the window.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.kernel && w >= self.kernel, "input smaller than pool window");
+        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub input: Tensor,
+    /// Gradient w.r.t. the flattened weight, `[O, C*kh*kw]`.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, `[O]`.
+    pub bias: Tensor,
+}
+
+/// Unfolds `input` (`[N, C, H, W]`) into the im2col matrix
+/// `[C*k*k, N*out_h*out_w]` for the given convolution geometry.
+///
+/// # Panics
+/// Panics if `input` is not rank 4 or channels disagree with `spec`.
+pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.len(), 4, "im2col expects [N,C,H,W]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let k = spec.kernel;
+    let (oh, ow) = spec.out_size(h, w);
+    let cols_w = n * oh * ow;
+    let rows = c * k * k;
+    let mut cols = vec![0.0f32; rows * cols_w];
+    let data = input.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ci * k * k + ky * k + kx;
+                    let row_base = row * cols_w + ni * oh * ow;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let in_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        let out_base = row_base + oy * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[out_base + ox] = in_row[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[rows, cols_w])
+}
+
+/// Folds an im2col-layout gradient back into an input-shaped tensor
+/// (the adjoint of [`im2col`]): overlapping windows accumulate.
+///
+/// # Panics
+/// Panics if `cols` does not have the layout produced by `im2col` for
+/// `(n, h, w)` under `spec`.
+pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Tensor {
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    let (oh, ow) = spec.out_size(h, w);
+    let cols_w = n * oh * ow;
+    assert_eq!(cols.shape(), &[c * k * k, cols_w], "col2im layout mismatch");
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    let pad = spec.padding as isize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = &mut out[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ci * k * k + ky * k + kx;
+                    let row_base = row * cols_w + ni * oh * ow;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let out_base = iy as usize * w;
+                        let in_base = row_base + oy * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            plane[out_base + ix as usize] += data[in_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[O, C*k*k]`, `bias` is `[O]`.
+/// Returns `(output [N, O, oh, ow], cols)` where `cols` is the im2col matrix
+/// to be reused by [`conv2d_backward`].
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> (Tensor, Tensor) {
+    let s = input.shape();
+    assert_eq!(s.len(), 4, "conv2d expects [N,C,H,W]");
+    let (n, _, h, w) = (s[0], s[1], s[2], s[3]);
+    let k = spec.kernel;
+    assert_eq!(
+        weight.shape(),
+        &[spec.out_channels, spec.in_channels * k * k],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.numel(), spec.out_channels, "bias shape mismatch");
+    let (oh, ow) = spec.out_size(h, w);
+    let cols = im2col(input, spec);
+    // [O, CKK] x [CKK, N*oh*ow] -> [O, N*oh*ow]
+    let out_mat = weight.matmul(&cols);
+    let o = spec.out_channels;
+    let hw = oh * ow;
+    let mut out = vec![0.0f32; n * o * hw];
+    let om = out_mat.data();
+    let b = bias.data();
+    for oi in 0..o {
+        let src = &om[oi * n * hw..(oi + 1) * n * hw];
+        for ni in 0..n {
+            let dst = &mut out[(ni * o + oi) * hw..(ni * o + oi + 1) * hw];
+            let src_n = &src[ni * hw..(ni + 1) * hw];
+            for (d, &v) in dst.iter_mut().zip(src_n) {
+                *d = v + b[oi];
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, o, oh, ow]), cols)
+}
+
+/// 2-D convolution backward pass.
+///
+/// `grad_out` is `[N, O, oh, ow]`; `cols` is the matrix returned by
+/// [`conv2d_forward`]. Returns gradients for input, weight, and bias.
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    spec: &ConvSpec,
+    input_hw: (usize, usize),
+) -> Conv2dGrads {
+    let s = grad_out.shape();
+    assert_eq!(s.len(), 4, "grad_out must be [N,O,oh,ow]");
+    let (n, o, oh, ow) = (s[0], s[1], s[2], s[3]);
+    assert_eq!(o, spec.out_channels);
+    let hw = oh * ow;
+    // Rearrange grad_out [N,O,oh,ow] into [O, N*oh*ow] to mirror the forward.
+    let mut gm = vec![0.0f32; o * n * hw];
+    let g = grad_out.data();
+    for ni in 0..n {
+        for oi in 0..o {
+            let src = &g[(ni * o + oi) * hw..(ni * o + oi + 1) * hw];
+            let dst = &mut gm[oi * n * hw + ni * hw..oi * n * hw + (ni + 1) * hw];
+            dst.copy_from_slice(src);
+        }
+    }
+    let grad_mat = Tensor::from_vec(gm, &[o, n * hw]);
+    let grad_weight = grad_mat.matmul_nt(cols); // [O, CKK]
+    let grad_bias = {
+        let mut b = vec![0.0f32; o];
+        for (oi, bo) in b.iter_mut().enumerate() {
+            *bo = grad_mat.data()[oi * n * hw..(oi + 1) * n * hw].iter().sum();
+        }
+        Tensor::from_vec(b, &[o])
+    };
+    let grad_cols = weight.matmul_tn(&grad_mat); // [CKK, N*oh*ow]
+    let (h, w) = input_hw;
+    let grad_input = col2im(&grad_cols, spec, n, h, w);
+    Conv2dGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    }
+}
+
+/// Max-pooling forward. Returns `(output [N,C,oh,ow], argmax)` where `argmax`
+/// stores, per output element, the flat index into `input`'s data of the
+/// selected maximum (used by [`maxpool2d_backward`]).
+///
+/// # Panics
+/// Panics if `input` is not rank 4.
+pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
+    let s = input.shape();
+    assert_eq!(s.len(), 4, "maxpool expects [N,C,H,W]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let (oh, ow) = spec.out_size(h, w);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    for nc in 0..n * c {
+        let plane_base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = plane_base + oy * spec.stride * w + ox * spec.stride;
+                for ky in 0..spec.kernel {
+                    let iy = oy * spec.stride + ky;
+                    for kx in 0..spec.kernel {
+                        let ix = ox * spec.stride + kx;
+                        let idx = plane_base + iy * w + ix;
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let oidx = nc * oh * ow + oy * ow + ox;
+                out[oidx] = best;
+                arg[oidx] = best_idx;
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+}
+
+/// Max-pooling backward: scatters `grad_out` to the argmax positions.
+///
+/// # Panics
+/// Panics if `argmax` length differs from `grad_out`'s element count.
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    for (&idx, &g) in argmax.iter().zip(grad_out.data()) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Average-pooling forward over `[N,C,H,W]`.
+///
+/// # Panics
+/// Panics if `input` is not rank 4.
+pub fn avgpool2d_forward(input: &Tensor, spec: &PoolSpec) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.len(), 4, "avgpool expects [N,C,H,W]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let (oh, ow) = spec.out_size(h, w);
+    let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.data();
+    for nc in 0..n * c {
+        let plane_base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..spec.kernel {
+                    let iy = oy * spec.stride + ky;
+                    for kx in 0..spec.kernel {
+                        let ix = ox * spec.stride + kx;
+                        acc += data[plane_base + iy * w + ix];
+                    }
+                }
+                out[nc * oh * ow + oy * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Average-pooling backward: spreads each output gradient uniformly over its
+/// window.
+///
+/// # Panics
+/// Panics if shapes are inconsistent with `spec`.
+pub fn avgpool2d_backward(grad_out: &Tensor, spec: &PoolSpec, input_shape: &[usize]) -> Tensor {
+    let s = grad_out.shape();
+    assert_eq!(s.len(), 4, "grad_out must be [N,C,oh,ow]");
+    let (n, c, oh, ow) = (s[0], s[1], s[2], s[3]);
+    let (h, w) = (input_shape[2], input_shape[3]);
+    assert_eq!(spec.out_size(h, w), (oh, ow), "pool geometry mismatch");
+    let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gi = grad_in.data_mut();
+    let g = grad_out.data();
+    for nc in 0..n * c {
+        let plane_base = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = g[nc * oh * ow + oy * ow + ox] * inv;
+                for ky in 0..spec.kernel {
+                    let iy = oy * spec.stride + ky;
+                    for kx in 0..spec.kernel {
+                        let ix = ox * spec.stride + kx;
+                        gi[plane_base + iy * w + ix] += gv;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+        let s = input.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let k = spec.kernel;
+        let (oh, ow) = spec.out_size(h, w);
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..spec.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[oi];
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let iv = input.data()
+                                        [((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                                    let wv = weight.data()[oi * c * k * k + ci * k * k + ky * k + kx];
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        out.data_mut()[((ni * spec.out_channels + oi) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn det_input(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.1).collect(), shape)
+    }
+
+    #[test]
+    fn conv_forward_matches_naive_padded() {
+        let spec = ConvSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let input = det_input(&[2, 2, 5, 5]);
+        let weight = det_input(&[3, 2 * 9]);
+        let bias = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3]);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        let naive = naive_conv(&input, &weight, &bias, &spec);
+        assert_eq!(out.shape(), naive.shape());
+        for (a, b) in out.data().iter().zip(naive.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_forward_matches_naive_strided() {
+        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 2, stride: 2, padding: 0 };
+        let input = det_input(&[1, 1, 6, 6]);
+        let weight = det_input(&[2, 4]);
+        let bias = Tensor::zeros(&[2]);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        let naive = naive_conv(&input, &weight, &bias, &spec);
+        for (a, b) in out.data().iter().zip(naive.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of the adjoint, which is exactly what backward needs.
+        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let x = det_input(&[2, 2, 4, 4]);
+        let cols = im2col(&x, &spec);
+        let y = det_input(&[cols.shape()[0], cols.shape()[1]]);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &spec, 2, 4, 4);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_weight_matches_finite_difference() {
+        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let input = det_input(&[1, 1, 4, 4]);
+        let mut weight = det_input(&[2, 9]);
+        let bias = Tensor::zeros(&[2]);
+        // Loss = sum(output); analytic gradient via backward with ones.
+        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = Tensor::ones(out.shape());
+        let grads = conv2d_backward(&grad_out, &cols, &weight, &spec, (4, 4));
+        let eps = 1e-3;
+        for wi in [0usize, 5, 11, 17] {
+            let orig = weight.data()[wi];
+            weight.data_mut()[wi] = orig + eps;
+            let (op, _) = conv2d_forward(&input, &weight, &bias, &spec);
+            weight.data_mut()[wi] = orig - eps;
+            let (om, _) = conv2d_forward(&input, &weight, &bias, &spec);
+            weight.data_mut()[wi] = orig;
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = grads.weight.data()[wi];
+            assert!((fd - an).abs() < 1e-2, "weight[{wi}]: fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn conv_backward_input_matches_finite_difference() {
+        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let mut input = det_input(&[1, 2, 3, 3]);
+        let weight = det_input(&[1, 8]);
+        let bias = Tensor::zeros(&[1]);
+        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = Tensor::ones(out.shape());
+        let grads = conv2d_backward(&grad_out, &cols, &weight, &spec, (3, 3));
+        let eps = 1e-3;
+        for xi in [0usize, 4, 9, 17] {
+            let orig = input.data()[xi];
+            input.data_mut()[xi] = orig + eps;
+            let (op, _) = conv2d_forward(&input, &weight, &bias, &spec);
+            input.data_mut()[xi] = orig - eps;
+            let (om, _) = conv2d_forward(&input, &weight, &bias, &spec);
+            input.data_mut()[xi] = orig;
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = grads.input.data()[xi];
+            assert!((fd - an).abs() < 1e-2, "input[{xi}]: fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn conv_backward_bias_counts_positions() {
+        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let input = det_input(&[2, 1, 4, 4]);
+        let weight = det_input(&[2, 9]);
+        let bias = Tensor::zeros(&[2]);
+        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = Tensor::ones(out.shape());
+        let grads = conv2d_backward(&grad_out, &cols, &weight, &spec, (4, 4));
+        // d(sum out)/d(bias_o) = number of output positions = N * oh * ow.
+        assert_eq!(grads.bias.data(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 0.0, 1.0, 1.0, //
+                0.0, 0.0, 9.0, 1.0, //
+                1.0, 7.0, 1.0, 1.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let spec = PoolSpec { kernel: 2, stride: 2 };
+        let (out, arg) = maxpool2d_forward(&input, &spec);
+        assert_eq!(out.data(), &[3.0, 5.0, 7.0, 9.0]);
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let grad_in = maxpool2d_backward(&grad_out, &arg, &[1, 1, 4, 4]);
+        assert_eq!(grad_in.data()[4], 1.0); // the 3.0
+        assert_eq!(grad_in.data()[2], 2.0); // the 5.0
+        assert_eq!(grad_in.data()[13], 3.0); // the 7.0
+        assert_eq!(grad_in.data()[10], 4.0); // the 9.0
+        assert_eq!(grad_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_roundtrip_gradient_mass() {
+        let input = det_input(&[2, 3, 4, 4]);
+        let spec = PoolSpec { kernel: 2, stride: 2 };
+        let out = avgpool2d_forward(&input, &spec);
+        assert_eq!(out.shape(), &[2, 3, 2, 2]);
+        // Mean is preserved by average pooling with exact tiling.
+        assert!((out.mean() - input.mean()).abs() < 1e-5);
+        let grad_out = Tensor::ones(out.shape());
+        let grad_in = avgpool2d_backward(&grad_out, &spec, &[2, 3, 4, 4]);
+        // Each input position receives 1/4 from exactly one window.
+        assert!(grad_in.data().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn out_size_math() {
+        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 2 };
+        assert_eq!(spec.out_size(16, 16), (16, 16));
+        let spec2 = ConvSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        assert_eq!(spec2.out_size(8, 8), (4, 4));
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense `f32` tensor substrate for the APF reproduction.
+//!
+//! This crate provides the minimal numerical kernels the rest of the
+//! workspace builds on: an owned row-major [`Tensor`], matrix products,
+//! im2col-based convolution and pooling kernels, parameter initializers,
+//! deterministic seeded RNG helpers, and small statistics utilities.
+//!
+//! Everything is implemented from scratch (no BLAS, no ndarray): the paper's
+//! models are small enough that straightforward loop kernels in release mode
+//! are more than fast enough, and having the kernels in-tree keeps the whole
+//! reproduction self-contained and auditable.
+//!
+//! # Example
+//!
+//! ```
+//! use apf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod init;
+mod rng;
+mod stats;
+mod tensor;
+
+pub use conv::{
+    avgpool2d_backward, avgpool2d_forward, col2im, conv2d_backward, conv2d_forward, im2col,
+    maxpool2d_backward, maxpool2d_forward, Conv2dGrads, ConvSpec, PoolSpec,
+};
+pub use init::{kaiming_uniform, normal_init, sample_normal, uniform_init, xavier_uniform};
+pub use rng::{derive_seed, seeded_rng, splitmix64};
+pub use stats::{l1_norm, l2_norm, mean, percentile, variance};
+pub use tensor::Tensor;

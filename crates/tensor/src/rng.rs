@@ -1,0 +1,74 @@
+//! Deterministic seeded RNG helpers.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64` seed so
+//! that experiments are reproducible bit-for-bit, and so that the APF#/APF++
+//! randomized freezing masks can be derived *identically on every client*
+//! without transmitting them (§6.2 of the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One step of the SplitMix64 mixing function.
+///
+/// Used both as a tiny standalone PRNG and to derive independent child seeds
+/// from a base seed plus a salt.
+///
+/// # Example
+/// ```
+/// let a = apf_tensor::splitmix64(42);
+/// let b = apf_tensor::splitmix64(42);
+/// assert_eq!(a, b);
+/// assert_ne!(a, apf_tensor::splitmix64(43));
+/// ```
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent child seed from `(base, salt)`.
+///
+/// Distinct salts yield (with overwhelming probability) unrelated streams, so
+/// e.g. client `i`'s data shuffling can use `derive_seed(seed, i as u64)`.
+pub fn derive_seed(base: u64, salt: u64) -> u64 {
+    splitmix64(base ^ splitmix64(salt.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Builds a [`StdRng`] from a `u64` seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_deterministic_and_salt_sensitive() {
+        assert_eq!(splitmix64(7), splitmix64(7));
+        assert_ne!(splitmix64(7), splitmix64(8));
+    }
+
+    #[test]
+    fn derive_seed_children_differ() {
+        let s = 12345;
+        let kids: Vec<u64> = (0..16).map(|i| derive_seed(s, i)).collect();
+        for i in 0..kids.len() {
+            for j in (i + 1)..kids.len() {
+                assert_ne!(kids[i], kids[j], "children {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_rng_reproducible() {
+        let mut a = seeded_rng(99);
+        let mut b = seeded_rng(99);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Small statistics helpers used by the motivation experiments
+//! (percentiles for Fig. 3 error bars, norms for perturbation metrics).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance (0 for an empty slice).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// L1 norm.
+pub fn l1_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x.abs()).sum()
+}
+
+/// L2 norm.
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|&x| x * x).sum::<f32>().sqrt()
+}
+
+/// The `p`-th percentile (`0.0..=100.0`) by linear interpolation between
+/// order statistics (the same convention as NumPy's default).
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let xs = [3.0, -4.0];
+        assert_eq!(l1_norm(&xs), 7.0);
+        assert_eq!(l2_norm(&xs), 5.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0) - 2.5).abs() < 1e-6);
+        assert!((percentile(&xs, 95.0) - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+}

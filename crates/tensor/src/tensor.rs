@@ -1,0 +1,584 @@
+//! The owned, row-major dense tensor type.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// An owned, row-major, dense `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is deliberately simple: contiguous storage, explicit shapes, and
+/// eager operations. It is the common currency between the neural-network
+/// layers (`apf-nn`), the datasets, and the APF manager (which views the
+/// whole model as one flat vector of scalars, per §3.2.2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use apf_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.numel(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.numel())
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if `shape` contains a dimension product that overflows `usize`.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = shape.iter().try_fold(1usize, |a, &d| a.checked_mul(d));
+        let numel = numel.expect("shape product overflows usize");
+        Tensor {
+            data: vec![value; numel],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape product.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Returns the shape of this tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the total number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the underlying data as a slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the underlying data as a mutable slice (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a copy with a new shape, which must have the same element count.
+    ///
+    /// # Panics
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            self.numel(),
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Reshapes in place (no copy), keeping the same element count.
+    ///
+    /// # Panics
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.numel(), "cannot reshape in place");
+        self.shape = shape.to_vec();
+    }
+
+    /// Returns the element at a 2-D index.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2 or indices are out of bounds.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 requires a rank-2 tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert!(i < r && j < c, "index ({i},{j}) out of bounds for ({r},{c})");
+        self.data[i * c + j]
+    }
+
+    /// Sets the element at a 2-D index.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2 or indices are out of bounds.
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        assert_eq!(self.shape.len(), 2, "set2 requires a rank-2 tensor");
+        let c = self.shape[1];
+        self.data[i * c + j] = v;
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self += alpha * other`, elementwise.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill(&mut self, v: f32) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or inner dimensions mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: streams over contiguous rows of `other` and `out`.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// `self^T x other`: `[k,m]^T x [k,n] -> [m,n]`, without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or the shared dimension differs.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// `self x other^T`: `[m,k] x [n,k]^T -> [m,n]`, without materializing the
+    /// transpose.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or the shared dimension differs.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2 requires rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![n, m],
+        }
+    }
+
+    /// Adds a length-`n` bias row to every row of an `[m,n]` matrix, in place.
+    ///
+    /// # Panics
+    /// Panics if shapes are incompatible.
+    pub fn add_row_in_place(&mut self, row: &Tensor) {
+        assert_eq!(self.shape.len(), 2, "add_row_in_place requires rank 2");
+        let n = self.shape[1];
+        assert_eq!(row.numel(), n, "row length mismatch");
+        for chunk in self.data.chunks_mut(n) {
+            for (c, &b) in chunk.iter_mut().zip(&row.data) {
+                *c += b;
+            }
+        }
+    }
+
+    /// Sums an `[m,n]` matrix over its rows, producing a length-`n` vector.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "sum_rows requires rank 2");
+        let n = self.shape[1];
+        let mut out = vec![0.0f32; n];
+        for chunk in self.data.chunks(n) {
+            for (o, &c) in out.iter_mut().zip(chunk) {
+                *o += c;
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![n],
+        }
+    }
+
+    /// Index of the maximum element within each row of an `[m,n]` matrix.
+    ///
+    /// Ties resolve to the lowest index. NaNs are never selected unless the
+    /// whole row is NaN (in which case index 0 is returned).
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows requires rank 2");
+        let n = self.shape[1];
+        assert!(n > 0, "argmax_rows requires at least one column");
+        self.data
+            .chunks(n)
+            .map(|row| {
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Copies `rows` (by index) of an `[m,n]` matrix into a new `[rows.len(),n]`
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2 or any index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "select_rows requires rank 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(rows.len() * n);
+        for &r in rows {
+            assert!(r < m, "row index {r} out of bounds for {m} rows");
+            out.extend_from_slice(&self.data[r * n..(r + 1) * n]);
+        }
+        Tensor {
+            data: out,
+            shape: vec![rows.len(), n],
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|a| a * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.at2(0, 1), 2.0);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let i = Tensor::eye(4);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[3, 4]);
+        let via_tn = a.matmul_tn(&b);
+        let via_t = a.transpose2().matmul(&b);
+        assert_eq!(via_tn.data(), via_t.data());
+        assert_eq!(via_tn.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), &[4, 3]);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose2());
+        assert_eq!(via_nt.data(), via_t.data());
+        assert_eq!(via_nt.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn add_row_and_sum_rows() {
+        let mut a = Tensor::zeros(&[3, 2]);
+        let bias = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        a.add_row_in_place(&bias);
+        assert_eq!(a.data(), &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        let s = a.sum_rows();
+        assert_eq!(s.data(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn argmax_rows_ties_go_low() {
+        let a = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.5, 2.0, 2.0], &[2, 3]);
+        assert_eq!(a.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn select_rows_copies() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[4.0, 5.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones(&[4]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn operators() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!((&a + &b).data(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(&[1]);
+        assert!(!format!("{t:?}").is_empty());
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{big:?}").contains("100 elements"));
+    }
+}

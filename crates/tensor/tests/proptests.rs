@@ -1,0 +1,144 @@
+//! Property-based tests for the tensor substrate.
+
+use apf_tensor::{
+    col2im, im2col, l2_norm, percentile, ConvSpec, PoolSpec, Tensor,
+};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f32..10.0, m * n)
+            .prop_map(move |v| Tensor::from_vec(v, &[m, n]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left(a in small_matrix(8)) {
+        let i = Tensor::eye(a.shape()[0]);
+        let out = i.matmul(&a);
+        for (x, y) in out.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(6),
+        seed in 0u64..1000,
+    ) {
+        // (B + C) built from `a`'s shape; A x (B + C) == A x B + A x C.
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = 1 + (seed as usize % 5);
+        let mk = |salt: u64| {
+            let data: Vec<f32> = (0..k * n)
+                .map(|i| ((apf_tensor::splitmix64(seed ^ salt ^ i as u64) % 1000) as f32 / 100.0) - 5.0)
+                .collect();
+            Tensor::from_vec(data, &[k, n])
+        };
+        let b = mk(0xB);
+        let c = mk(0xC);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        let _ = m;
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree(a in small_matrix(7), rows in 1usize..6, seed in 0u64..1000) {
+        // matmul_nt(a, b) equals a x b^T, and matmul_tn(a, c) equals a^T x c.
+        let k = a.shape()[1];
+        let b = Tensor::from_vec(
+            (0..rows * k)
+                .map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 400) as f32 / 100.0) - 2.0)
+                .collect(),
+            &[rows, k],
+        );
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose2());
+        for (x, y) in via_nt.data().iter().zip(via_t.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let m = a.shape()[0];
+        let c = Tensor::from_vec(
+            (0..m * rows)
+                .map(|i| ((apf_tensor::splitmix64(seed ^ (i as u64 + 999)) % 400) as f32 / 100.0) - 2.0)
+                .collect(),
+            &[m, rows],
+        );
+        let via_tn = a.matmul_tn(&c);
+        let via_t2 = a.transpose2().matmul(&c);
+        for (x, y) in via_tn.data().iter().zip(via_t2.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3,
+        hw in 3usize..7,
+        k in 1usize..4,
+        pad in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let spec = ConvSpec { in_channels: c, out_channels: 1, kernel: k, stride: 1, padding: pad };
+        let n = 2;
+        let numel = n * c * hw * hw;
+        let x = Tensor::from_vec(
+            (0..numel).map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 200) as f32 / 100.0) - 1.0).collect(),
+            &[n, c, hw, hw],
+        );
+        let cols = im2col(&x, &spec);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| ((apf_tensor::splitmix64(seed ^ (i as u64 + 7777)) % 200) as f32 / 100.0) - 1.0).collect(),
+            cols.shape(),
+        );
+        let lhs: f64 = cols.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let back = col2im(&y, &spec, n, hw, hw);
+        let rhs: f64 = x.data().iter().zip(back.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(
+        hw in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let n = 1;
+        let c = 2;
+        let numel = n * c * hw * hw;
+        let x = Tensor::from_vec(
+            (0..numel).map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 2000) as f32 / 100.0) - 10.0).collect(),
+            &[n, c, hw, hw],
+        );
+        let spec = PoolSpec { kernel: 2.min(hw), stride: 2.min(hw) };
+        let (out, arg) = apf_tensor::maxpool2d_forward(&x, &spec);
+        let max_in = x.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &o in out.data() {
+            prop_assert!(o <= max_in + 1e-6);
+        }
+        // argmax points at elements equal to the outputs.
+        for (&idx, &o) in arg.iter().zip(out.data()) {
+            prop_assert!((x.data()[idx] - o).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn percentile_monotone(mut xs in proptest::collection::vec(-100.0f32..100.0, 1..50), p1 in 0.0f32..100.0, p2 in 0.0f32..100.0) {
+        xs.iter_mut().for_each(|x| *x = x.round());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-6);
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(
+        a in proptest::collection::vec(-10.0f32..10.0, 1..32),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert!(l2_norm(&sum) <= l2_norm(&a) + l2_norm(&b) + 1e-4);
+    }
+}

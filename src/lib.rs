@@ -1,0 +1,19 @@
+//! Workspace root crate for the APF reproduction.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests; it simply re-exports the member
+//! crates under short names.
+//!
+//! * [`core`] (`apf`) — Adaptive Parameter Freezing itself;
+//! * [`nn`] — the neural-network substrate;
+//! * [`data`] — synthetic datasets and non-IID partitioners;
+//! * [`quant`] — quantization codecs;
+//! * [`fedsim`] — the federated-learning simulator;
+//! * [`tensor`] — the dense tensor substrate.
+
+pub use apf as core;
+pub use apf_data as data;
+pub use apf_fedsim as fedsim;
+pub use apf_nn as nn;
+pub use apf_quant as quant;
+pub use apf_tensor as tensor;
