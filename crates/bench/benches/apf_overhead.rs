@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks of the APF manager's per-round operations —
-//! the measured basis of Table 4 (§7.9): rollback, masked select, aggregate
+//! Micro-benchmarks of the APF manager's per-round operations — the
+//! measured basis of Table 4 (§7.9): rollback, masked select, aggregate
 //! scatter, and the stability check, across the three model sizes.
+//!
+//! Plain harness (`apf_bench::harness`); run with
+//! `cargo bench -p apf-bench --bench apf_overhead`.
 
 use apf::{Aimd, ApfConfig, ApfManager};
+use apf_bench::harness::{black_box, BenchGroup};
 use apf_nn::models;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn model_sizes() -> Vec<(&'static str, usize)> {
     vec![
@@ -17,7 +20,11 @@ fn model_sizes() -> Vec<(&'static str, usize)> {
 /// A manager mid-training: roughly half the scalars frozen, EMA state warm.
 fn warmed_manager(n: usize) -> (ApfManager, Vec<f32>) {
     let init = vec![0.0f32; n];
-    let cfg = ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() };
+    let cfg = ApfConfig {
+        check_every_rounds: 1,
+        threshold_decay: None,
+        ..ApfConfig::default()
+    };
     let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
     let mut params = init;
     for r in 0..20u64 {
@@ -25,7 +32,11 @@ fn warmed_manager(n: usize) -> (ApfManager, Vec<f32>) {
             if !mgr.is_frozen(j, r) {
                 // Half the scalars oscillate (will freeze), half drift.
                 *p += if j % 2 == 0 {
-                    if r % 2 == 0 { 0.1 } else { -0.1 }
+                    if r % 2 == 0 {
+                        0.1
+                    } else {
+                        -0.1
+                    }
                 } else {
                     0.05
                 };
@@ -36,67 +47,42 @@ fn warmed_manager(n: usize) -> (ApfManager, Vec<f32>) {
     (mgr, params)
 }
 
-fn bench_rollback(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apf_rollback");
+fn main() {
+    let mut g = BenchGroup::new("apf_rollback");
     for (name, n) in model_sizes() {
         let (mgr, params) = warmed_manager(n);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, _| {
-            let mut p = params.clone();
-            b.iter(|| mgr.rollback(&mut p, 25));
+        let mut p = params.clone();
+        g.bench(name, || {
+            mgr.rollback(&mut p, 25);
         });
     }
-    g.finish();
-}
 
-fn bench_select(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apf_select_unfrozen");
+    let mut g = BenchGroup::new("apf_select_unfrozen");
     for (name, n) in model_sizes() {
         let (mgr, params) = warmed_manager(n);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, _| {
-            b.iter(|| mgr.select_unfrozen(&params, 25));
+        g.bench(name, || {
+            black_box(mgr.select_unfrozen(&params, 25));
         });
     }
-    g.finish();
-}
 
-fn bench_full_round(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apf_full_round");
-    g.sample_size(20);
+    let mut g = BenchGroup::new("apf_full_round");
     for (name, n) in model_sizes() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
-            let (mut mgr, params) = warmed_manager(n);
-            let mut p = params.clone();
-            let mut r = 25u64;
-            b.iter(|| {
-                mgr.sync(&mut p, r, |up| up.to_vec());
-                r += 1;
-            });
+        let (mut mgr, params) = warmed_manager(n);
+        let mut p = params.clone();
+        let mut r = 25u64;
+        g.bench(name, || {
+            mgr.sync(&mut p, r, |up| up.to_vec());
+            r += 1;
         });
     }
-    g.finish();
-}
 
-fn bench_stability_check(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apf_stability_check_via_finish");
-    g.sample_size(20);
+    let mut g = BenchGroup::new("apf_stability_check_via_finish");
     for (name, n) in model_sizes() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
-            let (mut mgr, params) = warmed_manager(n);
-            let mut r = 25u64;
-            b.iter(|| {
-                mgr.finish_round(&params, r);
-                r += 1;
-            });
+        let (mut mgr, params) = warmed_manager(n);
+        let mut r = 25u64;
+        g.bench(name, || {
+            mgr.finish_round(&params, r);
+            r += 1;
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_rollback,
-    bench_select,
-    bench_full_round,
-    bench_stability_check
-);
-criterion_main!(benches);

@@ -1,55 +1,57 @@
-//! Criterion benchmarks for the numerical substrate: matmul, conv2d, and a
-//! full training step of each paper model (the compute side of Table 3).
+//! Benchmarks for the numerical substrate: matmul, conv2d, and a full
+//! forward pass of each paper model (the compute side of Table 3).
+//!
+//! Plain harness (`apf_bench::harness`); run with
+//! `cargo bench -p apf-bench --bench kernels`.
 
+use apf_bench::harness::{black_box, BenchGroup};
 use apf_nn::{models, Mode, Sequential};
 use apf_tensor::{conv2d_forward, normal_init, seeded_rng, ConvSpec, Tensor};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
-    for &n in &[32usize, 64, 128] {
-        let mut rng = seeded_rng(0);
-        let a = normal_init(&[n, n], 0.0, 1.0, &mut rng);
-        let b = normal_init(&[n, n], 0.0, 1.0, &mut rng);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| a.matmul(&b));
-        });
-    }
-    g.finish();
-}
-
-fn bench_conv2d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conv2d_forward");
-    let mut rng = seeded_rng(0);
-    let spec = ConvSpec { in_channels: 6, out_channels: 16, kernel: 5, stride: 1, padding: 0 };
-    let input = normal_init(&[8, 6, 16, 16], 0.0, 1.0, &mut rng);
-    let weight = normal_init(&[16, 6 * 25], 0.0, 0.1, &mut rng);
-    let bias = Tensor::zeros(&[16]);
-    g.bench_function("lenet_conv2_batch8", |b| {
-        b.iter(|| conv2d_forward(&input, &weight, &bias, &spec));
-    });
-    g.finish();
-}
 
 fn forward_once(model: &mut Sequential, x: &Tensor) -> f32 {
     model.forward(x.clone(), Mode::Eval).sum()
 }
 
-fn bench_model_forward(c: &mut Criterion) {
-    let mut g = c.benchmark_group("model_forward_batch16");
-    g.sample_size(20);
+fn main() {
+    let mut g = BenchGroup::new("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = seeded_rng(0);
+        let a = normal_init(&[n, n], 0.0, 1.0, &mut rng);
+        let b = normal_init(&[n, n], 0.0, 1.0, &mut rng);
+        g.bench(&n.to_string(), || {
+            black_box(a.matmul(&b));
+        });
+    }
+
+    let mut g = BenchGroup::new("conv2d_forward");
+    let mut rng = seeded_rng(0);
+    let spec = ConvSpec {
+        in_channels: 6,
+        out_channels: 16,
+        kernel: 5,
+        stride: 1,
+        padding: 0,
+    };
+    let input = normal_init(&[8, 6, 16, 16], 0.0, 1.0, &mut rng);
+    let weight = normal_init(&[16, 6 * 25], 0.0, 0.1, &mut rng);
+    let bias = Tensor::zeros(&[16]);
+    g.bench("lenet_conv2_batch8", || {
+        black_box(conv2d_forward(&input, &weight, &bias, &spec));
+    });
+
+    let mut g = BenchGroup::new("model_forward_batch16");
     let mut rng = seeded_rng(0);
     let img = normal_init(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
     let seq = normal_init(&[16, 20, 10], 0.0, 1.0, &mut rng);
     for name in ["lenet5", "resnet", "lstm"] {
         let mut model = models::by_name(name, 0);
-        let x = if name == "lstm" { seq.clone() } else { img.clone() };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
-            b.iter(|| forward_once(&mut model, &x));
+        let x = if name == "lstm" {
+            seq.clone()
+        } else {
+            img.clone()
+        };
+        g.bench(name, || {
+            black_box(forward_once(&mut model, &x));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_matmul, bench_conv2d, bench_model_forward);
-criterion_main!(benches);

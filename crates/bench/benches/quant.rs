@@ -1,44 +1,37 @@
-//! Criterion benchmarks for the quantization codecs used by APF+Q (§7.7).
+//! Benchmarks for the quantization codecs used by APF+Q (§7.7).
+//!
+//! Plain harness (`apf_bench::harness`); run with
+//! `cargo bench -p apf-bench --bench quant`.
 
+use apf_bench::harness::{black_box, BenchGroup};
 use apf_quant::{f16_decode, f16_encode, qsgd_encode, ternary_encode};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn payload(n: usize) -> Vec<f32> {
     (0..n).map(|i| ((i as f32) * 0.37).sin() * 2.0).collect()
 }
 
-fn bench_f16(c: &mut Criterion) {
-    let mut g = c.benchmark_group("f16_roundtrip");
+fn main() {
+    let mut g = BenchGroup::new("f16_roundtrip");
     for &n in &[1_000usize, 20_000, 100_000] {
         let xs = payload(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| f16_decode(&f16_encode(&xs)));
+        g.bench(&n.to_string(), || {
+            black_box(f16_decode(&f16_encode(&xs)));
         });
     }
-    g.finish();
-}
 
-fn bench_qsgd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qsgd_encode");
+    let mut g = BenchGroup::new("qsgd_encode");
     for &n in &[1_000usize, 20_000] {
         let xs = payload(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| qsgd_encode(&xs, 4, 0));
+        g.bench(&n.to_string(), || {
+            black_box(qsgd_encode(&xs, 4, 0));
         });
     }
-    g.finish();
-}
 
-fn bench_ternary(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ternary_encode");
+    let mut g = BenchGroup::new("ternary_encode");
     for &n in &[1_000usize, 20_000] {
         let xs = payload(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| ternary_encode(&xs, 0));
+        g.bench(&n.to_string(), || {
+            black_box(ternary_encode(&xs, 0));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_f16, bench_qsgd, bench_ternary);
-criterion_main!(benches);

@@ -4,10 +4,14 @@ use apf_bench::report::{load_log, print_table};
 use apf_bench::setups::ModelKind;
 use apf_fedsim::{ApfStrategy, Cmfl, ExperimentLog, Gaia};
 
-use crate::common::{aimd_for, apf_cfg, curves_csv, rounds, run_fl, summary_row, volume_csv, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, rounds, run_fl, summary_row, volume_csv, Ctx, Partition, RunSpec,
+};
 
-const SETS: [(ModelKind, usize, &str); 2] =
-    [(ModelKind::Lenet5, 80, "lenet5"), (ModelKind::Lstm, 50, "lstm")];
+const SETS: [(ModelKind, usize, &str); 2] = [
+    (ModelKind::Lenet5, 80, "lenet5"),
+    (ModelKind::Lstm, 50, "lstm"),
+];
 
 fn run_set(ctx: &Ctx, model: ModelKind, base_rounds: usize, tag: &str) -> [ExperimentLog; 3] {
     let r = rounds(ctx, base_rounds);
@@ -29,17 +33,26 @@ fn run_set(ctx: &Ctx, model: ModelKind, base_rounds: usize, tag: &str) -> [Exper
         |b| b,
     );
     // Gaia: 1% significance threshold (its paper's default).
-    let gaia = run_fl(ctx, spec(format!("fig13/{tag}/gaia")), Box::new(Gaia::new(0.01)), |b| b);
+    let gaia = run_fl(
+        ctx,
+        spec(format!("fig13/{tag}/gaia")),
+        Box::new(Gaia::new(0.01)),
+        |b| b,
+    );
     // CMFL: 0.8 relevance threshold with a gentle decay (its paper's setup).
-    let cmfl = run_fl(ctx, spec(format!("fig13/{tag}/cmfl")), Box::new(Cmfl::new(0.8, 0.99)), |b| b);
+    let cmfl = run_fl(
+        ctx,
+        spec(format!("fig13/{tag}/cmfl")),
+        Box::new(Cmfl::new(0.8, 0.99)),
+        |b| b,
+    );
     [apf, gaia, cmfl]
 }
 
 fn cached(ctx: &Ctx) -> Vec<(String, [ExperimentLog; 3])> {
     let mut out = Vec::new();
     for (model, base_rounds, tag) in SETS {
-        let logs = ["apf", "gaia", "cmfl"]
-            .map(|arm| load_log(&format!("fig13_{tag}_{arm}")));
+        let logs = ["apf", "gaia", "cmfl"].map(|arm| load_log(&format!("fig13_{tag}_{arm}")));
         match logs {
             [Some(a), Some(g), Some(c)] => out.push((tag.to_owned(), [a, g, c])),
             _ => out.push((tag.to_owned(), run_set(ctx, model, base_rounds, tag))),

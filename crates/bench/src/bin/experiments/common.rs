@@ -29,7 +29,9 @@ impl Partition {
         // Retry a few seeds so no client ends up empty under harsh skews.
         for salt in 0..16u64 {
             let parts = match self {
-                Partition::Dirichlet(a) => dirichlet_partition(ds.labels(), clients, a, seed + salt),
+                Partition::Dirichlet(a) => {
+                    dirichlet_partition(ds.labels(), clients, a, seed + salt)
+                }
                 Partition::ClassesPerClient(k) => {
                     classes_per_client_partition(ds.labels(), clients, k, seed + salt)
                 }
@@ -72,7 +74,8 @@ pub fn run_fl(
             return log;
         }
     }
-    let (builder, train, test) = standard_builder(spec.model, ctx.scale, spec.clients, spec.rounds, ctx.seed);
+    let (builder, train, test) =
+        standard_builder(spec.model, ctx.scale, spec.clients, spec.rounds, ctx.seed);
     let parts = spec.partition.split(&train, spec.clients, ctx.seed);
     let runner = tweak(
         builder
@@ -95,7 +98,10 @@ pub fn apf_cfg(ctx: &Ctx, check_every_rounds: u32) -> ApfConfig {
     // threshold loosen (0.1) for the same freezing dynamics to unfold.
     ApfConfig {
         stability_threshold: 0.1,
-        threshold_decay: Some(ThresholdDecay { trigger_fraction: 0.8, factor: 0.5 }),
+        threshold_decay: Some(ThresholdDecay {
+            trigger_fraction: 0.8,
+            factor: 0.5,
+        }),
         check_every_rounds,
         ema_alpha: 0.95,
         variant: apf::ApfVariant::Standard,
@@ -107,7 +113,10 @@ pub fn apf_cfg(ctx: &Ctx, check_every_rounds: u32) -> ApfConfig {
 /// The Alg. 1 AIMD controller matched to a check cadence (`L += F_c` per
 /// stable verdict, halve on drift).
 pub fn aimd_for(check_every_rounds: u32) -> Aimd {
-    Aimd { increment: check_every_rounds, decrease_factor: 2 }
+    Aimd {
+        increment: check_every_rounds,
+        decrease_factor: 2,
+    }
 }
 
 /// Summarizes a log as one console row: label, best acc, volume, frozen %.
@@ -170,11 +179,9 @@ pub fn volume_csv(name: &str, logs: &[&ExperimentLog]) {
     for r in 0..rounds {
         let mut row = vec![r.to_string()];
         for log in logs {
-            row.push(
-                log.records
-                    .get(r)
-                    .map_or(String::new(), |rec| format!("{:.3}", rec.cum_bytes as f64 / 1e6)),
-            );
+            row.push(log.records.get(r).map_or(String::new(), |rec| {
+                format!("{:.3}", rec.cum_bytes as f64 / 1e6)
+            }));
         }
         rows.push(row);
     }

@@ -29,7 +29,12 @@ fn arms(ctx: &Ctx) -> Vec<(String, ExperimentLog, ExperimentLog)> {
             partition: Partition::Dirichlet(1.0),
             label,
         };
-        let full = run_fl(ctx, spec(stem(tag, "fedavg")), Box::new(FullSync::new()), |b| b);
+        let full = run_fl(
+            ctx,
+            spec(stem(tag, "fedavg")),
+            Box::new(FullSync::new()),
+            |b| b,
+        );
         let apf = run_fl(
             ctx,
             spec(stem(tag, "apf")),
@@ -91,8 +96,16 @@ pub fn table1(ctx: &Ctx) {
             format!("{:.4}", full.best_accuracy()),
         ]);
     }
-    print_table("Table 1 — best testing accuracy", &["model", "w/ APF", "w/o APF"], &rows);
-    write_csv("table1_best_accuracy.csv", &["model", "apf", "fedavg"], &csv);
+    print_table(
+        "Table 1 — best testing accuracy",
+        &["model", "w/ APF", "w/o APF"],
+        &rows,
+    );
+    write_csv(
+        "table1_best_accuracy.csv",
+        &["model", "apf", "fedavg"],
+        &csv,
+    );
 }
 
 /// Table 2: cumulative transmission volume per model, with savings.
@@ -155,5 +168,9 @@ pub fn table3(ctx: &Ctx) {
         &["model", "w/ APF", "w/o APF", "improvement"],
         &rows,
     );
-    write_csv("table3_per_round_time.csv", &["model", "apf_secs", "fedavg_secs", "improvement"], &csv);
+    write_csv(
+        "table3_per_round_time.csv",
+        &["model", "apf_secs", "fedavg_secs", "improvement"],
+        &csv,
+    );
 }

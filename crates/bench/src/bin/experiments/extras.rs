@@ -12,7 +12,9 @@ use apf_bench::report::print_table;
 use apf_bench::setups::ModelKind;
 use apf_fedsim::{ApfStrategy, DpGaussian, LayerFreeze, TopK};
 
-use crate::common::{aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec,
+};
 
 /// Per-scalar vs per-layer freezing granularity, plus top-k sparsification.
 pub fn extra_granularity(ctx: &Ctx) {
@@ -38,8 +40,12 @@ pub fn extra_granularity(ctx: &Ctx) {
     // tensor every r/12 rounds (roughly matching APF's end-of-run frozen
     // fraction so the comparison is accuracy-at-equal-savings).
     let mut model = ModelKind::Lenet5.build(0);
-    let layers: Vec<(usize, usize)> =
-        model.flat_spec().params().iter().map(|p| (p.offset, p.len)).collect();
+    let layers: Vec<(usize, usize)> = model
+        .flat_spec()
+        .params()
+        .iter()
+        .map(|p| (p.offset, p.len))
+        .collect();
     let layer_freeze = run_fl(
         ctx,
         spec("extra/layer-freeze"),
@@ -47,12 +53,22 @@ pub fn extra_granularity(ctx: &Ctx) {
         |b| b,
     );
     let topk = run_fl(ctx, spec("extra/topk"), Box::new(TopK::new(0.25)), |b| b);
-    curves_csv("extra_granularity_accuracy.csv", &[&apf, &layer_freeze, &topk]);
-    frozen_csv("extra_granularity_frozen.csv", &[&apf, &layer_freeze, &topk]);
+    curves_csv(
+        "extra_granularity_accuracy.csv",
+        &[&apf, &layer_freeze, &topk],
+    );
+    frozen_csv(
+        "extra_granularity_frozen.csv",
+        &[&apf, &layer_freeze, &topk],
+    );
     print_table(
         "Extra — freezing granularity: per-scalar APF vs per-layer FreezeOut vs top-k",
         &["run", "best_acc", "volume", "mean_excluded"],
-        &[summary_row(&apf), summary_row(&layer_freeze), summary_row(&topk)],
+        &[
+            summary_row(&apf),
+            summary_row(&layer_freeze),
+            summary_row(&topk),
+        ],
     );
 }
 
@@ -70,7 +86,12 @@ pub fn extra_dp(ctx: &Ctx) {
     let mk_apf = |cfg: ApfConfig| {
         ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")
     };
-    let clean = run_fl(ctx, spec("extra/dp-none"), Box::new(mk_apf(apf_cfg(ctx, 2))), |b| b);
+    let clean = run_fl(
+        ctx,
+        spec("extra/dp-none"),
+        Box::new(mk_apf(apf_cfg(ctx, 2))),
+        |b| b,
+    );
     // DP noise comparable to late-training update magnitudes.
     let noisy = run_fl(
         ctx,
@@ -78,7 +99,10 @@ pub fn extra_dp(ctx: &Ctx) {
         Box::new(DpGaussian::new(mk_apf(apf_cfg(ctx, 2)), 2e-3, ctx.seed)),
         |b| b,
     );
-    let tight_cfg = ApfConfig { stability_threshold: 0.05, ..apf_cfg(ctx, 2) };
+    let tight_cfg = ApfConfig {
+        stability_threshold: 0.05,
+        ..apf_cfg(ctx, 2)
+    };
     let tight = run_fl(
         ctx,
         spec("extra/dp-tight-threshold"),
@@ -90,6 +114,10 @@ pub fn extra_dp(ctx: &Ctx) {
     print_table(
         "Extra — APF under differential-privacy noise (§9)",
         &["run", "best_acc", "volume", "mean_frozen"],
-        &[summary_row(&clean), summary_row(&noisy), summary_row(&tight)],
+        &[
+            summary_row(&clean),
+            summary_row(&noisy),
+            summary_row(&tight),
+        ],
     );
 }

@@ -21,7 +21,16 @@ pub fn motivation(ctx: &Ctx) {
     let epochs = epochs_for(ctx, 100);
     let (train, test) = ModelKind::Lenet5.datasets(300, 200, ctx.seed);
     println!("[motivation] training LeNet-5 locally for {epochs} epochs...");
-    let trace = train_local_traced(ModelKind::Lenet5, &train, &test, epochs, 16, ctx.seed, 0.01, 512);
+    let trace = train_local_traced(
+        ModelKind::Lenet5,
+        &train,
+        &test,
+        epochs,
+        16,
+        ctx.seed,
+        0.01,
+        512,
+    );
 
     // Fig. 1: two sampled parameter trajectories + best accuracy.
     // Pick two sampled scalars that stabilize at clearly different epochs.
@@ -44,7 +53,11 @@ pub fn motivation(ctx: &Ctx) {
             ]
         })
         .collect();
-    write_csv("fig1_parameter_evolution.csv", &["epoch", "param_a", "param_b", "best_accuracy"], &rows);
+    write_csv(
+        "fig1_parameter_evolution.csv",
+        &["epoch", "param_a", "param_b", "best_accuracy"],
+        &rows,
+    );
     println!(
         "[fig1] param_a stabilizes at epoch {}, param_b at epoch {}, final best accuracy {:.3}",
         stable_epoch(early),
@@ -59,7 +72,11 @@ pub fn motivation(ctx: &Ctx) {
         .enumerate()
         .map(|(e, p)| vec![e.to_string(), format!("{p:.5}")])
         .collect();
-    write_csv("fig2_mean_effective_perturbation.csv", &["epoch", "mean_perturbation"], &rows);
+    write_csv(
+        "fig2_mean_effective_perturbation.csv",
+        &["epoch", "mean_perturbation"],
+        &rows,
+    );
     let first = trace.mean_perturbation.first().unwrap();
     let last = trace.mean_perturbation.last().unwrap();
     println!("[fig2] mean effective perturbation decays {first:.3} -> {last:.3}");
@@ -81,14 +98,23 @@ pub fn motivation(ctx: &Ctx) {
             format!("{p5:.1}"),
             format!("{p95:.1}"),
         ]);
-        csv_rows.push(vec![name.clone(), format!("{mean:.2}"), format!("{p5:.2}"), format!("{p95:.2}")]);
+        csv_rows.push(vec![
+            name.clone(),
+            format!("{mean:.2}"),
+            format!("{p5:.2}"),
+            format!("{p95:.2}"),
+        ]);
     }
     print_table(
         "Fig. 3 — epoch at which parameters become stable, per tensor",
         &["tensor", "mean", "p5", "p95"],
         &table,
     );
-    write_csv("fig3_per_tensor_stabilization.csv", &["tensor", "mean_epoch", "p5", "p95"], &csv_rows);
+    write_csv(
+        "fig3_per_tensor_stabilization.csv",
+        &["tensor", "mean_epoch", "p5", "p95"],
+        &csv_rows,
+    );
 
     // Fig. 7: temporarily-stable parameters.
     let temp = trace.temporarily_stable(3);
@@ -108,7 +134,11 @@ pub fn motivation(ctx: &Ctx) {
                 ]
             })
             .collect();
-        write_csv("fig7_temporarily_stable.csv", &["epoch", "param_a", "param_b"], &rows);
+        write_csv(
+            "fig7_temporarily_stable.csv",
+            &["epoch", "param_a", "param_b"],
+            &rows,
+        );
     } else if let Some(&a) = temp.first() {
         let rows: Vec<Vec<String>> = (0..trace.epochs())
             .map(|e| vec![e.to_string(), format!("{:.5}", trace.values[e][a])])
@@ -125,7 +155,16 @@ pub fn fig9(ctx: &Ctx) {
     let epochs = epochs_for(ctx, 60);
     let (train, test) = ModelKind::Resnet.datasets(300, 200, ctx.seed);
     println!("[fig9] training the residual net locally for {epochs} epochs...");
-    let trace = train_local_traced(ModelKind::Resnet, &train, &test, epochs, 16, ctx.seed, 0.01, 256);
+    let trace = train_local_traced(
+        ModelKind::Resnet,
+        &train,
+        &test,
+        epochs,
+        16,
+        ctx.seed,
+        0.01,
+        256,
+    );
     // Movement of sampled params over the last third of training (after the
     // accuracy plateau) vs over the first third.
     let third = trace.epochs() / 3;
@@ -146,14 +185,14 @@ pub fn fig9(ctx: &Ctx) {
             ]
         })
         .collect();
-    write_csv("fig9_overparam_random_walk.csv", &["epoch", "param_a", "param_b", "best_accuracy"], &rows);
+    write_csv(
+        "fig9_overparam_random_walk.csv",
+        &["epoch", "param_a", "param_b", "best_accuracy"],
+        &rows,
+    );
     let late_a = movement(2 * third, trace.epochs(), k_a);
     let late_b = movement(2 * third, trace.epochs(), k_b);
-    let stable_frac = trace
-        .first_stable
-        .iter()
-        .filter(|s| s.is_some())
-        .count() as f32
+    let stable_frac = trace.first_stable.iter().filter(|s| s.is_some()).count() as f32
         / trace.first_stable.len() as f32;
     println!(
         "[fig9] late-training per-epoch movement: param_a {:.4}, param_b {:.4}; \

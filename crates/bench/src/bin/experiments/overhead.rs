@@ -29,7 +29,10 @@ pub fn table4(ctx: &Ctx) {
         let mut net = model.build(ctx.seed);
         let n = net.num_params();
         let flat = net.flat_params();
-        let cfg = ApfConfig { seed: ctx.seed, ..ApfConfig::default() };
+        let cfg = ApfConfig {
+            seed: ctx.seed,
+            ..ApfConfig::default()
+        };
         let mut mgr = ApfManager::new(&flat, cfg, Box::new(Aimd::default()));
         let fs = 8usize;
 
@@ -50,13 +53,22 @@ pub fn table4(ctx: &Ctx) {
         // Time one round of actual training compute (F_s batches).
         let (train, _) = model.datasets(64, 10, ctx.seed);
         let (opt, lr): (Box<dyn apf_nn::Optimizer>, f32) = match model.optimizer() {
-            apf_fedsim::OptimizerKind::Sgd { lr, momentum, weight_decay } => (
-                Box::new(apf_nn::Sgd::new(lr).with_momentum(momentum).with_weight_decay(weight_decay)),
+            apf_fedsim::OptimizerKind::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => (
+                Box::new(
+                    apf_nn::Sgd::new(lr)
+                        .with_momentum(momentum)
+                        .with_weight_decay(weight_decay),
+                ),
                 lr,
             ),
-            apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => {
-                (Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)), lr)
-            }
+            apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => (
+                Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)),
+                lr,
+            ),
         };
         let mut trainer = Trainer::new(model.build(ctx.seed), opt, LrSchedule::Constant(lr));
         let mut rng = apf_tensor::seeded_rng(ctx.seed);
@@ -81,7 +93,10 @@ pub fn table4(ctx: &Ctx) {
             format!("{:.4} s", apf_secs),
             format!("{:.2}%", 100.0 * apf_secs / (apf_secs + train_secs)),
             format!("{:.2} MB", mem_bytes as f64 / 1e6),
-            format!("{:.2}%", 100.0 * mem_bytes as f64 / (mem_bytes + baseline_bytes) as f64),
+            format!(
+                "{:.2}%",
+                100.0 * mem_bytes as f64 / (mem_bytes + baseline_bytes) as f64
+            ),
         ]);
         csv.push(vec![
             tag.to_owned(),
@@ -93,12 +108,24 @@ pub fn table4(ctx: &Ctx) {
     }
     print_table(
         "Table 4 — APF computation and memory overheads",
-        &["model", "APF time/round", "time inflation", "APF memory", "memory inflation"],
+        &[
+            "model",
+            "APF time/round",
+            "time inflation",
+            "APF memory",
+            "memory inflation",
+        ],
         &rows,
     );
     write_csv(
         "table4_overheads.csv",
-        &["model", "apf_secs_per_round", "train_secs_per_round", "apf_state_bytes", "baseline_bytes"],
+        &[
+            "model",
+            "apf_secs_per_round",
+            "train_secs_per_round",
+            "apf_state_bytes",
+            "baseline_bytes",
+        ],
         &csv,
     );
 }

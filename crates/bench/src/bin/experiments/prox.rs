@@ -5,7 +5,9 @@ use apf_bench::report::print_table;
 use apf_bench::setups::ModelKind;
 use apf_fedsim::{ApfStrategy, FullSync};
 
-use crate::common::{aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec,
+};
 
 /// Fig. 19: 5 clients × 2 classes, with two stragglers processing 25% and
 /// 50% of each round's work. FedAvg drops straggler uploads; FedProx keeps
@@ -42,6 +44,10 @@ pub fn fig19(ctx: &Ctx) {
     print_table(
         "Fig. 19 — heterogeneity: FedAvg vs FedProx vs FedProx+APF",
         &["run", "best_acc", "volume", "mean_frozen"],
-        &[summary_row(&fedavg), summary_row(&fedprox), summary_row(&fedprox_apf)],
+        &[
+            summary_row(&fedavg),
+            summary_row(&fedprox),
+            summary_row(&fedprox_apf),
+        ],
     );
 }

@@ -8,7 +8,9 @@ use apf_bench::setups::ModelKind;
 use apf_fedsim::{ApfStrategy, FullSync};
 use apf_nn::LrSchedule;
 
-use crate::common::{aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec,
+};
 
 /// Fig. 20a: a deliberately loose initial stability threshold (0.5 instead
 /// of 0.05) — the runtime threshold decay must rectify it. Fig. 20b: a
@@ -34,7 +36,10 @@ pub fn fig20(ctx: &Ctx) {
         )),
         |b| b,
     );
-    let loose_cfg = ApfConfig { stability_threshold: 0.5, ..apf_cfg(ctx, 2) };
+    let loose_cfg = ApfConfig {
+        stability_threshold: 0.5,
+        ..apf_cfg(ctx, 2)
+    };
     let loose = run_fl(
         ctx,
         spec_lenet("fig20/lenet5/threshold-0.5"),
@@ -78,7 +83,12 @@ pub fn fig20(ctx: &Ctx) {
         spec_lstm("fig20/lstm/fc-5"),
         Box::new(ApfStrategy::with_controller(
             apf_cfg(ctx, 5),
-            Box::new(|| Box::new(apf::Aimd { increment: 5, decrease_factor: 5 })),
+            Box::new(|| {
+                Box::new(apf::Aimd {
+                    increment: 5,
+                    decrease_factor: 5,
+                })
+            }),
             "Fc=5Fs",
         )),
         |b| b,
@@ -110,10 +120,18 @@ pub fn fig21(ctx: &Ctx) {
             "apf",
         ))
     };
-    let sgd = |lr: f32| apf_fedsim::OptimizerKind::Sgd { lr, momentum: 0.9, weight_decay: 0.01 };
+    let sgd = |lr: f32| apf_fedsim::OptimizerKind::Sgd {
+        lr,
+        momentum: 0.9,
+        weight_decay: 0.01,
+    };
     // (a) two fixed learning rates.
-    let lr_hi = run_fl(ctx, spec("fig21/lr-0.01"), apf_strategy(), |b| b.optimizer(sgd(0.01)));
-    let lr_lo = run_fl(ctx, spec("fig21/lr-0.001"), apf_strategy(), |b| b.optimizer(sgd(0.001)));
+    let lr_hi = run_fl(ctx, spec("fig21/lr-0.01"), apf_strategy(), |b| {
+        b.optimizer(sgd(0.01))
+    });
+    let lr_lo = run_fl(ctx, spec("fig21/lr-0.001"), apf_strategy(), |b| {
+        b.optimizer(sgd(0.001))
+    });
     curves_csv("fig21a_lr_accuracy.csv", &[&lr_hi, &lr_lo]);
     frozen_csv("fig21a_lr_frozen.csv", &[&lr_hi, &lr_lo]);
     print_table(
@@ -123,13 +141,20 @@ pub fn fig21(ctx: &Ctx) {
     );
     // (b) decaying learning rate: initial 0.1, x0.99 every 10 local epochs,
     // APF vs FedAvg.
-    let decay = LrSchedule::Multiplicative { initial: 0.01, factor: 0.99, every: 10 };
+    let decay = LrSchedule::Multiplicative {
+        initial: 0.01,
+        factor: 0.99,
+        every: 10,
+    };
     let apf_decay = run_fl(ctx, spec("fig21/decay-apf"), apf_strategy(), |b| {
         b.optimizer(sgd(0.01)).schedule(decay)
     });
-    let fedavg_decay = run_fl(ctx, spec("fig21/decay-fedavg"), Box::new(FullSync::new()), |b| {
-        b.optimizer(sgd(0.01)).schedule(decay)
-    });
+    let fedavg_decay = run_fl(
+        ctx,
+        spec("fig21/decay-fedavg"),
+        Box::new(FullSync::new()),
+        |b| b.optimizer(sgd(0.01)).schedule(decay),
+    );
     curves_csv("fig21b_decay_accuracy.csv", &[&apf_decay, &fedavg_decay]);
     frozen_csv("fig21b_decay_frozen.csv", &[&apf_decay]);
     print_table(
@@ -143,8 +168,7 @@ pub fn fig21(ctx: &Ctx) {
 /// The paper sweeps 10/100/500 iterations per round; at our scale we sweep
 /// 4/20/80.
 pub fn fig22(ctx: &Ctx) {
-    let sweeps: [(usize, usize, &str); 3] =
-        [(4, 60, "fs-4"), (20, 30, "fs-20"), (80, 12, "fs-80")];
+    let sweeps: [(usize, usize, &str); 3] = [(4, 60, "fs-4"), (20, 30, "fs-20"), (80, 12, "fs-80")];
     let mut logs = Vec::new();
     for (fs, base_rounds, tag) in sweeps {
         let r = rounds(ctx, base_rounds);

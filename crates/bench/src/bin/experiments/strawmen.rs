@@ -7,7 +7,9 @@ use apf_bench::setups::ModelKind;
 use apf_data::classes_per_client_partition;
 use apf_fedsim::{ApfStrategy, FullSync, PartialSync, SyncStrategy};
 
-use crate::common::{apf_cfg, aimd_for, curves_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec,
+};
 
 /// Fig. 4: once excluded from synchronization, a scalar's local values
 /// diverge across non-IID clients. Two clients, 5 distinct classes each.
@@ -70,7 +72,13 @@ pub fn fig4(ctx: &Ctx) {
     }
     let headers: Vec<&str> = match picks.len() {
         1 => vec!["round", "pA_client0", "pA_client1"],
-        _ => vec!["round", "pA_client0", "pA_client1", "pB_client0", "pB_client1"],
+        _ => vec![
+            "round",
+            "pA_client0",
+            "pA_client1",
+            "pB_client0",
+            "pB_client1",
+        ],
     };
     write_csv("fig4_partial_sync_divergence.csv", &headers, &rows);
     println!(
@@ -90,16 +98,34 @@ fn build_client(
     use apf_nn::{LrSchedule, Trainer};
     let kind = model.optimizer();
     let (opt, lr): (Box<dyn apf_nn::Optimizer>, f32) = match kind {
-        apf_fedsim::OptimizerKind::Sgd { lr, momentum, weight_decay } => (
-            Box::new(apf_nn::Sgd::new(lr).with_momentum(momentum).with_weight_decay(weight_decay)),
+        apf_fedsim::OptimizerKind::Sgd {
+            lr,
+            momentum,
+            weight_decay,
+        } => (
+            Box::new(
+                apf_nn::Sgd::new(lr)
+                    .with_momentum(momentum)
+                    .with_weight_decay(weight_decay),
+            ),
             lr,
         ),
-        apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => {
-            (Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)), lr)
-        }
+        apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => (
+            Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)),
+            lr,
+        ),
     };
-    let trainer = Trainer::new(model.build(apf_tensor::derive_seed(seed, 0x30DE1)), opt, LrSchedule::Constant(lr));
-    apf_fedsim::Client::new(trainer, train.select(part), 16, apf_tensor::derive_seed(seed, idx))
+    let trainer = Trainer::new(
+        model.build(apf_tensor::derive_seed(seed, 0x30DE1)),
+        opt,
+        LrSchedule::Constant(lr),
+    );
+    apf_fedsim::Client::new(
+        trainer,
+        train.select(part),
+        16,
+        apf_tensor::derive_seed(seed, idx),
+    )
 }
 
 /// Fig. 5: partial synchronization loses accuracy vs full-model sync on
@@ -113,8 +139,18 @@ pub fn fig5(ctx: &Ctx) {
         partition: Partition::ClassesPerClient(5),
         label: label.to_owned(),
     };
-    let full = run_fl(ctx, spec("fig5/full-sync"), Box::new(FullSync::new()), |b| b);
-    let partial = run_fl(ctx, spec("fig5/partial-sync"), Box::new(PartialSync::new(0.1, 0.95, 2)), |b| b);
+    let full = run_fl(
+        ctx,
+        spec("fig5/full-sync"),
+        Box::new(FullSync::new()),
+        |b| b,
+    );
+    let partial = run_fl(
+        ctx,
+        spec("fig5/partial-sync"),
+        Box::new(PartialSync::new(0.1, 0.95, 2)),
+        |b| b,
+    );
     curves_csv("fig5_partial_sync_accuracy.csv", &[&full, &partial]);
     print_table(
         "Fig. 5 — partial synchronization vs full sync (2 clients, 5 classes each)",
@@ -133,7 +169,12 @@ pub fn fig6(ctx: &Ctx) {
         partition: Partition::ClassesPerClient(5),
         label: label.to_owned(),
     };
-    let full = run_fl(ctx, spec("fig6/full-sync"), Box::new(FullSync::new()), |b| b);
+    let full = run_fl(
+        ctx,
+        spec("fig6/full-sync"),
+        Box::new(FullSync::new()),
+        |b| b,
+    );
     let frozen = run_fl(
         ctx,
         spec("fig6/permanent-freeze"),
@@ -151,7 +192,10 @@ pub fn fig6(ctx: &Ctx) {
 /// Fig. 12: FedAvg vs APF vs both strawmen on extremely non-IID data
 /// (5 clients × 2 classes), LeNet-5 and LSTM.
 pub fn fig12(ctx: &Ctx) {
-    for (model, base_rounds, tag) in [(ModelKind::Lenet5, 80, "lenet5"), (ModelKind::Lstm, 50, "lstm")] {
+    for (model, base_rounds, tag) in [
+        (ModelKind::Lenet5, 80, "lenet5"),
+        (ModelKind::Lstm, 50, "lstm"),
+    ] {
         let r = rounds(ctx, base_rounds);
         let spec = |label: String| RunSpec {
             model,
@@ -160,7 +204,12 @@ pub fn fig12(ctx: &Ctx) {
             partition: Partition::ClassesPerClient(2),
             label,
         };
-        let full = run_fl(ctx, spec(format!("fig12/{tag}/fedavg")), Box::new(FullSync::new()), |b| b);
+        let full = run_fl(
+            ctx,
+            spec(format!("fig12/{tag}/fedavg")),
+            Box::new(FullSync::new()),
+            |b| b,
+        );
         let apf = run_fl(
             ctx,
             spec(format!("fig12/{tag}/apf")),
@@ -183,7 +232,10 @@ pub fn fig12(ctx: &Ctx) {
             Box::new(ApfStrategy::permanent_freeze(apf_cfg(ctx, 2))),
             |b| b,
         );
-        curves_csv(&format!("fig12_{tag}_accuracy.csv"), &[&full, &apf, &partial, &perm]);
+        curves_csv(
+            &format!("fig12_{tag}_accuracy.csv"),
+            &[&full, &apf, &partial, &perm],
+        );
         print_table(
             &format!("Fig. 12 — extremely non-IID ({tag}: 5 clients x 2 classes)"),
             &["run", "best_acc", "volume", "mean_excluded"],

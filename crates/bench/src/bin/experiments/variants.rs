@@ -6,7 +6,10 @@ use apf_bench::report::print_table;
 use apf_bench::setups::ModelKind;
 use apf_fedsim::ApfStrategy;
 
-use crate::common::{aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, volume_csv, Ctx, Partition, RunSpec};
+use crate::common::{
+    aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, volume_csv, Ctx,
+    Partition, RunSpec,
+};
 
 /// Fig. 15: the TCP-style AIMD controller vs pure-additive,
 /// pure-multiplicative, and fixed-period controllers.
@@ -23,7 +26,11 @@ pub fn fig15(ctx: &Ctx) {
     let aimd = run_fl(
         ctx,
         spec("fig15/aimd".into()),
-        Box::new(ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "aimd")),
+        Box::new(ApfStrategy::with_controller(
+            cfg,
+            Box::new(|| Box::new(aimd_for(2))),
+            "aimd",
+        )),
         |b| b,
     );
     let additive = run_fl(
@@ -57,8 +64,14 @@ pub fn fig15(ctx: &Ctx) {
         )),
         |b| b,
     );
-    curves_csv("fig15_controller_accuracy.csv", &[&aimd, &additive, &multiplicative, &fixed]);
-    frozen_csv("fig15_controller_frozen.csv", &[&aimd, &additive, &multiplicative, &fixed]);
+    curves_csv(
+        "fig15_controller_accuracy.csv",
+        &[&aimd, &additive, &multiplicative, &fixed],
+    );
+    frozen_csv(
+        "fig15_controller_frozen.csv",
+        &[&aimd, &additive, &multiplicative, &fixed],
+    );
     print_table(
         "Fig. 15 — freezing-period controllers (LeNet-5)",
         &["run", "best_acc", "volume", "mean_frozen"],
@@ -74,9 +87,10 @@ pub fn fig15(ctx: &Ctx) {
 /// Fig. 16: APF# vs vanilla APF (LeNet-5 and LSTM, `F_c = F_s`, random
 /// 1-round freezing of unstable scalars with p = 0.5).
 pub fn fig16(ctx: &Ctx) {
-    for (model, base_rounds, tag) in
-        [(ModelKind::Lenet5, 80, "lenet5"), (ModelKind::Lstm, 50, "lstm")]
-    {
+    for (model, base_rounds, tag) in [
+        (ModelKind::Lenet5, 80, "lenet5"),
+        (ModelKind::Lstm, 50, "lstm"),
+    ] {
         let r = rounds(ctx, base_rounds);
         let spec = |label: String| RunSpec {
             model,
@@ -90,10 +104,17 @@ pub fn fig16(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig16/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(1))), "apf")),
+            Box::new(ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(aimd_for(1))),
+                "apf",
+            )),
             |b| b,
         );
-        let sharp_cfg = apf::ApfConfig { variant: ApfVariant::Sharp { prob: 0.5 }, ..cfg };
+        let sharp_cfg = apf::ApfConfig {
+            variant: ApfVariant::Sharp { prob: 0.5 },
+            ..cfg
+        };
         let sharp = run_fl(
             ctx,
             spec(format!("fig16/{tag}/apf-sharp")),
@@ -118,9 +139,10 @@ pub fn fig16(ctx: &Ctx) {
 /// coefficients (`a1 = K/4000`, lengths up to `1 + K/20`) are rescaled so the
 /// freezing probability reaches ~0.5 by the end of our (shorter) runs.
 pub fn fig17(ctx: &Ctx) {
-    for (model, base_rounds, tag) in
-        [(ModelKind::Lenet5, 80, "lenet5"), (ModelKind::Resnet, 50, "resnet")]
-    {
+    for (model, base_rounds, tag) in [
+        (ModelKind::Lenet5, 80, "lenet5"),
+        (ModelKind::Resnet, 50, "resnet"),
+    ] {
         let r = rounds(ctx, base_rounds);
         let spec = |label: String| RunSpec {
             model,
@@ -133,12 +155,19 @@ pub fn fig17(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig17/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(1))), "apf")),
+            Box::new(ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(aimd_for(1))),
+                "apf",
+            )),
             |b| b,
         );
         let a1 = 1.0 / (2.0 * r as f64);
         let a2 = 1.0 / 20.0;
-        let pp_cfg = apf::ApfConfig { variant: ApfVariant::PlusPlus { a1, a2 }, ..cfg };
+        let pp_cfg = apf::ApfConfig {
+            variant: ApfVariant::PlusPlus { a1, a2 },
+            ..cfg
+        };
         let pp = run_fl(
             ctx,
             spec(format!("fig17/{tag}/apf-plusplus")),
@@ -161,9 +190,10 @@ pub fn fig17(ctx: &Ctx) {
 
 /// Fig. 18: APF with fp16 quantization stacked on the wire (§7.7).
 pub fn fig18(ctx: &Ctx) {
-    for (model, base_rounds, tag) in
-        [(ModelKind::Lenet5, 80, "lenet5"), (ModelKind::Lstm, 50, "lstm")]
-    {
+    for (model, base_rounds, tag) in [
+        (ModelKind::Lenet5, 80, "lenet5"),
+        (ModelKind::Lstm, 50, "lstm"),
+    ] {
         let r = rounds(ctx, base_rounds);
         let spec = |label: String| RunSpec {
             model,
@@ -176,14 +206,19 @@ pub fn fig18(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig18/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")),
+            Box::new(ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(aimd_for(2))),
+                "apf",
+            )),
             |b| b,
         );
         let quant = run_fl(
             ctx,
             spec(format!("fig18/{tag}/apf-q")),
             Box::new(
-                ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf").with_f16(),
+                ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")
+                    .with_f16(),
             ),
             |b| b,
         );

@@ -6,11 +6,11 @@
 //! ```text
 //! cargo run --release -p apf-bench --bin freezecheck -- [rounds] [alpha] [threshold] [check_every]
 //! ```
+use apf::{Aimd, ApfConfig};
 use apf_bench::setups::{ModelKind, Scale};
 use apf_data::dirichlet_partition;
 use apf_fedsim::{ApfStrategy, Client, OptimizerKind, SyncStrategy};
 use apf_nn::{LrSchedule, Trainer};
-use apf::{ApfConfig, Aimd};
 use apf_tensor::percentile;
 
 fn main() {
@@ -25,25 +25,65 @@ fn main() {
     let parts = dirichlet_partition(train.labels(), 4, 1.0, 42);
     let mk = |i: usize| -> Client {
         let (opt, lr): (Box<dyn apf_nn::Optimizer>, f32) = match model.optimizer() {
-            OptimizerKind::Sgd { lr, momentum, weight_decay } => (Box::new(apf_nn::Sgd::new(lr).with_momentum(momentum).with_weight_decay(weight_decay)), lr),
-            OptimizerKind::Adam { lr, weight_decay } => (Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)), lr),
+            OptimizerKind::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => (
+                Box::new(
+                    apf_nn::Sgd::new(lr)
+                        .with_momentum(momentum)
+                        .with_weight_decay(weight_decay),
+                ),
+                lr,
+            ),
+            OptimizerKind::Adam { lr, weight_decay } => (
+                Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)),
+                lr,
+            ),
         };
-        Client::new(Trainer::new(model.build(7), opt, LrSchedule::Constant(lr)), train.select(&parts[i]), 16, i as u64)
+        Client::new(
+            Trainer::new(model.build(7), opt, LrSchedule::Constant(lr)),
+            train.select(&parts[i]),
+            16,
+            i as u64,
+        )
     };
     let mut clients: Vec<Client> = (0..4).map(mk).collect();
     let init = clients[0].flat_params();
-    for c in clients.iter_mut() { c.load_flat(&init); }
-    let cfg = ApfConfig { check_every_rounds: fc, ema_alpha: alpha, stability_threshold: thresh, seed: 42, ..ApfConfig::default() };
-    let mut strat = ApfStrategy::with_controller(cfg, Box::new(move || Box::new(Aimd { increment: fc, decrease_factor: 2 })), "apf");
+    for c in clients.iter_mut() {
+        c.load_flat(&init);
+    }
+    let cfg = ApfConfig {
+        check_every_rounds: fc,
+        ema_alpha: alpha,
+        stability_threshold: thresh,
+        seed: 42,
+        ..ApfConfig::default()
+    };
+    let mut strat = ApfStrategy::with_controller(
+        cfg,
+        Box::new(move || {
+            Box::new(Aimd {
+                increment: fc,
+                decrease_factor: 2,
+            })
+        }),
+        "apf",
+    );
     strat.init(&init, 4);
     let mut global = init.clone();
     let mut eval_model = model.build(7);
     let noop = |_: &mut [f32]| {};
     for r in 0..rounds {
-        for c in clients.iter_mut() { c.local_round(8, &noop); }
+        for c in clients.iter_mut() {
+            c.local_round(8, &noop);
+        }
         let mut locals: Vec<Vec<f32>> = clients.iter_mut().map(|c| c.flat_params()).collect();
         let comm = strat.sync_round(r, &mut locals, &[1.0; 4], &mut global);
-        for (c, l) in clients.iter_mut().zip(&locals) { c.load_flat(l); }
+        for (c, l) in clients.iter_mut().zip(&locals) {
+            c.load_flat(l);
+        }
         if r % 25 == 24 {
             let p = strat.managers()[0].perturbations();
             eval_model.load_flat(&global);

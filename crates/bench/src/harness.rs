@@ -1,0 +1,161 @@
+//! A plain-harness micro-benchmark timer (the workspace's `criterion`
+//! replacement — no external dependencies, `harness = false` benches).
+//!
+//! Methodology: a warmup phase sizes the per-sample iteration count so each
+//! sample runs ≥ ~20 ms, then `APF_BENCH_SAMPLES` (default 11) samples are
+//! timed and the median / min / max per-iteration times are reported. The
+//! median is robust to scheduler noise; min approximates the noise floor.
+//! Set `APF_BENCH_QUICK=1` to cut sample counts for smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, so benchmarked results are not elided.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-sample minimum runtime the warmup phase calibrates toward.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+fn samples_per_bench() -> usize {
+    if std::env::var("APF_BENCH_QUICK").is_ok() {
+        return 3;
+    }
+    std::env::var("APF_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11)
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label, e.g. `"matmul/128"`.
+    pub label: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Slowest per-iteration time observed.
+    pub max: Duration,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Formats a duration with an appropriate unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A group of related benchmarks printed as one aligned table.
+pub struct BenchGroup {
+    name: String,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Starts a group (header is printed immediately so long benches show
+    /// progress).
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        BenchGroup {
+            name: name.to_owned(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing one row: warmup-calibrated iteration count,
+    /// median of N samples.
+    pub fn bench(&mut self, label: &str, mut f: impl FnMut()) -> &Measurement {
+        // Warmup + calibration: run until TARGET_SAMPLE is filled, doubling.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+                break;
+            }
+            // Aim directly at the target when we have signal, else double.
+            iters = if elapsed.is_zero() {
+                iters * 2
+            } else {
+                let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+        let samples = samples_per_bench();
+        let mut per_iter: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let m = Measurement {
+            label: format!("{}/{}", self.name, label),
+            median: per_iter[samples / 2],
+            min: per_iter[0],
+            max: per_iter[samples - 1],
+            iters,
+            samples,
+        };
+        println!(
+            "  {label:<24} median {:>12}  min {:>12}  max {:>12}  ({} iters x {} samples)",
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.iters,
+            m.samples,
+        );
+        self.results.push(m);
+        self.results.last().unwrap()
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn bench_measures_something() {
+        std::env::set_var("APF_BENCH_QUICK", "1");
+        let mut g = BenchGroup::new("selftest");
+        let m = g.bench("spin", || {
+            black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(m.median > Duration::ZERO);
+        assert!(m.min <= m.median && m.median <= m.max);
+        assert_eq!(g.results().len(), 1);
+        std::env::remove_var("APF_BENCH_QUICK");
+    }
+}

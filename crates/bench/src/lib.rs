@@ -6,6 +6,7 @@
 //! datasets, optimizers, scales) and reporting helpers it uses, so that
 //! integration tests can exercise the same code paths.
 
+pub mod harness;
 pub mod motivation;
 pub mod report;
 pub mod setups;

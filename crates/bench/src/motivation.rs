@@ -5,8 +5,7 @@
 use apf::WindowedPerturbation;
 use apf_data::Dataset;
 use apf_nn::{LrSchedule, Trainer};
-use apf_tensor::{derive_seed, seeded_rng};
-use rand::seq::SliceRandom;
+use apf_tensor::{derive_seed, seeded_rng, SliceRandom};
 
 use crate::setups::ModelKind;
 
@@ -88,15 +87,27 @@ pub fn train_local_traced(
     gamma: f32,
     sample_count: usize,
 ) -> LocalTrace {
-    assert!(epochs > 0 && sample_count > 0, "epochs and sample_count must be positive");
+    assert!(
+        epochs > 0 && sample_count > 0,
+        "epochs and sample_count must be positive"
+    );
     let (optimizer, base_lr): (Box<dyn apf_nn::Optimizer>, f32) = match model.optimizer() {
-        apf_fedsim::OptimizerKind::Sgd { lr, momentum, weight_decay } => (
-            Box::new(apf_nn::Sgd::new(lr).with_momentum(momentum).with_weight_decay(weight_decay)),
+        apf_fedsim::OptimizerKind::Sgd {
+            lr,
+            momentum,
+            weight_decay,
+        } => (
+            Box::new(
+                apf_nn::Sgd::new(lr)
+                    .with_momentum(momentum)
+                    .with_weight_decay(weight_decay),
+            ),
             lr,
         ),
-        apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => {
-            (Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)), lr)
-        }
+        apf_fedsim::OptimizerKind::Adam { lr, weight_decay } => (
+            Box::new(apf_nn::Adam::new(lr).with_weight_decay(weight_decay)),
+            lr,
+        ),
     };
     let mut trainer = Trainer::new(model.build(seed), optimizer, LrSchedule::Constant(base_lr));
 
@@ -169,7 +180,16 @@ mod tests {
     fn trace_records_everything() {
         let scale = Scale::Quick;
         let (train, test) = ModelKind::Lenet5.datasets(40, 20, 0);
-        let trace = train_local_traced(ModelKind::Lenet5, &train, &test, 3, scale.batch_size(), 0, 0.05, 16);
+        let trace = train_local_traced(
+            ModelKind::Lenet5,
+            &train,
+            &test,
+            3,
+            scale.batch_size(),
+            0,
+            0.05,
+            16,
+        );
         assert_eq!(trace.epochs(), 3);
         assert_eq!(trace.values.len(), 3);
         assert_eq!(trace.values[0].len(), 16);

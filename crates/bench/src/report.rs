@@ -34,8 +34,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -59,7 +65,8 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
 /// Saves an [`ExperimentLog`] as both CSV and JSON under `results/`.
 pub fn save_log(log: &ExperimentLog, stem: &str) {
     let dir = results_dir();
-    log.write_csv(dir.join(format!("{stem}.csv"))).expect("cannot write log csv");
+    log.write_csv(dir.join(format!("{stem}.csv")))
+        .expect("cannot write log csv");
     fs::write(dir.join(format!("{stem}.json")), log.to_json()).expect("cannot write log json");
     println!("wrote {}/{stem}.{{csv,json}}", dir.display());
 }
@@ -68,7 +75,7 @@ pub fn save_log(log: &ExperimentLog, stem: &str) {
 pub fn load_log(stem: &str) -> Option<ExperimentLog> {
     let path = results_dir().join(format!("{stem}.json"));
     let data = fs::read_to_string(path).ok()?;
-    serde_json::from_str(&data).ok()
+    ExperimentLog::from_json(&data).ok()
 }
 
 /// Formats a byte count as MB with two decimals.
@@ -93,7 +100,10 @@ mod tests {
 
     #[test]
     fn save_and_load_log_roundtrip() {
-        std::env::set_var("APF_RESULTS_DIR", std::env::temp_dir().join("apf_test_results"));
+        std::env::set_var(
+            "APF_RESULTS_DIR",
+            std::env::temp_dir().join("apf_test_results"),
+        );
         let mut log = ExperimentLog::new("roundtrip-test");
         log.push(apf_fedsim::RoundRecord {
             round: 0,

@@ -35,13 +35,20 @@ impl ModelKind {
     /// for ResNet, SGD/0.01 for LSTM; weight decay 0.01 everywhere).
     pub fn optimizer(self) -> OptimizerKind {
         match self {
-            ModelKind::Lenet5 => OptimizerKind::Adam { lr: 0.001, weight_decay: 0.01 },
-            ModelKind::Resnet => {
-                OptimizerKind::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.01 }
-            }
-            ModelKind::Lstm => {
-                OptimizerKind::Sgd { lr: 0.05, momentum: 0.0, weight_decay: 0.01 }
-            }
+            ModelKind::Lenet5 => OptimizerKind::Adam {
+                lr: 0.001,
+                weight_decay: 0.01,
+            },
+            ModelKind::Resnet => OptimizerKind::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.01,
+            },
+            ModelKind::Lstm => OptimizerKind::Sgd {
+                lr: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.01,
+            },
         }
     }
 
@@ -146,7 +153,13 @@ impl Scale {
 ///
 /// Returns a builder so callers can attach a strategy/partition and tweak
 /// further.
-pub fn standard_builder(model: ModelKind, scale: Scale, clients: usize, rounds: usize, seed: u64) -> (FlRunnerBuilder, Dataset, Dataset) {
+pub fn standard_builder(
+    model: ModelKind,
+    scale: Scale,
+    clients: usize,
+    rounds: usize,
+    seed: u64,
+) -> (FlRunnerBuilder, Dataset, Dataset) {
     let train_n = scale.per_client_samples() * clients;
     let (train, test) = model.datasets(train_n, scale.test_samples(), seed);
     let cfg = FlConfig {

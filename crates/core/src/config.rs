@@ -55,7 +55,10 @@ pub struct ThresholdDecay {
 
 impl Default for ThresholdDecay {
     fn default() -> Self {
-        ThresholdDecay { trigger_fraction: 0.8, factor: 0.5 }
+        ThresholdDecay {
+            trigger_fraction: 0.8,
+            factor: 0.5,
+        }
     }
 }
 
@@ -144,13 +147,25 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        let mut c = ApfConfig { stability_threshold: 1.5, ..ApfConfig::default() };
+        let mut c = ApfConfig {
+            stability_threshold: 1.5,
+            ..ApfConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = ApfConfig { check_every_rounds: 0, ..ApfConfig::default() };
+        c = ApfConfig {
+            check_every_rounds: 0,
+            ..ApfConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = ApfConfig { ema_alpha: 1.0, ..ApfConfig::default() };
+        c = ApfConfig {
+            ema_alpha: 1.0,
+            ..ApfConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = ApfConfig { variant: ApfVariant::Sharp { prob: 2.0 }, ..ApfConfig::default() };
+        c = ApfConfig {
+            variant: ApfVariant::Sharp { prob: 2.0 },
+            ..ApfConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -158,14 +173,20 @@ mod tests {
     fn variant_probabilities() {
         assert_eq!(ApfVariant::Standard.freeze_prob(100), 0.0);
         assert_eq!(ApfVariant::Sharp { prob: 0.5 }.freeze_prob(100), 0.5);
-        let pp = ApfVariant::PlusPlus { a1: 1.0 / 4000.0, a2: 1.0 / 20.0 };
+        let pp = ApfVariant::PlusPlus {
+            a1: 1.0 / 4000.0,
+            a2: 1.0 / 20.0,
+        };
         assert!((pp.freeze_prob(2000) - 0.5).abs() < 1e-9);
         assert_eq!(pp.freeze_prob(1_000_000), 1.0);
     }
 
     #[test]
     fn variant_lengths_grow_for_plusplus() {
-        let pp = ApfVariant::PlusPlus { a1: 0.0, a2: 1.0 / 20.0 };
+        let pp = ApfVariant::PlusPlus {
+            a1: 0.0,
+            a2: 1.0 / 20.0,
+        };
         assert_eq!(pp.max_freeze_len(0), 1);
         assert_eq!(pp.max_freeze_len(20), 2);
         assert_eq!(pp.max_freeze_len(200), 11);

@@ -27,7 +27,10 @@ pub struct Aimd {
 
 impl Default for Aimd {
     fn default() -> Self {
-        Aimd { increment: 1, decrease_factor: 2 }
+        Aimd {
+            increment: 1,
+            decrease_factor: 2,
+        }
     }
 }
 
@@ -147,7 +150,10 @@ mod tests {
 
     #[test]
     fn aimd_custom_increment() {
-        let c = Aimd { increment: 5, decrease_factor: 5 };
+        let c = Aimd {
+            increment: 5,
+            decrease_factor: 5,
+        };
         assert_eq!(c.next_len(0, true), 5);
         assert_eq!(c.next_len(10, true), 15);
         assert_eq!(c.next_len(15, false), 3);

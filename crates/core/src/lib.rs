@@ -45,5 +45,5 @@ mod state;
 pub use config::{ApfConfig, ApfVariant, ThresholdDecay};
 pub use controller::{Aimd, FixedPeriod, FreezeController, PureAdditive, PureMultiplicative};
 pub use manager::{ApfManager, SyncReport};
-pub use state::{mask_update_bytes, ApfState};
 pub use perturbation::{EmaPerturbation, WindowedPerturbation};
+pub use state::{mask_update_bytes, ApfState};

@@ -256,9 +256,17 @@ impl ApfManager {
     fn stability_check(&mut self, params: &[f32], round: u64) {
         self.checks_run += 1;
         // A scalar participated in training this round iff it is unfrozen now.
-        let trained: Vec<bool> = (0..self.n).map(|j| round >= self.unfreeze_round[j]).collect();
+        let trained: Vec<bool> = (0..self.n)
+            .map(|j| round >= self.unfreeze_round[j])
+            .collect();
         let delta: Vec<f32> = (0..self.n)
-            .map(|j| if trained[j] { params[j] - self.check_ref[j] } else { 0.0 })
+            .map(|j| {
+                if trained[j] {
+                    params[j] - self.check_ref[j]
+                } else {
+                    0.0
+                }
+            })
             .collect();
         self.ema.update_masked(&delta, &trained);
         for j in 0..self.n {
@@ -351,7 +359,10 @@ mod tests {
     use crate::controller::Aimd;
 
     fn cfg_every(check_every_rounds: u32) -> ApfConfig {
-        ApfConfig { check_every_rounds, ..ApfConfig::default() }
+        ApfConfig {
+            check_every_rounds,
+            ..ApfConfig::default()
+        }
     }
 
     /// Drives a manager through rounds where each scalar follows a scripted
@@ -379,7 +390,11 @@ mod tests {
         let mut params = vec![0.0f32; 4];
         let mut mgr = ApfManager::new(
             &params,
-            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            ApfConfig {
+                check_every_rounds: 1,
+                threshold_decay: None,
+                ..ApfConfig::default()
+            },
             Box::new(Aimd::default()),
         );
         // Scalars 0,1 oscillate; scalars 2,3 drift steadily.
@@ -414,7 +429,11 @@ mod tests {
         let init = vec![1.0f32, 2.0];
         let mut mgr = ApfManager::new(
             &init,
-            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            ApfConfig {
+                check_every_rounds: 1,
+                threshold_decay: None,
+                ..ApfConfig::default()
+            },
             Box::new(Aimd::default()),
         );
         let mut params = init.clone();
@@ -459,7 +478,11 @@ mod tests {
         let mut params = vec![0.0f32; 1];
         let mut mgr = ApfManager::new(
             &params,
-            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            ApfConfig {
+                check_every_rounds: 1,
+                threshold_decay: None,
+                ..ApfConfig::default()
+            },
             Box::new(Aimd::default()),
         );
         let mut periods = Vec::new();
@@ -472,7 +495,10 @@ mod tests {
             periods.push(mgr.freezing_periods()[0]);
         }
         let max_period = *periods.iter().max().unwrap();
-        assert!(max_period >= 3, "period should grow additively, got {max_period}");
+        assert!(
+            max_period >= 3,
+            "period should grow additively, got {max_period}"
+        );
     }
 
     #[test]
@@ -482,7 +508,11 @@ mod tests {
         let mut params = vec![0.0f32; 1];
         let mut mgr = ApfManager::new(
             &params,
-            ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() },
+            ApfConfig {
+                check_every_rounds: 1,
+                threshold_decay: None,
+                ..ApfConfig::default()
+            },
             Box::new(Aimd::default()),
         );
         let mut grew_to = 0;
@@ -515,8 +545,14 @@ mod tests {
         let mut params = vec![0.0f32; n];
         let mut mgr = ApfManager::new(
             &params,
-            ApfConfig { check_every_rounds: 1, ..ApfConfig::default() },
-            Box::new(Aimd { increment: 50, decrease_factor: 2 }),
+            ApfConfig {
+                check_every_rounds: 1,
+                ..ApfConfig::default()
+            },
+            Box::new(Aimd {
+                increment: 50,
+                decrease_factor: 2,
+            }),
         );
         let t0 = mgr.threshold();
         // Everything oscillates -> everything freezes -> threshold halves.
@@ -528,7 +564,11 @@ mod tests {
             }
             mgr.sync(&mut params, r, |up| up.to_vec());
         }
-        assert!(mgr.threshold() < t0, "threshold {} should have decayed", mgr.threshold());
+        assert!(
+            mgr.threshold() < t0,
+            "threshold {} should have decayed",
+            mgr.threshold()
+        );
     }
 
     #[test]
@@ -562,7 +602,10 @@ mod tests {
         let n = 500;
         let cfg = ApfConfig {
             check_every_rounds: 1_000_000, // disable stability checks
-            variant: ApfVariant::PlusPlus { a1: 1.0 / 100.0, a2: 0.0 },
+            variant: ApfVariant::PlusPlus {
+                a1: 1.0 / 100.0,
+                a2: 0.0,
+            },
             threshold_decay: None,
             ..ApfConfig::default()
         };
@@ -616,7 +659,11 @@ mod tests {
             let ra = a.finish_round(&pa, r);
             let rb = b.finish_round(&pb, r);
             assert_eq!(ra, rb, "round {r}: reports diverged");
-            assert_eq!(a.frozen_mask(r + 1), b.frozen_mask(r + 1), "round {r}: masks diverged");
+            assert_eq!(
+                a.frozen_mask(r + 1),
+                b.frozen_mask(r + 1),
+                "round {r}: masks diverged"
+            );
             assert_eq!(pa, pb, "round {r}: models diverged");
         }
     }
@@ -657,7 +704,10 @@ mod tests {
     fn invalid_config_panics() {
         let _ = ApfManager::new(
             &[0.0],
-            ApfConfig { check_every_rounds: 0, ..ApfConfig::default() },
+            ApfConfig {
+                check_every_rounds: 0,
+                ..ApfConfig::default()
+            },
             Box::new(Aimd::default()),
         );
     }

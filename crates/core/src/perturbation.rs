@@ -29,7 +29,13 @@ impl WindowedPerturbation {
     /// Panics if `window` is zero.
     pub fn new(n: usize, window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        WindowedPerturbation { window, n, buf: Vec::new(), next: 0, filled: 0 }
+        WindowedPerturbation {
+            window,
+            n,
+            buf: Vec::new(),
+            next: 0,
+            filled: 0,
+        }
     }
 
     /// Number of tracked scalars.
@@ -76,7 +82,13 @@ impl WindowedPerturbation {
         }
         num.iter()
             .zip(&den)
-            .map(|(&s, &a)| if a == 0.0 { 0.0 } else { (s.abs() / a).min(1.0) })
+            .map(|(&s, &a)| {
+                if a == 0.0 {
+                    0.0
+                } else {
+                    (s.abs() / a).min(1.0)
+                }
+            })
             .collect()
     }
 
@@ -106,7 +118,12 @@ impl EmaPerturbation {
     /// Panics unless `0.0 <= alpha < 1.0`.
     pub fn new(n: usize, alpha: f32) -> Self {
         assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
-        EmaPerturbation { alpha, e: vec![0.0; n], a: vec![0.0; n], updates: 0 }
+        EmaPerturbation {
+            alpha,
+            e: vec![0.0; n],
+            a: vec![0.0; n],
+            updates: 0,
+        }
     }
 
     /// Number of tracked scalars.
@@ -191,7 +208,12 @@ impl EmaPerturbation {
     pub fn from_raw(alpha: f32, e: Vec<f32>, a: Vec<f32>, updates: u64) -> Self {
         assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
         assert_eq!(e.len(), a.len(), "E/A length mismatch");
-        EmaPerturbation { alpha, e, a, updates }
+        EmaPerturbation {
+            alpha,
+            e,
+            a,
+            updates,
+        }
     }
 }
 

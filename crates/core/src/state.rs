@@ -48,7 +48,13 @@ impl ApfState {
         out.extend_from_slice(&self.threshold.to_le_bytes());
         out.extend_from_slice(&self.checks_run.to_le_bytes());
         out.extend_from_slice(&self.ema_updates.to_le_bytes());
-        for v in self.ema_e.iter().chain(&self.ema_a).chain(&self.pinned).chain(&self.check_ref) {
+        for v in self
+            .ema_e
+            .iter()
+            .chain(&self.ema_a)
+            .chain(&self.pinned)
+            .chain(&self.check_ref)
+        {
             out.extend_from_slice(&v.to_le_bytes());
         }
         for l in &self.freeze_len {
@@ -186,14 +192,22 @@ mod tests {
 
     fn warmed() -> ApfManager {
         let init = vec![0.0f32; 16];
-        let cfg = ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() };
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
         let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
         let mut p = init;
         for r in 0..30u64 {
             for (j, v) in p.iter_mut().enumerate() {
                 if !mgr.is_frozen(j, r) {
                     *v += if j % 2 == 0 {
-                        if r % 2 == 0 { 0.1 } else { -0.1 }
+                        if r % 2 == 0 {
+                            0.1
+                        } else {
+                            -0.1
+                        }
                     } else {
                         0.05
                     };

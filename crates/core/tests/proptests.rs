@@ -1,13 +1,11 @@
-//! Property-based tests for the APF core invariants.
+//! Property-based tests for the APF core invariants (on `apf-testkit`).
 
 use apf::{Aimd, ApfConfig, ApfManager, ApfVariant, EmaPerturbation, WindowedPerturbation};
-use proptest::prelude::*;
+use apf_testkit::{f32s, f64s, prop_assert, prop_assert_eq, property, u64s, vecs};
 
-proptest! {
-    #[test]
+property! {
     fn windowed_perturbation_in_unit_interval(
-        updates in proptest::collection::vec(
-            proptest::collection::vec(-5.0f32..5.0, 3), 1..20),
+        updates in vecs(vecs(f32s(-5.0..5.0), 3..4), 1..20),
     ) {
         let mut w = WindowedPerturbation::new(3, 8);
         for u in &updates {
@@ -18,11 +16,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn ema_perturbation_in_unit_interval(
-        deltas in proptest::collection::vec(
-            proptest::collection::vec(-5.0f32..5.0, 4), 1..30),
-        alpha in 0.0f32..0.999,
+        deltas in vecs(vecs(f32s(-5.0..5.0), 4..5), 1..30),
+        alpha in f32s(0.0..0.999),
     ) {
         let mut e = EmaPerturbation::new(4, alpha);
         for d in &deltas {
@@ -33,9 +29,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn same_sign_updates_keep_perturbation_at_one(
-        mags in proptest::collection::vec(0.001f32..2.0, 2..20),
+        mags in vecs(f32s(0.001..2.0), 2..20),
     ) {
         let mut w = WindowedPerturbation::new(1, 32);
         let mut e = EmaPerturbation::new(1, 0.9);
@@ -47,10 +42,9 @@ proptest! {
         prop_assert!((e.value(0) - 1.0).abs() < 1e-4);
     }
 
-    #[test]
     fn frozen_scalars_never_appear_in_upload(
-        seed in 0u64..500,
-        rounds in 5u64..40,
+        seed in u64s(0..500),
+        rounds in u64s(5..40),
     ) {
         // Random oscillation/drift mix; invariant: upload length always
         // equals n - frozen_count, and rollback pins frozen scalars.
@@ -81,9 +75,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn freezing_period_zero_means_never_frozen_for_drifters(
-        steps in 1u64..60,
+        steps in u64s(1..60),
     ) {
         // A scalar that always drifts in one direction must never freeze
         // under Standard APF.
@@ -102,10 +95,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn sharp_freeze_fraction_tracks_probability(
-        prob in 0.05f64..0.95,
-        seed in 0u64..100,
+        prob in f64s(0.05..0.95),
+        seed in u64s(0..100),
     ) {
         let n = 2000usize;
         let cfg = ApfConfig {

@@ -1,8 +1,7 @@
 //! In-memory labelled dataset with shuffled mini-batching.
 
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use apf_tensor::{Rng, SliceRandom};
 
 /// An in-memory classification dataset: inputs `[N, ...]` plus labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,12 +18,20 @@ impl Dataset {
     /// Panics if the first input dimension differs from `labels.len()` or any
     /// label is `>= num_classes`.
     pub fn new(inputs: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(inputs.shape()[0], labels.len(), "inputs/labels length mismatch");
+        assert_eq!(
+            inputs.shape()[0],
+            labels.len(),
+            "inputs/labels length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Dataset { inputs, labels, num_classes }
+        Dataset {
+            inputs,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -91,11 +98,16 @@ impl Dataset {
     ///
     /// # Panics
     /// Panics if `batch_size` is zero.
-    pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut StdRng) -> Batches<'a> {
+    pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut Rng) -> Batches<'a> {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(rng);
-        Batches { dataset: self, order, batch_size, cursor: 0 }
+        Batches {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// Per-class sample counts.

@@ -5,16 +5,14 @@
 //! al.); the extreme non-IID micro-benchmarks (§7.3) give each client a small
 //! number of distinct classes.
 
-use apf_tensor::{derive_seed, seeded_rng};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use apf_tensor::{derive_seed, seeded_rng, Rng, SliceRandom};
 
 /// Draws one sample from Gamma(shape, 1) via Marsaglia–Tsang (with the
 /// standard α < 1 boost).
 ///
 /// # Panics
 /// Panics if `shape` is not positive.
-pub fn sample_gamma(shape: f64, rng: &mut impl Rng) -> f64 {
+pub fn sample_gamma(shape: f64, rng: &mut Rng) -> f64 {
     assert!(shape > 0.0, "gamma shape must be positive");
     if shape < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
@@ -66,7 +64,9 @@ pub fn dirichlet_partition(
             .collect();
         idx.shuffle(&mut rng);
         // Dirichlet draw: normalized Gamma(alpha) samples.
-        let gammas: Vec<f64> = (0..num_clients).map(|_| sample_gamma(alpha, &mut rng)).collect();
+        let gammas: Vec<f64> = (0..num_clients)
+            .map(|_| sample_gamma(alpha, &mut rng))
+            .collect();
         let total: f64 = gammas.iter().sum();
         let mut cuts = Vec::with_capacity(num_clients);
         let mut acc = 0.0;
@@ -76,7 +76,11 @@ pub fn dirichlet_partition(
         }
         let mut start = 0;
         for (ci, part) in parts.iter_mut().enumerate() {
-            let end = if ci + 1 == num_clients { idx.len() } else { cuts[ci].max(start) };
+            let end = if ci + 1 == num_clients {
+                idx.len()
+            } else {
+                cuts[ci].max(start)
+            };
             part.extend_from_slice(&idx[start..end]);
             start = end;
         }
@@ -99,7 +103,10 @@ pub fn classes_per_client_partition(
     k: usize,
     seed: u64,
 ) -> Vec<Vec<usize>> {
-    assert!(num_clients > 0 && k > 0, "need clients and classes per client");
+    assert!(
+        num_clients > 0 && k > 0,
+        "need clients and classes per client"
+    );
     let mut rng = seeded_rng(derive_seed(seed, 0xC1A5));
     let num_classes = labels.iter().max().map_or(0, |&m| m + 1);
     // Assign classes round-robin so coverage is as even as possible.
@@ -246,14 +253,23 @@ mod tests {
         for shape in [0.5f64, 1.0, 3.0] {
             let n = 20000;
             let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
         let l = labels(200, 10);
-        assert_eq!(dirichlet_partition(&l, 3, 1.0, 7), dirichlet_partition(&l, 3, 1.0, 7));
-        assert_ne!(dirichlet_partition(&l, 3, 1.0, 7), dirichlet_partition(&l, 3, 1.0, 8));
+        assert_eq!(
+            dirichlet_partition(&l, 3, 1.0, 7),
+            dirichlet_partition(&l, 3, 1.0, 7)
+        );
+        assert_ne!(
+            dirichlet_partition(&l, 3, 1.0, 7),
+            dirichlet_partition(&l, 3, 1.0, 8)
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! Synthetic stand-ins for CIFAR-10 and the keyword-spotting dataset.
 
 use apf_tensor::{derive_seed, normal_init, sample_normal, seeded_rng, Tensor};
-use rand::Rng;
 
 use crate::dataset::Dataset;
 
@@ -78,11 +77,7 @@ pub fn synth_images_split(n: usize, seed: u64, split: u64) -> Dataset {
         }
         labels.push(class);
     }
-    Dataset::new(
-        Tensor::from_vec(data, &[n, c, h, w]),
-        labels,
-        NUM_CLASSES,
-    )
+    Dataset::new(Tensor::from_vec(data, &[n, c, h, w]), labels, NUM_CLASSES)
 }
 
 /// Generates the training split of the synthetic keyword-spotting stand-in
@@ -105,7 +100,9 @@ pub fn synth_kws_split(n: usize, seed: u64, split: u64) -> Dataset {
     let mut freqs = Vec::with_capacity(NUM_CLASSES);
     let mut phases = Vec::with_capacity(NUM_CLASSES);
     for _ in 0..NUM_CLASSES {
-        let f: Vec<f32> = (0..d_feat).map(|_| class_rng.gen_range(0.5f32..4.0)).collect();
+        let f: Vec<f32> = (0..d_feat)
+            .map(|_| class_rng.gen_range(0.5f32..4.0))
+            .collect();
         let p: Vec<f32> = (0..d_feat)
             .map(|_| class_rng.gen_range(0.0f32..std::f32::consts::TAU))
             .collect();
@@ -181,7 +178,10 @@ mod tests {
             same += dist(tr0, te0);
             diff += dist(tr0, te5);
         }
-        assert!(same < diff, "same-class {same} should be < cross-class {diff}");
+        assert!(
+            same < diff,
+            "same-class {same} should be < cross-class {diff}"
+        );
     }
 
     #[test]
@@ -195,7 +195,10 @@ mod tests {
         let mut counts = vec![0usize; NUM_CLASSES];
         for i in 0..200 {
             let l = ds.labels()[i];
-            for (m, &v) in means[l].iter_mut().zip(&ds.inputs().data()[i * row..(i + 1) * row]) {
+            for (m, &v) in means[l]
+                .iter_mut()
+                .zip(&ds.inputs().data()[i * row..(i + 1) * row])
+            {
                 *m += v;
             }
             counts[l] += 1;
@@ -210,8 +213,16 @@ mod tests {
             let x = &ds.inputs().data()[i * row..(i + 1) * row];
             let pred = (0..NUM_CLASSES)
                 .min_by(|&a, &b| {
-                    let da: f32 = x.iter().zip(&means[a]).map(|(p, q)| (p - q) * (p - q)).sum();
-                    let db: f32 = x.iter().zip(&means[b]).map(|(p, q)| (p - q) * (p - q)).sum();
+                    let da: f32 = x
+                        .iter()
+                        .zip(&means[a])
+                        .map(|(p, q)| (p - q) * (p - q))
+                        .sum();
+                    let db: f32 = x
+                        .iter()
+                        .zip(&means[b])
+                        .map(|(p, q)| (p - q) * (p - q))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -232,7 +243,10 @@ mod tests {
 /// # Panics
 /// Panics unless `0.0 <= frac <= 1.0`.
 pub fn with_label_noise(ds: &Dataset, frac: f32, seed: u64) -> Dataset {
-    assert!((0.0..=1.0).contains(&frac), "noise fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&frac),
+        "noise fraction must be in [0,1]"
+    );
     let mut rng = seeded_rng(derive_seed(seed, 0x1ABE1));
     let k = ds.num_classes();
     let labels: Vec<usize> = ds

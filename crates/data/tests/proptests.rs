@@ -1,12 +1,14 @@
-//! Property-based tests for partitioners and datasets.
+//! Property-based tests for partitioners and datasets (on `apf-testkit`).
 
 use apf_data::{
     classes_per_client_partition, dirichlet_partition, iid_partition, synth_images, Dataset,
 };
 use apf_tensor::Tensor;
-use proptest::prelude::*;
+use apf_testkit::{
+    f64s, prop_assert, prop_assert_eq, property, u64s, usizes, vecs, TestCaseResult,
+};
 
-fn assert_exact_cover(parts: &[Vec<usize>], n: usize) -> Result<(), TestCaseError> {
+fn assert_exact_cover(parts: &[Vec<usize>], n: usize) -> TestCaseResult {
     let mut seen = vec![false; n];
     for p in parts {
         for &i in p {
@@ -19,14 +21,13 @@ fn assert_exact_cover(parts: &[Vec<usize>], n: usize) -> Result<(), TestCaseErro
     Ok(())
 }
 
-proptest! {
-    #[test]
+property! {
     fn dirichlet_always_exact_cover(
-        n in 1usize..300,
-        clients in 1usize..12,
-        alpha in 0.1f64..50.0,
-        classes in 1usize..11,
-        seed in 0u64..1000,
+        n in usizes(1..300),
+        clients in usizes(1..12),
+        alpha in f64s(0.1..50.0),
+        classes in usizes(1..11),
+        seed in u64s(0..1000),
     ) {
         let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
         let parts = dirichlet_partition(&labels, clients, alpha, seed);
@@ -34,11 +35,10 @@ proptest! {
         assert_exact_cover(&parts, n)?;
     }
 
-    #[test]
     fn classes_per_client_cover_when_enough_owners(
-        clients in 1usize..10,
-        k in 1usize..5,
-        seed in 0u64..1000,
+        clients in usizes(1..10),
+        k in usizes(1..5),
+        seed in u64s(0..1000),
     ) {
         // With clients*k >= classes every class has at least one owner, so
         // the partition must be an exact cover.
@@ -56,8 +56,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn iid_parts_are_balanced(n in 1usize..500, clients in 1usize..16, seed in 0u64..100) {
+    fn iid_parts_are_balanced(
+        n in usizes(1..500),
+        clients in usizes(1..16),
+        seed in u64s(0..100),
+    ) {
         let parts = iid_partition(n, clients, seed);
         assert_exact_cover(&parts, n)?;
         let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
@@ -66,8 +69,7 @@ proptest! {
         prop_assert!(max - min <= 1, "sizes {:?}", sizes);
     }
 
-    #[test]
-    fn dataset_select_preserves_labels(idx in proptest::collection::vec(0usize..30, 1..20)) {
+    fn dataset_select_preserves_labels(idx in vecs(usizes(0..30), 1..20)) {
         let ds = synth_images(30, 0);
         let sub = ds.select(&idx);
         prop_assert_eq!(sub.len(), idx.len());
@@ -76,8 +78,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn batches_partition_dataset(n in 1usize..100, bs in 1usize..32, seed in 0u64..100) {
+    fn batches_partition_dataset(
+        n in usizes(1..100),
+        bs in usizes(1..32),
+        seed in u64s(0..100),
+    ) {
         let inputs = Tensor::zeros(&[n, 2]);
         let ds = Dataset::new(inputs, (0..n).map(|i| i % 3).collect(), 3);
         let mut rng = apf_tensor::seeded_rng(seed);

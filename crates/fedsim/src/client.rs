@@ -2,8 +2,8 @@
 
 use apf_data::Dataset;
 use apf_nn::Trainer;
+use apf_tensor::Rng;
 use apf_tensor::{derive_seed, seeded_rng};
-use rand::rngs::StdRng;
 
 /// One edge client in the simulation.
 ///
@@ -14,7 +14,7 @@ pub struct Client {
     trainer: Trainer,
     data: Dataset,
     batch_size: usize,
-    rng: StdRng,
+    rng: Rng,
     workload: f32,
 }
 
@@ -49,7 +49,10 @@ impl Client {
     /// # Panics
     /// Panics if the fraction is outside `(0, 1]`.
     pub fn set_workload(&mut self, fraction: f32) {
-        assert!(fraction > 0.0 && fraction <= 1.0, "workload must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "workload must be in (0, 1]"
+        );
         self.workload = fraction;
     }
 
@@ -121,7 +124,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-     
+
     use apf_nn::{models, LrSchedule, Sgd};
 
     fn client(seed: u64) -> Client {
@@ -133,7 +136,12 @@ mod tests {
             Box::new(Sgd::new(0.05)),
             LrSchedule::Constant(0.05),
         );
-        Client::new(trainer, Dataset::new(flat, ds.labels().to_vec(), 10), 8, seed)
+        Client::new(
+            trainer,
+            Dataset::new(flat, ds.labels().to_vec(), 10),
+            8,
+            seed,
+        )
     }
 
     #[test]

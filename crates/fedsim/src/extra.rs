@@ -35,7 +35,10 @@ impl TopK {
             k_fraction > 0.0 && k_fraction <= 1.0,
             "k fraction must be in (0, 1]"
         );
-        TopK { k_fraction, last_global: Vec::new() }
+        TopK {
+            k_fraction,
+            last_global: Vec::new(),
+        }
     }
 }
 
@@ -141,7 +144,12 @@ impl LayerFreeze {
     pub fn new(layers: Vec<(usize, usize)>, freeze_every: u64) -> Self {
         assert!(!layers.is_empty(), "need at least one layer");
         assert!(freeze_every > 0, "freeze cadence must be positive");
-        LayerFreeze { layers, freeze_every, pinned: Vec::new(), frozen_layers: 0 }
+        LayerFreeze {
+            layers,
+            freeze_every,
+            pinned: Vec::new(),
+            frozen_layers: 0,
+        }
     }
 
     /// Number of currently frozen layers.
@@ -150,7 +158,10 @@ impl LayerFreeze {
     }
 
     fn frozen_scalars(&self) -> usize {
-        self.layers[..self.frozen_layers].iter().map(|&(_, len)| len).sum()
+        self.layers[..self.frozen_layers]
+            .iter()
+            .map(|&(_, len)| len)
+            .sum()
     }
 
     fn is_frozen(&self, j: usize) -> bool {
@@ -253,7 +264,11 @@ impl<S: SyncStrategy> DpGaussian<S> {
     /// Panics if `noise_std` is negative.
     pub fn new(inner: S, noise_std: f32, seed: u64) -> Self {
         assert!(noise_std >= 0.0, "noise std must be non-negative");
-        DpGaussian { inner, noise_std, seed }
+        DpGaussian {
+            inner,
+            noise_std,
+            seed,
+        }
     }
 
     /// The wrapped strategy.
@@ -327,7 +342,11 @@ mod tests {
         s.sync_round(0, &mut locals, &[1.0], &mut g);
         assert_eq!(g[0], 1.0);
         assert_eq!(g[1], 0.0);
-        assert!((locals[0][1] - 0.4).abs() < 1e-6, "residual lost: {}", locals[0][1]);
+        assert!(
+            (locals[0][1] - 0.4).abs() < 1e-6,
+            "residual lost: {}",
+            locals[0][1]
+        );
         // Next round scalar 1 grows past scalar 0's fresh update.
         locals[0][1] += 0.8; // local now 1.2 vs global 0
         let _ = s.sync_round(1, &mut locals, &[1.0], &mut g);
@@ -362,7 +381,10 @@ mod tests {
         let c4 = s.sync_round(4, &mut locals, &[1.0], &mut g);
         assert!((c4.frozen_ratio - 2.0 / 3.0).abs() < 1e-6);
         let c99 = s.sync_round(99, &mut locals, &[1.0], &mut g);
-        assert!((c99.frozen_ratio - 2.0 / 3.0).abs() < 1e-6, "head layer froze");
+        assert!(
+            (c99.frozen_ratio - 2.0 / 3.0).abs() < 1e-6,
+            "head layer froze"
+        );
     }
 
     #[test]
@@ -392,7 +414,10 @@ mod tests {
         // Global is 1.0 + averaged noise: close to 1, not exactly 1.
         let mean = g.iter().sum::<f32>() / 64.0;
         assert!((mean - 1.0).abs() < 0.1);
-        assert!(g.iter().any(|&v| (v - 1.0).abs() > 1e-4), "no noise was added");
+        assert!(
+            g.iter().any(|&v| (v - 1.0).abs() > 1e-4),
+            "no noise was added"
+        );
         assert_eq!(dp.name(), "fedavg+dp");
     }
 

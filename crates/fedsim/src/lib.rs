@@ -37,16 +37,15 @@
 
 mod client;
 mod extra;
+pub mod json;
 mod metrics;
 mod network;
 mod runner;
 mod strategy;
 
 pub use client::Client;
+pub use extra::{DpGaussian, LayerFreeze, TopK};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;
 pub use runner::{FlConfig, FlRunner, FlRunnerBuilder, OptimizerKind};
-pub use extra::{DpGaussian, LayerFreeze, TopK};
-pub use strategy::{
-    ApfStrategy, Cmfl, FullSync, Gaia, PartialSync, RoundComm, SyncStrategy,
-};
+pub use strategy::{ApfStrategy, Cmfl, FullSync, Gaia, PartialSync, RoundComm, SyncStrategy};

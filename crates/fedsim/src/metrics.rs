@@ -1,12 +1,13 @@
 //! Per-round metric records and experiment logs (CSV/JSON export).
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 
 /// Metrics of one communication round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: u64,
@@ -35,8 +36,62 @@ pub struct RoundRecord {
     pub cum_secs: f64,
 }
 
+impl RoundRecord {
+    fn to_value(self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("round".to_owned(), Value::from_u64(self.round));
+        m.insert("loss".to_owned(), Value::from_f32(self.loss));
+        m.insert(
+            "accuracy".to_owned(),
+            self.accuracy.map_or(Value::Null, Value::from_f32),
+        );
+        m.insert(
+            "best_accuracy".to_owned(),
+            Value::from_f32(self.best_accuracy),
+        );
+        m.insert(
+            "frozen_ratio".to_owned(),
+            Value::from_f32(self.frozen_ratio),
+        );
+        m.insert("bytes_up".to_owned(), Value::from_u64(self.bytes_up));
+        m.insert("bytes_down".to_owned(), Value::from_u64(self.bytes_down));
+        m.insert("cum_bytes".to_owned(), Value::from_u64(self.cum_bytes));
+        m.insert(
+            "compute_secs".to_owned(),
+            Value::from_f64(self.compute_secs),
+        );
+        m.insert("comm_secs".to_owned(), Value::from_f64(self.comm_secs));
+        m.insert("cum_secs".to_owned(), Value::from_f64(self.cum_secs));
+        Value::Obj(m)
+    }
+
+    fn from_value(v: &Value) -> Option<RoundRecord> {
+        // Tolerant: missing or null numeric fields default to zero, so logs
+        // from older/newer schema revisions still load.
+        let f32_of = |k: &str| v.get(k).and_then(Value::as_f32).unwrap_or(0.0);
+        let f64_of = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let u64_of = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        match v {
+            Value::Obj(_) => Some(RoundRecord {
+                round: u64_of("round"),
+                loss: f32_of("loss"),
+                accuracy: v.get("accuracy").and_then(Value::as_f32),
+                best_accuracy: f32_of("best_accuracy"),
+                frozen_ratio: f32_of("frozen_ratio"),
+                bytes_up: u64_of("bytes_up"),
+                bytes_down: u64_of("bytes_down"),
+                cum_bytes: u64_of("cum_bytes"),
+                compute_secs: f64_of("compute_secs"),
+                comm_secs: f64_of("comm_secs"),
+                cum_secs: f64_of("cum_secs"),
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// The full metric trace of one experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperimentLog {
     /// Experiment label, e.g. `"lenet5/apf"`.
     pub name: String,
@@ -47,7 +102,10 @@ pub struct ExperimentLog {
 impl ExperimentLog {
     /// Creates an empty log with the given label.
     pub fn new(name: &str) -> Self {
-        ExperimentLog { name: name.to_owned(), records: Vec::new() }
+        ExperimentLog {
+            name: name.to_owned(),
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record.
@@ -115,12 +173,49 @@ impl ExperimentLog {
         f.write_all(self.to_csv().as_bytes())
     }
 
-    /// Serializes the log as JSON.
+    /// Serializes the log as pretty-printed JSON.
     ///
-    /// # Panics
-    /// Never in practice (the log is always serializable).
+    /// Non-finite floats serialize as `null`; the output never contains a
+    /// `NaN` or `inf` token, so it is always standard JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("log serialization cannot fail")
+        let mut m = BTreeMap::new();
+        m.insert("name".to_owned(), Value::Str(self.name.clone()));
+        m.insert(
+            "records".to_owned(),
+            Value::Arr(self.records.iter().map(|r| r.to_value()).collect()),
+        );
+        Value::Obj(m).pretty()
+    }
+
+    /// Parses a log previously produced by [`ExperimentLog::to_json`].
+    ///
+    /// The parse is tolerant: unknown fields are ignored and missing numeric
+    /// fields default to zero.
+    ///
+    /// # Errors
+    /// Returns a [`json::ParseError`] on malformed JSON or a non-log shape.
+    pub fn from_json(input: &str) -> Result<ExperimentLog, json::ParseError> {
+        let doc = json::parse(input)?;
+        let shape_err = || json::ParseError {
+            offset: 0,
+            message: "document is not an ExperimentLog".to_owned(),
+        };
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(shape_err)?;
+        let records = doc
+            .get("records")
+            .and_then(Value::as_arr)
+            .ok_or_else(shape_err)?
+            .iter()
+            .map(RoundRecord::from_value)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(shape_err)?;
+        Ok(ExperimentLog {
+            name: name.to_owned(),
+            records,
+        })
     }
 }
 
@@ -173,8 +268,33 @@ mod tests {
     fn json_roundtrip() {
         let mut log = ExperimentLog::new("t");
         log.push(rec(0, Some(0.1), 0.1, 5));
-        let back: ExperimentLog = serde_json::from_str(&log.to_json()).unwrap();
+        let back = ExperimentLog::from_json(&log.to_json()).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn json_never_emits_nan_or_inf_tokens() {
+        // A crashed run can leave NaN losses and infinite timings behind;
+        // the serialized log must still be valid JSON (NaN/Infinity are not
+        // JSON tokens) and must parse back with those fields nulled to 0.
+        let mut log = ExperimentLog::new("diverged");
+        let mut r = rec(0, Some(f32::NAN), f32::INFINITY, 7);
+        r.loss = f32::NAN;
+        r.compute_secs = f64::INFINITY;
+        r.comm_secs = f64::NEG_INFINITY;
+        log.push(r);
+        let text = log.to_json();
+        for token in ["NaN", "nan", "Infinity", "inf"] {
+            assert!(!text.contains(token), "illegal token {token:?} in {text}");
+        }
+        let back = ExperimentLog::from_json(&text).unwrap();
+        assert_eq!(back.records[0].loss, 0.0);
+        assert_eq!(back.records[0].accuracy, None);
+        assert_eq!(back.records[0].best_accuracy, 0.0);
+        assert_eq!(back.records[0].compute_secs, 0.0);
+        assert_eq!(back.records[0].comm_secs, 0.0);
+        // Finite fields survive untouched.
+        assert_eq!(back.records[0].bytes_up, 7);
     }
 
     #[test]

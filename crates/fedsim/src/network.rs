@@ -15,7 +15,10 @@ pub struct NetworkModel {
 impl Default for NetworkModel {
     /// The paper's global-Internet setup: 9 Mbps down, 3 Mbps up.
     fn default() -> Self {
-        NetworkModel { down_mbps: 9.0, up_mbps: 3.0 }
+        NetworkModel {
+            down_mbps: 9.0,
+            up_mbps: 3.0,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ impl NetworkModel {
     /// # Panics
     /// Panics if either bandwidth is not positive.
     pub fn transfer_secs(&self, bytes_up: u64, bytes_down: u64) -> f64 {
-        assert!(self.down_mbps > 0.0 && self.up_mbps > 0.0, "bandwidth must be positive");
+        assert!(
+            self.down_mbps > 0.0 && self.up_mbps > 0.0,
+            "bandwidth must be positive"
+        );
         let up = bytes_up as f64 * 8.0 / (self.up_mbps * 1e6);
         let down = bytes_down as f64 * 8.0 / (self.down_mbps * 1e6);
         up + down
@@ -48,7 +54,10 @@ mod tests {
 
     #[test]
     fn transfer_time_math() {
-        let n = NetworkModel { down_mbps: 8.0, up_mbps: 8.0 };
+        let n = NetworkModel {
+            down_mbps: 8.0,
+            up_mbps: 8.0,
+        };
         // 1 MB up + 1 MB down at 8 Mbps = 1 s + 1 s.
         assert!((n.transfer_secs(1_000_000, 1_000_000) - 2.0).abs() < 1e-9);
         assert_eq!(n.transfer_secs(0, 0), 0.0);

@@ -36,8 +36,14 @@ pub enum OptimizerKind {
 impl OptimizerKind {
     fn build(&self) -> Box<dyn Optimizer> {
         match *self {
-            OptimizerKind::Sgd { lr, momentum, weight_decay } => Box::new(
-                Sgd::new(lr).with_momentum(momentum).with_weight_decay(weight_decay),
+            OptimizerKind::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => Box::new(
+                Sgd::new(lr)
+                    .with_momentum(momentum)
+                    .with_weight_decay(weight_decay),
             ),
             OptimizerKind::Adam { lr, weight_decay } => {
                 Box::new(Adam::new(lr).with_weight_decay(weight_decay))
@@ -134,7 +140,10 @@ impl FlRunnerBuilder {
     /// Panics if any part is empty.
     pub fn clients_from_partition(mut self, train: &Dataset, partition: &[Vec<usize>]) -> Self {
         for part in partition {
-            assert!(!part.is_empty(), "a client received no data; re-seed the partition");
+            assert!(
+                !part.is_empty(),
+                "a client received no data; re-seed the partition"
+            );
             self.client_data.push(train.select(part));
         }
         self
@@ -164,7 +173,10 @@ impl FlRunnerBuilder {
     /// # Panics
     /// Panics if the fraction is outside `(0, 1]`.
     pub fn participation(mut self, fraction: f32) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "participation must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "participation must be in (0, 1]"
+        );
         self.cfg.participation = fraction;
         self
     }
@@ -223,7 +235,12 @@ impl FlRunnerBuilder {
                     self.optimizer.build(),
                     schedule,
                 );
-                Client::new(trainer, data, cfg.batch_size, derive_seed(cfg.seed, i as u64))
+                Client::new(
+                    trainer,
+                    data,
+                    cfg.batch_size,
+                    derive_seed(cfg.seed, i as u64),
+                )
             })
             .collect();
         for (i, frac) in self.stragglers {
@@ -288,7 +305,11 @@ impl FlRunner {
         FlRunnerBuilder {
             model_factory: Box::new(model_factory),
             cfg,
-            optimizer: OptimizerKind::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.0 },
+            optimizer: OptimizerKind::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
             schedule: None,
             client_data: Vec::new(),
             stragglers: Vec::new(),
@@ -350,11 +371,8 @@ impl FlRunner {
         let participating: Vec<bool> = if self.cfg.participation >= 1.0 {
             vec![true; self.clients.len()]
         } else {
-            use rand::Rng;
-            let mut rng = apf_tensor::seeded_rng(apf_tensor::derive_seed(
-                self.cfg.seed,
-                0x9A27 ^ round,
-            ));
+            let mut rng =
+                apf_tensor::seeded_rng(apf_tensor::derive_seed(self.cfg.seed, 0x9A27 ^ round));
             let mut p: Vec<bool> = (0..self.clients.len())
                 .map(|_| rng.gen::<f32>() < self.cfg.participation)
                 .collect();
@@ -436,7 +454,9 @@ impl FlRunner {
                 c.trainer_mut().set_prox(mu, self.global.clone());
             }
         }
-        let comm_secs = self.network.transfer_secs(comm.max_client_up, comm.max_client_down);
+        let comm_secs = self
+            .network
+            .transfer_secs(comm.max_client_up, comm.max_client_down);
         self.cum_bytes += comm.bytes_up + comm.bytes_down;
         self.cum_secs += compute_secs + comm_secs;
         let accuracy = if round.is_multiple_of(self.cfg.eval_every as u64)
@@ -516,7 +536,11 @@ mod tests {
         let test = flat_images(100, 2);
         let parts = iid_partition(train.len(), 3, 7);
         let mut runner = FlRunner::builder(mlp_factory, tiny_cfg(12))
-            .optimizer(OptimizerKind::Sgd { lr: 0.05, momentum: 0.9, weight_decay: 0.0 })
+            .optimizer(OptimizerKind::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test)
             .build();
@@ -525,7 +549,10 @@ mod tests {
         assert!(log.best_accuracy() > 0.3, "best {}", log.best_accuracy());
         // Cumulative bytes: initial distribution + 12 rounds full model.
         let model_bytes = (3 * 16 * 16 * 24 + 24 + 24 * 10 + 10) as u64 * 4;
-        assert_eq!(log.total_bytes(), model_bytes * 3 + 12 * 2 * 3 * model_bytes);
+        assert_eq!(
+            log.total_bytes(),
+            model_bytes * 3 + 12 * 2 * 3 * model_bytes
+        );
     }
 
     #[test]
@@ -534,7 +561,10 @@ mod tests {
         let test = flat_images(40, 4);
         let parts = iid_partition(train.len(), 2, 1);
         let run = |parallel: bool| {
-            let cfg = FlConfig { parallel, ..tiny_cfg(4) };
+            let cfg = FlConfig {
+                parallel,
+                ..tiny_cfg(4)
+            };
             let mut runner = FlRunner::builder(mlp_factory, cfg)
                 .clients_from_partition(&train, &parts)
                 .test_set(test.clone())
@@ -552,9 +582,16 @@ mod tests {
         let train = flat_images(80, 5);
         let test = flat_images(40, 6);
         let parts = iid_partition(train.len(), 2, 2);
-        let apf_cfg = ApfConfig { check_every_rounds: 2, ..ApfConfig::default() };
+        let apf_cfg = ApfConfig {
+            check_every_rounds: 2,
+            ..ApfConfig::default()
+        };
         let mut runner = FlRunner::builder(mlp_factory, tiny_cfg(20))
-            .optimizer(OptimizerKind::Sgd { lr: 0.05, momentum: 0.9, weight_decay: 0.0 })
+            .optimizer(OptimizerKind::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test)
             .strategy(Box::new(ApfStrategy::new(apf_cfg)))
@@ -572,7 +609,10 @@ mod tests {
         let train = flat_images(60, 8);
         let test = flat_images(30, 9);
         let parts = iid_partition(train.len(), 2, 3);
-        let cfg = FlConfig { drop_stragglers: true, ..tiny_cfg(2) };
+        let cfg = FlConfig {
+            drop_stragglers: true,
+            ..tiny_cfg(2)
+        };
         let mut runner = FlRunner::builder(mlp_factory, cfg)
             .clients_from_partition(&train, &parts)
             .straggler(1, 0.5)
@@ -588,7 +628,10 @@ mod tests {
         let train = flat_images(60, 10);
         let test = flat_images(30, 11);
         let parts = iid_partition(train.len(), 2, 4);
-        let cfg = FlConfig { prox_mu: Some(0.01), ..tiny_cfg(3) };
+        let cfg = FlConfig {
+            prox_mu: Some(0.01),
+            ..tiny_cfg(3)
+        };
         let mut runner = FlRunner::builder(mlp_factory, cfg)
             .clients_from_partition(&train, &parts)
             .test_set(test)
@@ -618,7 +661,10 @@ mod tests {
         let train = flat_images(80, 16);
         let test = flat_images(30, 17);
         let parts = iid_partition(train.len(), 4, 7);
-        let cfg = FlConfig { participation: 0.5, ..tiny_cfg(6) };
+        let cfg = FlConfig {
+            participation: 0.5,
+            ..tiny_cfg(6)
+        };
         let mut runner = FlRunner::builder(mlp_factory, cfg)
             .clients_from_partition(&train, &parts)
             .test_set(test.clone())

@@ -87,7 +87,9 @@ pub struct FullSync {
 impl FullSync {
     /// Creates the strategy (4 bytes per scalar).
     pub fn new() -> Self {
-        FullSync { bytes_per_scalar: 4 }
+        FullSync {
+            bytes_per_scalar: 4,
+        }
     }
 }
 
@@ -199,7 +201,13 @@ impl SyncStrategy for PartialSync {
         if (round + 1).is_multiple_of(u64::from(self.check_every)) {
             let included: Vec<bool> = self.excluded.iter().map(|&e| !e).collect();
             let delta: Vec<f32> = (0..n)
-                .map(|j| if self.excluded[j] { 0.0 } else { global[j] - self.check_ref[j] })
+                .map(|j| {
+                    if self.excluded[j] {
+                        0.0
+                    } else {
+                        global[j] - self.check_ref[j]
+                    }
+                })
                 .collect();
             self.ema.update_masked(&delta, &included);
             for j in 0..n {
@@ -311,7 +319,11 @@ impl SyncStrategy for ApfStrategy {
         weights: &[f32],
         global: &mut Vec<f32>,
     ) -> RoundComm {
-        assert_eq!(locals.len(), self.managers.len(), "strategy not initialized");
+        assert_eq!(
+            locals.len(),
+            self.managers.len(),
+            "strategy not initialized"
+        );
         // Rollback + masked select on every client.
         let mut uploads: Vec<Vec<f32>> = Vec::with_capacity(locals.len());
         for (m, l) in self.managers.iter().zip(locals.iter_mut()) {
@@ -374,7 +386,10 @@ impl Gaia {
     /// Creates Gaia with the paper's default 1% significance threshold.
     pub fn new(threshold0: f32) -> Self {
         assert!(threshold0 > 0.0, "threshold must be positive");
-        Gaia { threshold0, last_global: Vec::new() }
+        Gaia {
+            threshold0,
+            last_global: Vec::new(),
+        }
     }
 
     fn threshold_at(&self, round: u64) -> f32 {
@@ -480,7 +495,12 @@ impl Cmfl {
     pub fn new(threshold0: f32, decay: f32) -> Self {
         assert!((0.0..=1.0).contains(&threshold0), "threshold in [0,1]");
         assert!((0.0..=1.0).contains(&decay), "decay in [0,1]");
-        Cmfl { threshold0, decay, last_global: Vec::new(), prev_update: Vec::new() }
+        Cmfl {
+            threshold0,
+            decay,
+            last_global: Vec::new(),
+            prev_update: Vec::new(),
+        }
     }
 
     fn threshold_at(&self, round: u64) -> f32 {
@@ -495,7 +515,9 @@ impl Cmfl {
         let same = update
             .iter()
             .zip(reference)
-            .filter(|(u, r)| (u.is_sign_positive() && **r >= 0.0) || (u.is_sign_negative() && **r < 0.0))
+            .filter(|(u, r)| {
+                (u.is_sign_positive() && **r >= 0.0) || (u.is_sign_negative() && **r < 0.0)
+            })
             .count();
         same as f32 / update.len() as f32
     }
@@ -527,7 +549,11 @@ impl SyncStrategy for Cmfl {
             if weights[i] <= 0.0 {
                 continue;
             }
-            let update: Vec<f32> = l.iter().zip(&self.last_global).map(|(a, b)| a - b).collect();
+            let update: Vec<f32> = l
+                .iter()
+                .zip(&self.last_global)
+                .map(|(a, b)| a - b)
+                .collect();
             let relevant = round == 0 || Cmfl::relevance(&update, &self.prev_update) >= thresh;
             if relevant {
                 reporters.push(i);
@@ -539,8 +565,8 @@ impl SyncStrategy for Cmfl {
         }
         let rep_locals: Vec<Vec<f32>> = reporters.iter().map(|&i| locals[i].clone()).collect();
         let rep_weights: Vec<f32> = reporters.iter().map(|&i| weights[i]).collect();
-        let new_global = weighted_mean(&rep_locals, &rep_weights)
-            .unwrap_or_else(|| self.last_global.clone());
+        let new_global =
+            weighted_mean(&rep_locals, &rep_weights).unwrap_or_else(|| self.last_global.clone());
         self.prev_update = new_global
             .iter()
             .zip(&self.last_global)
@@ -568,7 +594,9 @@ mod tests {
     use apf::ApfVariant;
 
     fn locals(n_clients: usize, n: usize, f: impl Fn(usize, usize) -> f32) -> Vec<Vec<f32>> {
-        (0..n_clients).map(|i| (0..n).map(|j| f(i, j)).collect()).collect()
+        (0..n_clients)
+            .map(|i| (0..n).map(|j| f(i, j)).collect())
+            .collect()
     }
 
     #[test]
@@ -637,7 +665,11 @@ mod tests {
 
     #[test]
     fn apf_strategy_matches_manager_semantics() {
-        let cfg = ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() };
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
         let mut s = ApfStrategy::new(cfg);
         let init = vec![0.0f32; 4];
         s.init(&init, 3);
@@ -649,7 +681,11 @@ mod tests {
                 for j in 0..4 {
                     if !s.managers()[0].is_frozen(j, r) {
                         l[j] += if j < 2 {
-                            if r % 2 == 0 { 0.1 } else { -0.1 }
+                            if r % 2 == 0 {
+                                0.1
+                            } else {
+                                -0.1
+                            }
                         } else {
                             0.1
                         };
@@ -686,7 +722,11 @@ mod tests {
 
     #[test]
     fn permanent_freeze_never_unfreezes() {
-        let cfg = ApfConfig { check_every_rounds: 1, threshold_decay: None, ..ApfConfig::default() };
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
         let mut s = ApfStrategy::permanent_freeze(cfg);
         let init = vec![0.0f32];
         s.init(&init, 1);
@@ -723,7 +763,7 @@ mod tests {
         };
         let mut std_apf = mk(ApfVariant::Standard);
         let mut sharp = mk(ApfVariant::Sharp { prob: 0.5 });
-        let mut run = |s: &mut ApfStrategy| -> u64 {
+        let run = |s: &mut ApfStrategy| -> u64 {
             let mut g = vec![0.0f32; n];
             let mut ls = locals(2, n, |_, _| 0.0);
             let mut total = 0;
@@ -787,7 +827,10 @@ mod tests {
         }
         let sr = sent_round.expect("accumulated update never became significant");
         assert!(sr >= 1, "should need at least 2 rounds of accumulation");
-        assert!((g[0] - 1.0).abs() > 0.3, "global finally received the bulk update");
+        assert!(
+            (g[0] - 1.0).abs() > 0.3,
+            "global finally received the bulk update"
+        );
     }
 
     #[test]
@@ -804,7 +847,10 @@ mod tests {
         ls[0].iter_mut().for_each(|v| *v += 0.1);
         ls[1].iter_mut().for_each(|v| *v -= 0.1);
         let c1 = s.sync_round(1, &mut ls, &[1.0, 1.0], &mut g);
-        assert!((c1.frozen_ratio - 0.5).abs() < 1e-6, "one of two clients withheld");
+        assert!(
+            (c1.frozen_ratio - 0.5).abs() < 1e-6,
+            "one of two clients withheld"
+        );
         assert_eq!(c1.bytes_up, 4 * 4, "only one full-model upload");
         assert_eq!(c1.bytes_down, 2 * 4 * 4, "both still pull");
         // Global moved with the relevant client only.

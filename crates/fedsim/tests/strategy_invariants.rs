@@ -1,11 +1,11 @@
 //! Property-based invariants over all synchronization strategies: byte
 //! accounting is non-negative and bounded by full-model traffic, the global
 //! model matches strategy semantics, and APF's client lockstep holds under
-//! random trajectories.
+//! random trajectories. (On `apf-testkit`.)
 
 use apf::{ApfConfig, ApfVariant};
 use apf_fedsim::{ApfStrategy, Cmfl, FullSync, Gaia, PartialSync, SyncStrategy, TopK};
-use proptest::prelude::*;
+use apf_testkit::{prop_assert, prop_assert_eq, property, u64s, usizes};
 
 /// Drives a strategy with scripted pseudo-random local trajectories and
 /// returns the per-round comm reports.
@@ -60,15 +60,13 @@ fn all_strategies(n: usize, seed: u64) -> Vec<Box<dyn SyncStrategy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
+property! {
+    [12]
     fn bytes_bounded_by_full_model_traffic(
-        n in 4usize..64,
-        clients in 1usize..5,
-        rounds in 1u64..12,
-        seed in 0u64..500,
+        n in usizes(4..64),
+        clients in usizes(1..5),
+        rounds in u64s(1..12),
+        seed in u64s(0..500),
     ) {
         for mut s in all_strategies(n, seed) {
             let reports = drive(s.as_mut(), n, clients, rounds, seed);
@@ -86,12 +84,12 @@ proptest! {
         }
     }
 
-    #[test]
+    [12]
     fn full_sync_strategies_keep_clients_identical(
-        n in 4usize..48,
-        clients in 2usize..5,
-        rounds in 1u64..10,
-        seed in 0u64..500,
+        n in usizes(4..48),
+        clients in usizes(2..5),
+        rounds in u64s(1..10),
+        seed in u64s(0..500),
     ) {
         // Strategies that re-distribute a consistent model must leave every
         // client bit-identical after each round.
@@ -130,11 +128,12 @@ proptest! {
         }
     }
 
-    #[test]
+    [12]
     fn gaia_and_topk_never_lose_mass_silently(
-        n in 2usize..32,
-        seed in 0u64..500,
+        n in usizes(2..32),
+        seed in u64s(0..500),
     ) {
+        let _ = seed;
         // Single client: whatever the client learned must eventually reach
         // the global model (residual accumulation), so after enough rounds
         // of a constant drift the global tracks the local.

@@ -33,10 +33,18 @@ impl FlatSpec {
         let mut params = Vec::new();
         let mut offset = 0;
         for (name, len, trainable) in entries {
-            params.push(ParamSpec { name, offset, len, trainable });
+            params.push(ParamSpec {
+                name,
+                offset,
+                len,
+                trainable,
+            });
             offset += len;
         }
-        FlatSpec { params, total: offset }
+        FlatSpec {
+            params,
+            total: offset,
+        }
     }
 
     /// Total number of scalars.

@@ -1,7 +1,7 @@
 //! The [`Layer`] trait: forward, backward, and named-parameter traversal.
 
+use apf_tensor::Rng;
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -29,7 +29,7 @@ pub enum Mode {
 /// synchronization and freezing but are never touched by optimizers.
 pub trait Layer: Send {
     /// Runs the layer forward, caching state for the next `backward` call.
-    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut StdRng) -> Tensor;
+    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut Rng) -> Tensor;
 
     /// Propagates `grad` (w.r.t. this layer's output) backward, accumulating
     /// parameter gradients and returning the gradient w.r.t. the input.

@@ -1,7 +1,7 @@
 //! Elementwise activation layers.
 
+use apf_tensor::Rng;
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
 
 use crate::layer::{Layer, Mode};
 
@@ -26,7 +26,10 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Activation { kind, cached_output: None }
+        Activation {
+            kind,
+            cached_output: None,
+        }
     }
 
     /// Convenience constructor for ReLU.
@@ -40,7 +43,7 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let out = match self.kind {
             ActivationKind::Relu => x.map(|v| v.max(0.0)),
             ActivationKind::Tanh => x.map(f32::tanh),
@@ -126,7 +129,11 @@ mod tests {
     fn relu_clamps_negatives() {
         let mut rng = seeded_rng(1);
         let mut act = Activation::relu();
-        let y = act.forward(Tensor::from_vec(vec![-1.0, 2.0], &[2]), Mode::Eval, &mut rng);
+        let y = act.forward(
+            Tensor::from_vec(vec![-1.0, 2.0], &[2]),
+            Mode::Eval,
+            &mut rng,
+        );
         assert_eq!(y.data(), &[0.0, 2.0]);
     }
 

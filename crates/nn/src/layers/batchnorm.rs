@@ -1,7 +1,7 @@
 //! 2-D batch normalization with running statistics.
 
+use apf_tensor::Rng;
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
 
 use crate::layer::{Layer, Mode};
 
@@ -78,7 +78,10 @@ impl BatchNorm2d {
         for ni in 0..n {
             for ci in 0..c {
                 let plane = &data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-                var[ci] += plane.iter().map(|&x| (x - mean[ci]) * (x - mean[ci])).sum::<f32>();
+                var[ci] += plane
+                    .iter()
+                    .map(|&x| (x - mean[ci]) * (x - mean[ci]))
+                    .sum::<f32>();
             }
         }
         for v in &mut var {
@@ -89,7 +92,7 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, x: Tensor, mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, mode: Mode, _rng: &mut Rng) -> Tensor {
         let s = x.shape().to_vec();
         assert_eq!(s.len(), 4, "batchnorm expects [N,C,H,W]");
         assert_eq!(s[1], self.channels, "channel count mismatch");
@@ -139,7 +142,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let cache = self.cache.take().expect("batchnorm backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("batchnorm backward before forward");
         let s = grad.shape().to_vec();
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let m = (n * h * w) as f32;
@@ -186,10 +192,8 @@ impl Layer for BatchNorm2d {
                         let base = (ni * c + ci) * h * w;
                         let k = gamma[ci] * cache.inv_std[ci] / m;
                         for i in 0..h * w {
-                            out[base + i] = k
-                                * (m * gd[base + i]
-                                    - dbeta[ci]
-                                    - xhat[base + i] * dgamma[ci]);
+                            out[base + i] =
+                                k * (m * gd[base + i] - dbeta[ci] - xhat[base + i] * dgamma[ci]);
                         }
                     }
                 }
@@ -274,7 +278,7 @@ mod tests {
         let x = normal_init(&[2, 2, 2, 2], 1.0, 2.0, &mut rng);
         // Loss: weighted sum to get non-uniform gradients.
         let wvec: Vec<f32> = (0..x.numel()).map(|i| ((i % 5) as f32) - 2.0).collect();
-        let loss = |bn: &mut BatchNorm2d, x: &Tensor, rng: &mut StdRng| -> f32 {
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor, rng: &mut Rng| -> f32 {
             let y = bn.forward(x.clone(), Mode::Train, rng);
             y.data().iter().zip(&wvec).map(|(a, b)| a * b).sum()
         };

@@ -1,10 +1,7 @@
 //! Convolutional layer wrapping the im2col kernels of `apf-tensor`.
 
-use apf_tensor::{
-    conv2d_backward, conv2d_forward, kaiming_uniform, ConvSpec, Tensor,
-};
-use rand::rngs::StdRng;
-use rand::Rng;
+use apf_tensor::Rng;
+use apf_tensor::{conv2d_backward, conv2d_forward, kaiming_uniform, ConvSpec, Tensor};
 
 use crate::layer::{Layer, Mode};
 
@@ -32,7 +29,7 @@ struct ConvCache {
 
 impl Conv2d {
     /// Creates a convolution layer with Kaiming-uniform weights.
-    pub fn new(name: &str, spec: ConvSpec, rng: &mut impl Rng) -> Self {
+    pub fn new(name: &str, spec: ConvSpec, rng: &mut Rng) -> Self {
         let fan_in = spec.in_channels * spec.kernel * spec.kernel;
         Conv2d {
             name: name.to_owned(),
@@ -52,7 +49,7 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let s = x.shape();
         assert_eq!(s.len(), 4, "conv2d expects [N,C,H,W]");
         let input_hw = (s[2], s[3]);
@@ -89,7 +86,13 @@ mod tests {
     #[test]
     fn forward_output_shape() {
         let mut rng = seeded_rng(0);
-        let spec = ConvSpec { in_channels: 3, out_channels: 6, kernel: 5, stride: 1, padding: 2 };
+        let spec = ConvSpec {
+            in_channels: 3,
+            out_channels: 6,
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+        };
         let mut conv = Conv2d::new("conv1", spec, &mut rng);
         let x = Tensor::zeros(&[2, 3, 16, 16]);
         let y = conv.forward(x, Mode::Train, &mut rng);
@@ -99,7 +102,13 @@ mod tests {
     #[test]
     fn backward_finite_difference_on_weight() {
         let mut rng = seeded_rng(1);
-        let spec = ConvSpec { in_channels: 2, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 2,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let mut conv = Conv2d::new("c", spec, &mut rng);
         let x = Tensor::from_vec(
             (0..2 * 2 * 4 * 4).map(|i| (i as f32 * 0.7).sin()).collect(),
@@ -115,7 +124,7 @@ mod tests {
         });
         let eps = 1e-2;
         for idx in [0usize, 7, 17, 35] {
-            let mut bump = |d: f32, c: &mut Conv2d| {
+            let bump = |d: f32, c: &mut Conv2d| {
                 c.visit_params(&mut |n, _, v, _| {
                     if n.ends_with("-w") {
                         v.data_mut()[idx] += d;
@@ -136,7 +145,13 @@ mod tests {
     #[test]
     fn backward_input_gradient_shape() {
         let mut rng = seeded_rng(2);
-        let spec = ConvSpec { in_channels: 1, out_channels: 4, kernel: 3, stride: 2, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let mut conv = Conv2d::new("c", spec, &mut rng);
         let x = Tensor::ones(&[3, 1, 8, 8]);
         let y = conv.forward(x, Mode::Train, &mut rng);

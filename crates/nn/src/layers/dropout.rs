@@ -3,9 +3,8 @@
 //! The paper motivates APF# by analogy to Dropout (§5); we also keep a real
 //! Dropout layer in the substrate so models can use it as a regularizer.
 
+use apf_tensor::Rng;
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::layer::{Layer, Mode};
 
@@ -23,13 +22,16 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout { p, mask: None }
     }
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut Rng) -> Tensor {
         match mode {
             Mode::Eval => {
                 self.mask = None;

@@ -1,7 +1,7 @@
 //! Shape adapter from `[N, C, H, W]` (or any rank ≥ 2) to `[N, features]`.
 
+use apf_tensor::Rng;
 use apf_tensor::Tensor;
-use rand::rngs::StdRng;
 
 use crate::layer::{Layer, Mode};
 
@@ -19,7 +19,7 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let shape = x.shape().to_vec();
         assert!(shape.len() >= 2, "flatten expects rank >= 2");
         let n = shape[0];
@@ -31,7 +31,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let shape = self.cached_shape.take().expect("flatten backward before forward");
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("flatten backward before forward");
         let mut g = grad;
         g.reshape_in_place(&shape);
         g

@@ -1,8 +1,7 @@
 //! Fully connected layer.
 
+use apf_tensor::Rng;
 use apf_tensor::{kaiming_uniform, Tensor};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::layer::{Layer, Mode};
 
@@ -23,7 +22,7 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a layer with Kaiming-uniform weights and zero bias.
-    pub fn new(name: &str, in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(name: &str, in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
         Linear {
             name: name.to_owned(),
             weight: kaiming_uniform(&[out_features, in_features], in_features, rng),
@@ -46,9 +45,13 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         assert_eq!(x.shape().len(), 2, "linear expects [N, in]");
-        assert_eq!(x.shape()[1], self.in_features(), "linear input width mismatch");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features(),
+            "linear input width mismatch"
+        );
         let mut out = x.matmul_nt(&self.weight);
         out.add_row_in_place(&self.bias);
         self.cached_input = Some(x);
@@ -117,7 +120,7 @@ mod tests {
             }
         });
         for idx in [0usize, 5, 11] {
-            let mut bump = |delta: f32, l: &mut Linear| {
+            let bump = |delta: f32, l: &mut Linear| {
                 l.visit_params(&mut |name, _, v, _| {
                     if name.ends_with("-w") {
                         v.data_mut()[idx] += delta;

@@ -1,9 +1,8 @@
 //! LSTM layer with full backpropagation-through-time, plus the [`LastStep`]
 //! adapter that feeds the final hidden state into a classification head.
 
+use apf_tensor::Rng;
 use apf_tensor::{xavier_uniform, Tensor};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::layer::{Layer, Mode};
 use crate::layers::activation::sigmoid;
@@ -55,7 +54,7 @@ impl LstmLayer {
     ///
     /// The forget-gate bias is initialized to 1.0 (standard trick easing
     /// gradient flow early in training).
-    pub fn new(name: &str, input_size: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(name: &str, input_size: usize, hidden: usize, rng: &mut Rng) -> Self {
         let mut bias = Tensor::zeros(&[4 * hidden]);
         for i in hidden..2 * hidden {
             bias.data_mut()[i] = 1.0;
@@ -81,7 +80,7 @@ impl LstmLayer {
 }
 
 impl Layer for LstmLayer {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let s = x.shape();
         assert_eq!(s.len(), 3, "lstm expects [N, T, D]");
         let (n, t, d) = (s[0], s[1], s[2]);
@@ -138,7 +137,14 @@ impl Layer for LstmLayer {
             hs.push(Tensor::from_vec(h_t, &[n, h]));
         }
 
-        self.cache = Some(LstmCache { xs, hs, cs, gates, n, t });
+        self.cache = Some(LstmCache {
+            xs,
+            hs,
+            cs,
+            gates,
+            n,
+            t,
+        });
         Tensor::from_vec(out, &[n, t, h])
     }
 
@@ -240,7 +246,7 @@ impl LastStep {
 }
 
 impl Layer for LastStep {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let s = x.shape().to_vec();
         assert_eq!(s.len(), 3, "last-step expects [N, T, H]");
         let (n, t, h) = (s[0], s[1], s[2]);
@@ -254,7 +260,10 @@ impl Layer for LastStep {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let s = self.cached_shape.take().expect("last-step backward before forward");
+        let s = self
+            .cached_shape
+            .take()
+            .expect("last-step backward before forward");
         let (n, t, h) = (s[0], s[1], s[2]);
         let mut out = vec![0.0f32; n * t * h];
         for ni in 0..n {
@@ -298,7 +307,9 @@ mod tests {
         let mut rng = seeded_rng(2);
         let mut lstm = LstmLayer::new("l", 3, 4, &mut rng);
         let x = Tensor::from_vec(
-            (0..2 * 3 * 3).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2).collect(),
+            (0..2 * 3 * 3)
+                .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2)
+                .collect(),
             &[2, 3, 3],
         );
         // Loss: sum of all hidden outputs.
@@ -312,7 +323,7 @@ mod tests {
                 }
             });
             let eps = 1e-3;
-            let mut bump = |d: f32, l: &mut LstmLayer| {
+            let bump = |d: f32, l: &mut LstmLayer| {
                 l.visit_params(&mut |n, _, v, _| {
                     if n.ends_with(pick) {
                         v.data_mut()[idx] += d;
@@ -337,7 +348,9 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mut lstm = LstmLayer::new("l", 2, 3, &mut rng);
         let x = Tensor::from_vec(
-            (0..1 * 4 * 2).map(|i| (i as f32 * 0.37).cos() * 0.5).collect(),
+            (0..1 * 4 * 2)
+                .map(|i| (i as f32 * 0.37).cos() * 0.5)
+                .collect(),
             &[1, 4, 2],
         );
         let y = lstm.forward(x.clone(), Mode::Train, &mut rng);

@@ -1,7 +1,7 @@
 //! Pooling layers.
 
+use apf_tensor::Rng;
 use apf_tensor::{maxpool2d_backward, maxpool2d_forward, PoolSpec, Tensor};
-use rand::rngs::StdRng;
 
 use crate::layer::{Layer, Mode};
 
@@ -15,12 +15,15 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a max-pooling layer with a square window and equal stride.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        MaxPool2d { spec: PoolSpec { kernel, stride }, cache: None }
+        MaxPool2d {
+            spec: PoolSpec { kernel, stride },
+            cache: None,
+        }
     }
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let shape = x.shape().to_vec();
         let (out, arg) = maxpool2d_forward(&x, &self.spec);
         self.cache = Some((arg, shape));
@@ -51,7 +54,7 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let s = x.shape().to_vec();
         assert_eq!(s.len(), 4, "global avg pool expects [N,C,H,W]");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
@@ -65,7 +68,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let s = self.cached_shape.take().expect("global avg pool backward before forward");
+        let s = self
+            .cached_shape
+            .take()
+            .expect("global avg pool backward before forward");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut out = vec![0.0f32; n * c * h * w];

@@ -1,8 +1,7 @@
 //! Residual block (the ResNet-18 building block, §7.1 of the paper).
 
+use apf_tensor::Rng;
 use apf_tensor::{avgpool2d_backward, avgpool2d_forward, ConvSpec, PoolSpec, Tensor};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::layer::{Layer, Mode};
 use crate::layers::{Activation, BatchNorm2d, Conv2d};
@@ -53,9 +52,12 @@ impl ResidualBlock {
         in_channels: usize,
         out_channels: usize,
         stride: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
-        assert!(out_channels >= in_channels, "residual block cannot shrink channels");
+        assert!(
+            out_channels >= in_channels,
+            "residual block cannot shrink channels"
+        );
         let spec1 = ConvSpec {
             in_channels,
             out_channels,
@@ -86,7 +88,13 @@ impl ResidualBlock {
     /// Shortcut forward: identity, or strided avg-pool + channel zero-pad.
     fn shortcut(&self, x: &Tensor) -> Tensor {
         let pooled = if self.stride > 1 {
-            avgpool2d_forward(x, &PoolSpec { kernel: self.stride, stride: self.stride })
+            avgpool2d_forward(
+                x,
+                &PoolSpec {
+                    kernel: self.stride,
+                    stride: self.stride,
+                },
+            )
         } else {
             x.clone()
         };
@@ -128,7 +136,10 @@ impl ResidualBlock {
         if self.stride > 1 {
             avgpool2d_backward(
                 &narrowed,
-                &PoolSpec { kernel: self.stride, stride: self.stride },
+                &PoolSpec {
+                    kernel: self.stride,
+                    stride: self.stride,
+                },
                 input_shape,
             )
         } else {
@@ -138,7 +149,7 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
-    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut StdRng) -> Tensor {
+    fn forward(&mut self, x: Tensor, mode: Mode, rng: &mut Rng) -> Tensor {
         let input_shape = x.shape().to_vec();
         let shortcut = self.shortcut(&x);
         let mut y = self.conv1.forward(x, mode, rng);
@@ -149,7 +160,10 @@ impl Layer for ResidualBlock {
         y.axpy(1.0, &shortcut);
         let pre_relu = y.clone();
         let out = y.map(|v| v.max(0.0));
-        self.cache = Some(ResidualCache { input_shape, pre_relu });
+        self.cache = Some(ResidualCache {
+            input_shape,
+            pre_relu,
+        });
         out
     }
 

@@ -11,8 +11,8 @@
 use apf_tensor::{seeded_rng, ConvSpec};
 
 use crate::layers::{
-    Activation, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, LastStep, Linear,
-    LstmLayer, MaxPool2d, ResidualBlock,
+    Activation, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, LastStep, Linear, LstmLayer,
+    MaxPool2d, ResidualBlock,
 };
 use crate::sequential::Sequential;
 
@@ -36,14 +36,26 @@ pub fn lenet5(seed: u64) -> Sequential {
     Sequential::new("lenet5", seed)
         .push(Conv2d::new(
             "conv1",
-            ConvSpec { in_channels: IMAGE_CHANNELS, out_channels: 6, kernel: 5, stride: 1, padding: 2 },
+            ConvSpec {
+                in_channels: IMAGE_CHANNELS,
+                out_channels: 6,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
         .push(MaxPool2d::new(2, 2)) // 16x16 -> 8x8
         .push(Conv2d::new(
             "conv2",
-            ConvSpec { in_channels: 6, out_channels: 16, kernel: 5, stride: 1, padding: 0 },
+            ConvSpec {
+                in_channels: 6,
+                out_channels: 16,
+                kernel: 5,
+                stride: 1,
+                padding: 0,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
@@ -67,7 +79,13 @@ pub fn resnet(seed: u64) -> Sequential {
     Sequential::new("resnet", seed)
         .push(Conv2d::new(
             "stem",
-            ConvSpec { in_channels: IMAGE_CHANNELS, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            ConvSpec {
+                in_channels: IMAGE_CHANNELS,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &mut rng,
         ))
         .push(BatchNorm2d::new("stem-bn", 16))
@@ -88,26 +106,50 @@ pub fn vgg(seed: u64) -> Sequential {
     Sequential::new("vgg", seed)
         .push(Conv2d::new(
             "conv1a",
-            ConvSpec { in_channels: IMAGE_CHANNELS, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            ConvSpec {
+                in_channels: IMAGE_CHANNELS,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
         .push(Conv2d::new(
             "conv1b",
-            ConvSpec { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            ConvSpec {
+                in_channels: 16,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
         .push(MaxPool2d::new(2, 2)) // 16x16 -> 8x8
         .push(Conv2d::new(
             "conv2a",
-            ConvSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+            ConvSpec {
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
         .push(Conv2d::new(
             "conv2b",
-            ConvSpec { in_channels: 32, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+            ConvSpec {
+                in_channels: 32,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &mut rng,
         ))
         .push(Activation::relu())
@@ -139,7 +181,12 @@ pub fn mlp(name: &str, dims: &[usize], seed: u64) -> Sequential {
     let mut rng = seeded_rng(seed);
     let mut model = Sequential::new(name, seed);
     for (i, win) in dims.windows(2).enumerate() {
-        model = model.push(Linear::new(&format!("fc{}", i + 1), win[0], win[1], &mut rng));
+        model = model.push(Linear::new(
+            &format!("fc{}", i + 1),
+            win[0],
+            win[1],
+            &mut rng,
+        ));
         if i + 2 < dims.len() {
             model = model.push(Activation::relu());
         }
@@ -191,7 +238,8 @@ mod tests {
         let mut m = lenet5(0);
         // conv1: 6*3*25+6, conv2: 16*6*25+16, fc1: 120*64+120,
         // fc2: 84*120+84, fc3: 10*84+10.
-        let expected = (6 * 75 + 6) + (16 * 150 + 16) + (120 * 64 + 120) + (84 * 120 + 84) + (10 * 84 + 10);
+        let expected =
+            (6 * 75 + 6) + (16 * 150 + 16) + (120 * 64 + 120) + (84 * 120 + 84) + (10 * 84 + 10);
         assert_eq!(m.num_params(), expected);
     }
 
@@ -201,7 +249,10 @@ mod tests {
         let y = m.forward(Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
         assert_eq!(y.shape(), &[2, 10]);
         let mut lenet = lenet5(1);
-        assert!(m.num_params() > lenet.num_params(), "resnet should be larger");
+        assert!(
+            m.num_params() > lenet.num_params(),
+            "resnet should be larger"
+        );
     }
 
     #[test]

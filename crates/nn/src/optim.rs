@@ -33,9 +33,11 @@ impl LrSchedule {
     pub fn lr_at(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::Multiplicative { initial, factor, every } => {
-                initial * factor.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::Multiplicative {
+                initial,
+                factor,
+                every,
+            } => initial * factor.powi((step / every.max(1)) as i32),
             LrSchedule::InverseSqrt { initial } => initial / (1.0 + step as f32).sqrt(),
         }
     }
@@ -76,7 +78,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD (no momentum, no decay).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds classical momentum.
@@ -285,7 +292,11 @@ mod tests {
         let c = LrSchedule::Constant(0.1);
         assert_eq!(c.lr_at(0), 0.1);
         assert_eq!(c.lr_at(1000), 0.1);
-        let m = LrSchedule::Multiplicative { initial: 1.0, factor: 0.5, every: 10 };
+        let m = LrSchedule::Multiplicative {
+            initial: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(m.lr_at(0), 1.0);
         assert_eq!(m.lr_at(9), 1.0);
         assert_eq!(m.lr_at(10), 0.5);

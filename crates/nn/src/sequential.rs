@@ -1,7 +1,7 @@
 //! The [`Sequential`] model container.
 
+use apf_tensor::Rng;
 use apf_tensor::{derive_seed, seeded_rng, Tensor};
-use rand::rngs::StdRng;
 
 use crate::flat::FlatSpec;
 use crate::layer::{Layer, Mode};
@@ -13,7 +13,7 @@ use crate::layer::{Layer, Mode};
 pub struct Sequential {
     name: String,
     layers: Vec<Box<dyn Layer>>,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl std::fmt::Debug for Sequential {

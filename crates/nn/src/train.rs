@@ -97,7 +97,14 @@ impl Trainer {
     /// Wraps a model with an optimizer and learning-rate schedule.
     pub fn new(mut model: Sequential, optimizer: Box<dyn Optimizer>, schedule: LrSchedule) -> Self {
         let trainable = model.flat_spec().trainable_mask();
-        Trainer { model, optimizer, schedule, trainable, step: 0, prox: None }
+        Trainer {
+            model,
+            optimizer,
+            schedule,
+            trainable,
+            step: 0,
+            prox: None,
+        }
     }
 
     /// The wrapped model.
@@ -135,7 +142,14 @@ impl Trainer {
         let lr = self.schedule.lr_at(self.step);
         self.optimizer.set_lr(lr);
         let prox = self.prox.as_ref().map(|(mu, a)| (*mu, a.as_slice()));
-        let loss = train_batch(&mut self.model, self.optimizer.as_mut(), x, labels, &self.trainable, prox);
+        let loss = train_batch(
+            &mut self.model,
+            self.optimizer.as_mut(),
+            x,
+            labels,
+            &self.trainable,
+            prox,
+        );
         self.step += 1;
         loss
     }
@@ -229,7 +243,10 @@ mod tests {
         };
         let d_free = drift(&mut free);
         let d_prox = drift(&mut proxed);
-        assert!(d_prox < d_free * 0.5, "prox drift {d_prox} vs free {d_free}");
+        assert!(
+            d_prox < d_free * 0.5,
+            "prox drift {d_prox} vs free {d_free}"
+        );
     }
 
     #[test]
@@ -247,7 +264,11 @@ mod tests {
         let mut t = Trainer::new(
             toy_model(4),
             Box::new(Sgd::new(1.0)),
-            LrSchedule::Multiplicative { initial: 1.0, factor: 0.5, every: 1 },
+            LrSchedule::Multiplicative {
+                initial: 1.0,
+                factor: 0.5,
+                every: 1,
+            },
         );
         t.train_batch(&x, &y);
         t.train_batch(&x, &y);

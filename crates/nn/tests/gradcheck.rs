@@ -4,19 +4,15 @@
 //! backprop substrate (on which every APF experiment rests) is correct.
 
 use apf_nn::{
-    Activation, ActivationKind, BatchNorm2d, Flatten, Layer, LastStep, Linear, LstmLayer,
-    Mode, Sequential,
+    Activation, ActivationKind, BatchNorm2d, Flatten, LastStep, Layer, Linear, LstmLayer, Mode,
+    Sequential,
 };
 use apf_tensor::{seeded_rng, Tensor};
-use proptest::prelude::*;
+use apf_testkit::{prop_assert, property, u64s, u8s, usizes, TestCaseResult};
 
 /// Central finite-difference check of `d(sum(output))/d(input)` against the
 /// layer's analytic backward, at a handful of positions.
-fn check_input_grad(
-    build: &dyn Fn() -> Box<dyn Layer>,
-    input: Tensor,
-    tol: f32,
-) -> Result<(), TestCaseError> {
+fn check_input_grad(build: &dyn Fn() -> Box<dyn Layer>, input: Tensor, tol: f32) -> TestCaseResult {
     let mut rng = seeded_rng(0);
     let mut layer = build();
     let y = layer.forward(input.clone(), Mode::Eval, &mut rng);
@@ -65,11 +61,14 @@ fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn linear_grad_random_shapes(inf in 1usize..8, outf in 1usize..8, n in 1usize..4, seed in 0u64..1000) {
+property! {
+    [16]
+    fn linear_grad_random_shapes(
+        inf in usizes(1..8),
+        outf in usizes(1..8),
+        n in usizes(1..4),
+        seed in u64s(0..1000),
+    ) {
         let build = move || -> Box<dyn Layer> {
             let mut rng = seeded_rng(seed);
             Box::new(Linear::new("l", inf, outf, &mut rng))
@@ -77,8 +76,13 @@ proptest! {
         check_input_grad(&build, rand_tensor(&[n, inf], seed), 2e-2)?;
     }
 
-    #[test]
-    fn activation_grads_random(n in 1usize..6, d in 1usize..8, seed in 0u64..1000, kind in 0u8..3) {
+    [16]
+    fn activation_grads_random(
+        n in usizes(1..6),
+        d in usizes(1..8),
+        seed in u64s(0..1000),
+        kind in u8s(0..3),
+    ) {
         let kind = match kind {
             0 => ActivationKind::Relu,
             1 => ActivationKind::Tanh,
@@ -88,8 +92,13 @@ proptest! {
         check_input_grad(&build, rand_tensor(&[n, d], seed), 2e-2)?;
     }
 
-    #[test]
-    fn lstm_grad_random_shapes(d in 1usize..4, h in 1usize..4, t in 1usize..4, seed in 0u64..200) {
+    [16]
+    fn lstm_grad_random_shapes(
+        d in usizes(1..4),
+        h in usizes(1..4),
+        t in usizes(1..4),
+        seed in u64s(0..200),
+    ) {
         let build = move || -> Box<dyn Layer> {
             let mut rng = seeded_rng(seed);
             Box::new(LstmLayer::new("l", d, h, &mut rng))
@@ -97,23 +106,36 @@ proptest! {
         check_input_grad(&build, rand_tensor(&[2, t, d], seed), 3e-2)?;
     }
 
-    #[test]
-    fn batchnorm_eval_grad(c in 1usize..4, hw in 1usize..4, seed in 0u64..200) {
+    [16]
+    fn batchnorm_eval_grad(
+        c in usizes(1..4),
+        hw in usizes(1..4),
+        seed in u64s(0..200),
+    ) {
         // Eval mode: running stats are constants, so the gradient is exact.
         let build = move || -> Box<dyn Layer> { Box::new(BatchNorm2d::new("bn", c)) };
         check_input_grad(&build, rand_tensor(&[2, c, hw, hw], seed), 2e-2)?;
     }
 
-    #[test]
-    fn shape_adapters_grads(n in 1usize..4, c in 1usize..4, hw in 1usize..4, t in 1usize..4, seed in 0u64..200) {
+    [16]
+    fn shape_adapters_grads(
+        n in usizes(1..4),
+        c in usizes(1..4),
+        hw in usizes(1..4),
+        t in usizes(1..4),
+        seed in u64s(0..200),
+    ) {
         let build_f = || -> Box<dyn Layer> { Box::new(Flatten::new()) };
         check_input_grad(&build_f, rand_tensor(&[n, c, hw, hw], seed), 1e-3)?;
         let build_l = || -> Box<dyn Layer> { Box::new(LastStep::new()) };
         check_input_grad(&build_l, rand_tensor(&[n, t, c], seed), 1e-3)?;
     }
 
-    #[test]
-    fn sequential_composition_grad(seed in 0u64..200, hidden in 1usize..6) {
+    [16]
+    fn sequential_composition_grad(
+        seed in u64s(0..200),
+        hidden in usizes(1..6),
+    ) {
         // A whole stack: gradient through composition must also match FD.
         let build_model = move || {
             let mut rng = seeded_rng(seed);
@@ -142,8 +164,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn parameter_grads_accumulate_linearly(seed in 0u64..500) {
+    [16]
+    fn parameter_grads_accumulate_linearly(seed in u64s(0..500)) {
         // Backward twice with the same upstream gradient must exactly double
         // every parameter gradient (accumulation contract of the Layer trait).
         let mut rng = seeded_rng(seed);

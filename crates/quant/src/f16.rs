@@ -90,7 +90,9 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.125, -3.75, 65504.0] {
+        for &x in &[
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 0.125, -3.75, 65504.0,
+        ] {
             let back = f16_bits_to_f32(f32_to_f16_bits(x));
             assert_eq!(back, x, "{x} -> {back}");
             assert_eq!(back.is_sign_negative(), x.is_sign_negative());
@@ -113,7 +115,10 @@ mod tests {
     fn overflow_saturates_to_infinity() {
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
     }
 
     #[test]

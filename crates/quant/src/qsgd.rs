@@ -7,7 +7,6 @@
 //! family's byte accounting conventions live in the simulator.
 
 use apf_tensor::seeded_rng;
-use rand::Rng;
 
 /// A QSGD-quantized vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +49,11 @@ pub fn qsgd_encode(xs: &[f32], s: u8, seed: u64) -> QsgdPayload {
             level.min(i16::from(s)) * if x < 0.0 { -1 } else { 1 }
         })
         .collect();
-    QsgdPayload { norm, levels: s, codes }
+    QsgdPayload {
+        norm,
+        levels: s,
+        codes,
+    }
 }
 
 /// Reconstructs the (unbiased) estimate from a QSGD payload.
@@ -82,10 +85,7 @@ mod tests {
         }
         for (a, &x) in acc.iter().zip(&xs) {
             let mean = a / f64::from(trials);
-            assert!(
-                (mean - f64::from(x)).abs() < 0.05,
-                "mean {mean} vs {x}"
-            );
+            assert!((mean - f64::from(x)).abs() < 0.05, "mean {mean} vs {x}");
         }
     }
 

@@ -3,7 +3,6 @@
 //! estimator is unbiased.
 
 use apf_tensor::seeded_rng;
-use rand::Rng;
 
 /// A ternary-quantized vector.
 #[derive(Debug, Clone, PartialEq)]

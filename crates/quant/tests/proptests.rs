@@ -1,38 +1,34 @@
-//! Property-based tests for the quantization codecs.
+//! Property-based tests for the quantization codecs (on `apf-testkit`).
 
 use apf_quant::{
     f16_bits_to_f32, f16_decode, f16_encode, f32_to_f16_bits, qsgd_decode, qsgd_encode,
     ternary_decode, ternary_encode,
 };
-use proptest::prelude::*;
+use apf_testkit::{f32s, prop_assert, prop_assert_eq, property, u64s, u8s, usizes, vecs};
 
-proptest! {
-    #[test]
-    fn f16_roundtrip_error_bound(x in -60000.0f32..60000.0) {
+property! {
+    fn f16_roundtrip_error_bound(x in f32s(-60000.0..60000.0)) {
         let back = f16_bits_to_f32(f32_to_f16_bits(x));
         // Relative error <= 2^-11 for normals; absolute bound 2^-24 near zero.
         let bound = (x.abs() / 2048.0).max(2.0f32.powi(-24));
         prop_assert!((back - x).abs() <= bound, "x={} back={}", x, back);
     }
 
-    #[test]
-    fn f16_idempotent(x in -60000.0f32..60000.0) {
+    fn f16_idempotent(x in f32s(-60000.0..60000.0)) {
         // Quantizing an already-quantized value changes nothing.
         let once = f16_bits_to_f32(f32_to_f16_bits(x));
         let twice = f16_bits_to_f32(f32_to_f16_bits(once));
         prop_assert_eq!(once.to_bits(), twice.to_bits());
     }
 
-    #[test]
-    fn f16_order_preserving(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+    fn f16_order_preserving(a in f32s(-1000.0..1000.0), b in f32s(-1000.0..1000.0)) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let qlo = f16_bits_to_f32(f32_to_f16_bits(lo));
         let qhi = f16_bits_to_f32(f32_to_f16_bits(hi));
         prop_assert!(qlo <= qhi);
     }
 
-    #[test]
-    fn f16_slice_roundtrip(xs in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+    fn f16_slice_roundtrip(xs in vecs(f32s(-100.0..100.0), 0..64)) {
         let back = f16_decode(&f16_encode(&xs));
         prop_assert_eq!(back.len(), xs.len());
         for (a, b) in xs.iter().zip(&back) {
@@ -40,11 +36,10 @@ proptest! {
         }
     }
 
-    #[test]
     fn qsgd_error_bounded_by_norm(
-        xs in proptest::collection::vec(-10.0f32..10.0, 1..64),
-        s in 1u8..16,
-        seed in 0u64..100,
+        xs in vecs(f32s(-10.0..10.0), 1..64),
+        s in u8s(1..16),
+        seed in u64s(0..100),
     ) {
         let p = qsgd_encode(&xs, s, seed);
         let back = qsgd_decode(&p);
@@ -55,10 +50,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn ternary_zero_codes_iff_no_signal(
-        xs in proptest::collection::vec(-10.0f32..10.0, 1..64),
-        seed in 0u64..100,
+        xs in vecs(f32s(-10.0..10.0), 1..64),
+        seed in u64s(0..100),
     ) {
         let p = ternary_encode(&xs, seed);
         let back = ternary_decode(&p);
@@ -72,9 +66,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn payload_wire_sizes_beat_f32(
-        n in 64usize..512,
+        n in usizes(64..512),
     ) {
         let xs = vec![0.5f32; n];
         let q = qsgd_encode(&xs, 4, 0);

@@ -63,8 +63,14 @@ impl PoolSpec {
     /// # Panics
     /// Panics if the input is smaller than the window.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.kernel && w >= self.kernel, "input smaller than pool window");
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input smaller than pool window"
+        );
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
@@ -177,7 +183,12 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
 ///
 /// # Panics
 /// Panics on any shape mismatch.
-pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> (Tensor, Tensor) {
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+) -> (Tensor, Tensor) {
     let s = input.shape();
     assert_eq!(s.len(), 4, "conv2d expects [N,C,H,W]");
     let (n, _, h, w) = (s[0], s[1], s[2], s[3]);
@@ -394,14 +405,17 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..k {
                                 for kx in 0..k {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
                                     let iv = input.data()
                                         [((ni * c + ci) * h + iy as usize) * w + ix as usize];
-                                    let wv = weight.data()[oi * c * k * k + ci * k * k + ky * k + kx];
+                                    let wv =
+                                        weight.data()[oi * c * k * k + ci * k * k + ky * k + kx];
                                     acc += iv * wv;
                                 }
                             }
@@ -416,12 +430,21 @@ mod tests {
 
     fn det_input(shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        Tensor::from_vec((0..n).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.1).collect(), shape)
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.1).collect(),
+            shape,
+        )
     }
 
     #[test]
     fn conv_forward_matches_naive_padded() {
-        let spec = ConvSpec { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let input = det_input(&[2, 2, 5, 5]);
         let weight = det_input(&[3, 2 * 9]);
         let bias = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3]);
@@ -435,7 +458,13 @@ mod tests {
 
     #[test]
     fn conv_forward_matches_naive_strided() {
-        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 2, stride: 2, padding: 0 };
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
         let input = det_input(&[1, 1, 6, 6]);
         let weight = det_input(&[2, 4]);
         let bias = Tensor::zeros(&[2]);
@@ -450,7 +479,13 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
         // property of the adjoint, which is exactly what backward needs.
-        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = det_input(&[2, 2, 4, 4]);
         let cols = im2col(&x, &spec);
         let y = det_input(&[cols.shape()[0], cols.shape()[1]]);
@@ -462,7 +497,13 @@ mod tests {
 
     #[test]
     fn conv_backward_weight_matches_finite_difference() {
-        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let input = det_input(&[1, 1, 4, 4]);
         let mut weight = det_input(&[2, 9]);
         let bias = Tensor::zeros(&[2]);
@@ -480,13 +521,22 @@ mod tests {
             weight.data_mut()[wi] = orig;
             let fd = (op.sum() - om.sum()) / (2.0 * eps);
             let an = grads.weight.data()[wi];
-            assert!((fd - an).abs() < 1e-2, "weight[{wi}]: fd={fd} analytic={an}");
+            assert!(
+                (fd - an).abs() < 1e-2,
+                "weight[{wi}]: fd={fd} analytic={an}"
+            );
         }
     }
 
     #[test]
     fn conv_backward_input_matches_finite_difference() {
-        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let spec = ConvSpec {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
         let mut input = det_input(&[1, 2, 3, 3]);
         let weight = det_input(&[1, 8]);
         let bias = Tensor::zeros(&[1]);
@@ -509,7 +559,13 @@ mod tests {
 
     #[test]
     fn conv_backward_bias_counts_positions() {
-        let spec = ConvSpec { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let input = det_input(&[2, 1, 4, 4]);
         let weight = det_input(&[2, 9]);
         let bias = Tensor::zeros(&[2]);
@@ -531,7 +587,10 @@ mod tests {
             ],
             &[1, 1, 4, 4],
         );
-        let spec = PoolSpec { kernel: 2, stride: 2 };
+        let spec = PoolSpec {
+            kernel: 2,
+            stride: 2,
+        };
         let (out, arg) = maxpool2d_forward(&input, &spec);
         assert_eq!(out.data(), &[3.0, 5.0, 7.0, 9.0]);
         let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
@@ -546,7 +605,10 @@ mod tests {
     #[test]
     fn avgpool_roundtrip_gradient_mass() {
         let input = det_input(&[2, 3, 4, 4]);
-        let spec = PoolSpec { kernel: 2, stride: 2 };
+        let spec = PoolSpec {
+            kernel: 2,
+            stride: 2,
+        };
         let out = avgpool2d_forward(&input, &spec);
         assert_eq!(out.shape(), &[2, 3, 2, 2]);
         // Mean is preserved by average pooling with exact tiling.
@@ -559,9 +621,21 @@ mod tests {
 
     #[test]
     fn out_size_math() {
-        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 2 };
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+        };
         assert_eq!(spec.out_size(16, 16), (16, 16));
-        let spec2 = ConvSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1 };
+        let spec2 = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(spec2.out_size(8, 8), (4, 4));
     }
 }

@@ -1,8 +1,6 @@
 //! Parameter initializers.
 
-use rand::Rng;
-use rand_distr_lite::StandardNormalish;
-
+use crate::rng::Rng;
 use crate::tensor::Tensor;
 
 /// Kaiming (He) uniform initialization: `U(-b, b)` with
@@ -10,7 +8,7 @@ use crate::tensor::Tensor;
 ///
 /// # Panics
 /// Panics if `fan_in` is zero.
-pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
     assert!(fan_in > 0, "fan_in must be positive");
     let bound = (6.0 / fan_in as f32).sqrt();
     uniform_init(shape, -bound, bound, rng)
@@ -21,7 +19,7 @@ pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Te
 ///
 /// # Panics
 /// Panics if `fan_in + fan_out` is zero.
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform_init(shape, -bound, bound, rng)
@@ -31,7 +29,7 @@ pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut 
 ///
 /// # Panics
 /// Panics if `lo > hi`.
-pub fn uniform_init(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+pub fn uniform_init(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
     assert!(lo <= hi, "lo must not exceed hi");
     let n: usize = shape.iter().product();
     let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
@@ -39,27 +37,10 @@ pub fn uniform_init(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Te
 }
 
 /// Gaussian initialization with the given mean and standard deviation.
-pub fn normal_init(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+pub fn normal_init(shape: &[usize], mean: f32, std: f32, rng: &mut Rng) -> Tensor {
     let n: usize = shape.iter().product();
-    let data = (0..n).map(|_| mean + std * rng.sample_normalish()).collect();
+    let data = (0..n).map(|_| mean + std * rng.normal_f32()).collect();
     Tensor::from_vec(data, shape)
-}
-
-/// Tiny Box-Muller standard-normal sampler so we avoid a `rand_distr`
-/// dependency; accurate enough for weight initialization and data synthesis.
-mod rand_distr_lite {
-    use rand::Rng;
-
-    pub trait StandardNormalish: Rng {
-        fn sample_normalish(&mut self) -> f32 {
-            // Box-Muller with guards against log(0).
-            let u1: f32 = self.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = self.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
-        }
-    }
-
-    impl<R: Rng> StandardNormalish for R {}
 }
 
 /// Draws one standard-normal sample (Box-Muller).
@@ -70,8 +51,8 @@ mod rand_distr_lite {
 /// let z = apf_tensor::sample_normal(&mut rng);
 /// assert!(z.is_finite());
 /// ```
-pub fn sample_normal(rng: &mut impl Rng) -> f32 {
-    rng.sample_normalish()
+pub fn sample_normal(rng: &mut Rng) -> f32 {
+    rng.normal_f32()
 }
 
 #[cfg(test)]
@@ -102,7 +83,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         let t = normal_init(&[20000], 1.0, 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");

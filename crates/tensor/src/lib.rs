@@ -32,6 +32,6 @@ pub use conv::{
     maxpool2d_backward, maxpool2d_forward, Conv2dGrads, ConvSpec, PoolSpec,
 };
 pub use init::{kaiming_uniform, normal_init, sample_normal, uniform_init, xavier_uniform};
-pub use rng::{derive_seed, seeded_rng, splitmix64};
+pub use rng::{derive_seed, seeded_rng, splitmix64, Rng, Sample, SampleRange, SliceRandom};
 pub use stats::{l1_norm, l2_norm, mean, percentile, variance};
 pub use tensor::Tensor;

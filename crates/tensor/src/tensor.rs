@@ -154,7 +154,10 @@ impl Tensor {
     pub fn at2(&self, i: usize, j: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "at2 requires a rank-2 tensor");
         let (r, c) = (self.shape[0], self.shape[1]);
-        assert!(i < r && j < c, "index ({i},{j}) out of bounds for ({r},{c})");
+        assert!(
+            i < r && j < c,
+            "index ({i},{j}) out of bounds for ({r},{c})"
+        );
         self.data[i * c + j]
     }
 

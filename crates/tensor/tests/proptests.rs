@@ -1,20 +1,20 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate (on `apf-testkit`).
 
-use apf_tensor::{
-    col2im, im2col, l2_norm, percentile, ConvSpec, PoolSpec, Tensor,
-};
-use proptest::prelude::*;
+use apf_tensor::{col2im, im2col, l2_norm, percentile, ConvSpec, PoolSpec, Tensor};
+use apf_testkit::{f32s, prop_assert, prop_assume, property, u64s, usizes, vecs};
 
-fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-10.0f32..10.0, m * n)
-            .prop_map(move |v| Tensor::from_vec(v, &[m, n]))
-    })
+/// A deterministic `[m, n]` matrix with entries in `[-10, 10)`.
+fn matrix(m: usize, n: usize, seed: u64) -> Tensor {
+    let mut rng = apf_tensor::seeded_rng(seed);
+    Tensor::from_vec(
+        (0..m * n).map(|_| rng.gen_range(-10.0f32..10.0)).collect(),
+        &[m, n],
+    )
 }
 
-proptest! {
-    #[test]
-    fn matmul_identity_left(a in small_matrix(8)) {
+property! {
+    fn matmul_identity_left(m in usizes(1..9), n in usizes(1..9), seed in u64s(0..1000)) {
+        let a = matrix(m, n, seed);
         let i = Tensor::eye(a.shape()[0]);
         let out = i.matmul(&a);
         for (x, y) in out.data().iter().zip(a.data()) {
@@ -22,13 +22,13 @@ proptest! {
         }
     }
 
-    #[test]
     fn matmul_distributes_over_addition(
-        a in small_matrix(6),
-        seed in 0u64..1000,
+        m in usizes(1..7),
+        k in usizes(1..7),
+        seed in u64s(0..1000),
     ) {
         // (B + C) built from `a`'s shape; A x (B + C) == A x B + A x C.
-        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let a = matrix(m, k, seed);
         let n = 1 + (seed as usize % 5);
         let mk = |salt: u64| {
             let data: Vec<f32> = (0..k * n)
@@ -40,16 +40,19 @@ proptest! {
         let c = mk(0xC);
         let lhs = a.matmul(&(&b + &c));
         let rhs = &a.matmul(&b) + &a.matmul(&c);
-        let _ = m;
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
             prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
         }
     }
 
-    #[test]
-    fn transpose_variants_agree(a in small_matrix(7), rows in 1usize..6, seed in 0u64..1000) {
+    fn transpose_variants_agree(
+        m in usizes(1..8),
+        k in usizes(1..8),
+        rows in usizes(1..6),
+        seed in u64s(0..1000),
+    ) {
         // matmul_nt(a, b) equals a x b^T, and matmul_tn(a, c) equals a^T x c.
-        let k = a.shape()[1];
+        let a = matrix(m, k, seed);
         let b = Tensor::from_vec(
             (0..rows * k)
                 .map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 400) as f32 / 100.0) - 2.0)
@@ -61,7 +64,6 @@ proptest! {
         for (x, y) in via_nt.data().iter().zip(via_t.data()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
-        let m = a.shape()[0];
         let c = Tensor::from_vec(
             (0..m * rows)
                 .map(|i| ((apf_tensor::splitmix64(seed ^ (i as u64 + 999)) % 400) as f32 / 100.0) - 2.0)
@@ -75,13 +77,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn im2col_col2im_adjoint(
-        c in 1usize..3,
-        hw in 3usize..7,
-        k in 1usize..4,
-        pad in 0usize..2,
-        seed in 0u64..100,
+        c in usizes(1..3),
+        hw in usizes(3..7),
+        k in usizes(1..4),
+        pad in usizes(0..2),
+        seed in u64s(0..100),
     ) {
         prop_assume!(hw + 2 * pad >= k);
         let spec = ConvSpec { in_channels: c, out_channels: 1, kernel: k, stride: 1, padding: pad };
@@ -102,10 +103,9 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
     }
 
-    #[test]
     fn maxpool_output_bounded_by_input(
-        hw in 2usize..8,
-        seed in 0u64..100,
+        hw in usizes(2..8),
+        seed in u64s(0..100),
     ) {
         let n = 1;
         let c = 2;
@@ -126,16 +126,19 @@ proptest! {
         }
     }
 
-    #[test]
-    fn percentile_monotone(mut xs in proptest::collection::vec(-100.0f32..100.0, 1..50), p1 in 0.0f32..100.0, p2 in 0.0f32..100.0) {
+    fn percentile_monotone(
+        xs in vecs(f32s(-100.0..100.0), 1..50),
+        p1 in f32s(0.0..100.0),
+        p2 in f32s(0.0..100.0),
+    ) {
+        let mut xs = xs;
         xs.iter_mut().for_each(|x| *x = x.round());
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-6);
     }
 
-    #[test]
     fn l2_norm_triangle_inequality(
-        a in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        a in vecs(f32s(-10.0..10.0), 1..32),
     ) {
         let b: Vec<f32> = a.iter().map(|x| x * 0.5 - 1.0).collect();
         let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();

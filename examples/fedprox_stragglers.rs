@@ -29,19 +29,41 @@ fn main() {
     };
 
     let runs: Vec<(&str, Box<dyn SyncStrategy>, bool, Option<f32>)> = vec![
-        ("fedavg (drops stragglers)", Box::new(FullSync::new()), true, None),
-        ("fedprox (mu=0.01)", Box::new(FullSync::new()), false, Some(0.01)),
+        (
+            "fedavg (drops stragglers)",
+            Box::new(FullSync::new()),
+            true,
+            None,
+        ),
+        (
+            "fedprox (mu=0.01)",
+            Box::new(FullSync::new()),
+            false,
+            Some(0.01),
+        ),
         (
             "fedprox + apf",
-            Box::new(ApfStrategy::new(ApfConfig { check_every_rounds: 2, stability_threshold: 0.1, ema_alpha: 0.9, seed, ..ApfConfig::default() })),
+            Box::new(ApfStrategy::new(ApfConfig {
+                check_every_rounds: 2,
+                stability_threshold: 0.1,
+                ema_alpha: 0.9,
+                seed,
+                ..ApfConfig::default()
+            })),
             false,
             Some(0.01),
         ),
     ];
-    println!("{:<28} {:>9} {:>12} {:>9}", "scheme", "best_acc", "transfer", "frozen");
+    println!(
+        "{:<28} {:>9} {:>12} {:>9}",
+        "scheme", "best_acc", "transfer", "frozen"
+    );
     for (name, strategy, drop, mu) in runs {
         let mut builder = FlRunner::builder(models::lenet5, cfg.clone())
-            .optimizer(apf_fedsim::OptimizerKind::Adam { lr: 0.001, weight_decay: 0.01 })
+            .optimizer(apf_fedsim::OptimizerKind::Adam {
+                lr: 0.001,
+                weight_decay: 0.01,
+            })
             .clients_from_partition(&train, &parts)
             .straggler(0, 0.25)
             .straggler(1, 0.5)

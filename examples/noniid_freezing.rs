@@ -27,18 +27,33 @@ fn main() {
         parallel: false,
         ..FlConfig::default()
     };
-    let apf_cfg = ApfConfig { check_every_rounds: 2, stability_threshold: 0.1, ema_alpha: 0.9, seed, ..ApfConfig::default() };
+    let apf_cfg = ApfConfig {
+        check_every_rounds: 2,
+        stability_threshold: 0.1,
+        ema_alpha: 0.9,
+        seed,
+        ..ApfConfig::default()
+    };
 
     let arms: Vec<(&str, Box<dyn SyncStrategy>)> = vec![
         ("fedavg", Box::new(FullSync::new())),
         ("partial-sync", Box::new(PartialSync::new(0.1, 0.9, 2))),
-        ("permanent-freeze", Box::new(ApfStrategy::permanent_freeze(apf_cfg))),
+        (
+            "permanent-freeze",
+            Box::new(ApfStrategy::permanent_freeze(apf_cfg)),
+        ),
         ("apf", Box::new(ApfStrategy::new(apf_cfg))),
     ];
-    println!("{:<18} {:>9} {:>12} {:>9}", "scheme", "best_acc", "transfer", "excluded");
+    println!(
+        "{:<18} {:>9} {:>12} {:>9}",
+        "scheme", "best_acc", "transfer", "excluded"
+    );
     for (name, strategy) in arms {
         let mut runner = FlRunner::builder(models::lenet5, cfg.clone())
-            .optimizer(apf_fedsim::OptimizerKind::Adam { lr: 0.001, weight_decay: 0.01 })
+            .optimizer(apf_fedsim::OptimizerKind::Adam {
+                lr: 0.001,
+                weight_decay: 0.01,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test.clone())
             .strategy(strategy)

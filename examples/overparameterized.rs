@@ -27,19 +27,35 @@ fn main() {
         parallel: false,
         ..FlConfig::default()
     };
-    let base = ApfConfig { check_every_rounds: 1, stability_threshold: 0.1, ema_alpha: 0.9, seed, ..ApfConfig::default() };
+    let base = ApfConfig {
+        check_every_rounds: 1,
+        stability_threshold: 0.1,
+        ema_alpha: 0.9,
+        seed,
+        ..ApfConfig::default()
+    };
     // APF++: probability a1*K reaching 0.5 at the final round; freezing
     // length up to 1 + K/20.
     let plusplus = ApfConfig {
-        variant: ApfVariant::PlusPlus { a1: 0.5 / rounds as f64, a2: 1.0 / 20.0 },
+        variant: ApfVariant::PlusPlus {
+            a1: 0.5 / rounds as f64,
+            a2: 1.0 / 20.0,
+        },
         ..base
     };
 
-    println!("{:<8} {:>9} {:>12} {:>9}", "scheme", "best_acc", "transfer", "frozen");
+    println!(
+        "{:<8} {:>9} {:>12} {:>9}",
+        "scheme", "best_acc", "transfer", "frozen"
+    );
     for (name, cfg_v) in [("apf", base), ("apf++", plusplus)] {
         let strategy: Box<dyn SyncStrategy> = Box::new(ApfStrategy::new(cfg_v));
         let mut runner = FlRunner::builder(models::resnet, cfg.clone())
-            .optimizer(apf_fedsim::OptimizerKind::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.01 })
+            .optimizer(apf_fedsim::OptimizerKind::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.01,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test.clone())
             .strategy(strategy)

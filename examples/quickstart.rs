@@ -31,12 +31,21 @@ fn main() {
     let mut results = Vec::new();
     for apf_on in [false, true] {
         let strategy: Box<dyn apf_fedsim::SyncStrategy> = if apf_on {
-            Box::new(ApfStrategy::new(ApfConfig { check_every_rounds: 2, stability_threshold: 0.1, ema_alpha: 0.9, seed, ..ApfConfig::default() }))
+            Box::new(ApfStrategy::new(ApfConfig {
+                check_every_rounds: 2,
+                stability_threshold: 0.1,
+                ema_alpha: 0.9,
+                seed,
+                ..ApfConfig::default()
+            }))
         } else {
             Box::new(FullSync::new())
         };
         let mut runner = FlRunner::builder(models::lenet5, cfg.clone())
-            .optimizer(OptimizerKind::Adam { lr: 0.001, weight_decay: 0.01 })
+            .optimizer(OptimizerKind::Adam {
+                lr: 0.001,
+                weight_decay: 0.01,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test.clone())
             .strategy(strategy)
@@ -52,5 +61,8 @@ fn main() {
         results.push((log.best_accuracy(), log.total_bytes()));
     }
     let saving = 1.0 - results[1].1 as f64 / results[0].1 as f64;
-    println!("APF transferred {:.1}% fewer bytes at comparable accuracy.", saving * 100.0);
+    println!(
+        "APF transferred {:.1}% fewer bytes at comparable accuracy.",
+        saving * 100.0
+    );
 }

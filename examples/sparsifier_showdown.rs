@@ -29,15 +29,28 @@ fn main() {
     let arms: Vec<(&str, Box<dyn SyncStrategy>)> = vec![
         (
             "apf",
-            Box::new(ApfStrategy::new(ApfConfig { check_every_rounds: 2, stability_threshold: 0.1, ema_alpha: 0.9, seed, ..ApfConfig::default() })),
+            Box::new(ApfStrategy::new(ApfConfig {
+                check_every_rounds: 2,
+                stability_threshold: 0.1,
+                ema_alpha: 0.9,
+                seed,
+                ..ApfConfig::default()
+            })),
         ),
         ("gaia", Box::new(Gaia::new(0.01))),
         ("cmfl", Box::new(Cmfl::new(0.8, 0.99))),
     ];
-    println!("{:<8} {:>9} {:>12} {:>10}", "scheme", "best_acc", "transfer", "withheld");
+    println!(
+        "{:<8} {:>9} {:>12} {:>10}",
+        "scheme", "best_acc", "transfer", "withheld"
+    );
     for (name, strategy) in arms {
         let mut runner = FlRunner::builder(models::lstm_classifier, cfg.clone())
-            .optimizer(apf_fedsim::OptimizerKind::Sgd { lr: 0.05, momentum: 0.0, weight_decay: 0.01 })
+            .optimizer(apf_fedsim::OptimizerKind::Sgd {
+                lr: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.01,
+            })
             .clients_from_partition(&train, &parts)
             .test_set(test.clone())
             .strategy(strategy)

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the APF reproduction workspace.
+#
+# The workspace is hermetic: it must build, test, and bench with zero
+# registry dependencies, fully offline. This script is the check CI (and
+# humans) run before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release --offline (workspace) =="
+cargo build --release --offline --workspace
+
+echo "== cargo test --offline (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== dependency hermeticity =="
+# Every node in the dependency graph must live inside this repository.
+external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
+  | grep -v '(/' | grep -v '^\s*$' || true)
+if [ -n "$external" ]; then
+  echo "non-workspace dependencies found:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+echo "OK: dependency graph is workspace-local"
+
+echo "verify: all checks passed"

@@ -15,7 +15,11 @@ fn flat_images(n: usize, split: u64) -> Dataset {
     } else {
         ds
     };
-    Dataset::new(ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]), ds.labels().to_vec(), 10)
+    Dataset::new(
+        ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]),
+        ds.labels().to_vec(),
+        10,
+    )
 }
 
 fn mlp(seed: u64) -> apf_nn::Sequential {
@@ -39,7 +43,11 @@ fn run(strategy: Box<dyn apf_fedsim::SyncStrategy>, rounds: usize) -> apf_fedsim
     let test = flat_images(150, 1);
     let parts = dirichlet_partition(train.labels(), 4, 1.0, 2);
     let mut runner = FlRunner::builder(mlp, cfg(rounds))
-        .optimizer(apf_fedsim::OptimizerKind::Sgd { lr: 0.05, momentum: 0.9, weight_decay: 0.0 })
+        .optimizer(apf_fedsim::OptimizerKind::Sgd {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        })
         .clients_from_partition(&train, &parts)
         .test_set(test)
         .strategy(strategy)
@@ -72,7 +80,11 @@ fn apf_matches_fedavg_accuracy_with_fewer_bytes() {
         fedavg.best_accuracy()
     );
     // Both must actually learn.
-    assert!(fedavg.best_accuracy() > 0.3, "fedavg only reached {}", fedavg.best_accuracy());
+    assert!(
+        fedavg.best_accuracy() > 0.3,
+        "fedavg only reached {}",
+        fedavg.best_accuracy()
+    );
     // APF must transmit strictly less.
     assert!(
         apf.total_bytes() < fedavg.total_bytes(),
@@ -81,7 +93,10 @@ fn apf_matches_fedavg_accuracy_with_fewer_bytes() {
         fedavg.total_bytes()
     );
     // And freezing must have engaged at some point.
-    assert!(apf.records.iter().any(|r| r.frozen_ratio > 0.05), "freezing never engaged");
+    assert!(
+        apf.records.iter().any(|r| r.frozen_ratio > 0.05),
+        "freezing never engaged"
+    );
 }
 
 #[test]
@@ -98,7 +113,10 @@ fn byte_accounting_is_consistent_with_frozen_ratio() {
             "round {}: inconsistent byte accounting ({model_scalars} vs {expected})",
             r.round
         );
-        assert_eq!(r.bytes_up, r.bytes_down, "APF compresses both directions equally");
+        assert_eq!(
+            r.bytes_up, r.bytes_down,
+            "APF compresses both directions equally"
+        );
     }
 }
 
@@ -129,7 +147,10 @@ fn f16_stacking_halves_wire_size_and_preserves_learning() {
     // Per-round wire bytes must be exactly half at equal frozen ratio
     // (round 0: nothing frozen yet in either).
     assert_eq!(quant.records[0].bytes_up * 2, plain.records[0].bytes_up);
-    assert!(quant.best_accuracy() > 0.35, "quantized run failed to learn");
+    assert!(
+        quant.best_accuracy() > 0.35,
+        "quantized run failed to learn"
+    );
 }
 
 #[test]

@@ -10,7 +10,11 @@ use apf_nn::{models, LrSchedule, Sgd, Trainer};
 fn flat_images(n: usize, split: u64) -> Dataset {
     let ds = synth_images_split(n, 1, split);
     let ds = apf_data::with_label_noise(&ds, 0.25, 1);
-    Dataset::new(ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]), ds.labels().to_vec(), 10)
+    Dataset::new(
+        ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]),
+        ds.labels().to_vec(),
+        10,
+    )
 }
 
 fn make_client(data: Dataset, seed: u64) -> apf_fedsim::Client {
@@ -59,9 +63,18 @@ fn partial_sync_lets_clients_diverge_apf_does_not() {
         .zip(&p1)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0, f32::max);
-    assert!(partial_gap > 1e-4, "partial sync should leave clients inconsistent");
+    assert!(
+        partial_gap > 1e-4,
+        "partial sync should leave clients inconsistent"
+    );
 
-    let mut apf = ApfStrategy::new(ApfConfig { check_every_rounds: 1, stability_threshold: 0.1, ema_alpha: 0.9, seed: 3, ..ApfConfig::default() });
+    let mut apf = ApfStrategy::new(ApfConfig {
+        check_every_rounds: 1,
+        stability_threshold: 0.1,
+        ema_alpha: 0.9,
+        seed: 3,
+        ..ApfConfig::default()
+    });
     let (a0, a1) = drive_two_clients(&mut apf, 50);
     assert_eq!(a0, a1, "APF must keep all clients bit-identical after sync");
 }
@@ -71,7 +84,13 @@ fn permanent_freeze_is_sticky_apf_releases() {
     // Under permanent freezing, once frozen the scalar's period never ends;
     // under APF the AIMD controller halves periods on drift, so every frozen
     // scalar has a finite unfreeze horizon.
-    let cfg = ApfConfig { check_every_rounds: 1, stability_threshold: 0.1, ema_alpha: 0.9, seed: 4, ..ApfConfig::default() };
+    let cfg = ApfConfig {
+        check_every_rounds: 1,
+        stability_threshold: 0.1,
+        ema_alpha: 0.9,
+        seed: 4,
+        ..ApfConfig::default()
+    };
     let mut perm = ApfStrategy::permanent_freeze(cfg);
     let (_, _) = drive_two_clients(&mut perm, 40);
     let frozen_at_horizon = perm.managers()[0].frozen_count(1_000_000_000);
@@ -94,7 +113,13 @@ fn permanent_freeze_is_sticky_apf_releases() {
 
 #[test]
 fn apf_rollback_pins_frozen_scalars_through_local_training() {
-    let cfg = ApfConfig { check_every_rounds: 1, stability_threshold: 0.1, ema_alpha: 0.9, seed: 5, ..ApfConfig::default() };
+    let cfg = ApfConfig {
+        check_every_rounds: 1,
+        stability_threshold: 0.1,
+        ema_alpha: 0.9,
+        seed: 5,
+        ..ApfConfig::default()
+    };
     let mut apf = ApfStrategy::new(cfg);
     let train = flat_images(80, 0);
     let parts = classes_per_client_partition(train.labels(), 2, 5, 3);
@@ -121,7 +146,10 @@ fn apf_rollback_pins_frozen_scalars_through_local_training() {
                 pinned_ok = false;
             }
         }
-        assert!(pinned_ok, "round {r}: a frozen scalar moved during local training");
+        assert!(
+            pinned_ok,
+            "round {r}: a frozen scalar moved during local training"
+        );
         let mut locals = vec![flat, c1.flat_params()];
         apf.sync_round(r, &mut locals, &[1.0, 1.0], &mut global);
         c0.load_flat(&locals[0]);

@@ -40,7 +40,10 @@ fn theorem1_geometric_decay_to_noise_floor() {
     let bound_mid = (1.0 - 2.0 * mu * eta).powi(k_mid as i32) as f64 * 100.0
         + f64::from(eta * sigma * sigma / (2.0 * mu));
     // The transient phase respects the bound (with slack for f32 noise).
-    assert!(sq_mid <= bound_mid * 1.5, "mid {sq_mid} vs bound {bound_mid}");
+    assert!(
+        sq_mid <= bound_mid * 1.5,
+        "mid {sq_mid} vs bound {bound_mid}"
+    );
     // The stationary phase sits near the noise floor, far below the start.
     assert!(sq_end < 0.1, "stationary variance {sq_end}");
     assert!(sq_end <= sq_mid * 1.2, "no late-phase blow-up");
@@ -97,14 +100,24 @@ fn apf_drives_gradient_norm_down_on_quadratic_bowl() {
     // optimization (the guarantee of Theorem 2).
     let n = 64usize;
     let mut rng = seeded_rng(1);
-    let curit: Vec<f32> = (0..n).map(|i| 0.2 + 1.8 * ((i * 37 % n) as f32 / n as f32)).collect();
+    let curit: Vec<f32> = (0..n)
+        .map(|i| 0.2 + 1.8 * ((i * 37 % n) as f32 / n as f32))
+        .collect();
     let mut x: Vec<f32> = (0..n).map(|_| 3.0 + sample_normal(&mut rng)).collect();
     let eta = 0.1f32;
     let sigma = 0.1f32;
-    let cfg = ApfConfig { check_every_rounds: 1, seed: 7, ..ApfConfig::default() };
+    let cfg = ApfConfig {
+        check_every_rounds: 1,
+        seed: 7,
+        ..ApfConfig::default()
+    };
     let mut mgr = ApfManager::new(&x, cfg, Box::new(Aimd::default()));
     let grad_norm = |x: &[f32]| -> f32 {
-        x.iter().zip(&curit).map(|(xi, c)| (c * xi) * (c * xi)).sum::<f32>().sqrt()
+        x.iter()
+            .zip(&curit)
+            .map(|(xi, c)| (c * xi) * (c * xi))
+            .sum::<f32>()
+            .sqrt()
     };
     let g0 = grad_norm(&x);
     for r in 0..300u64 {
@@ -119,7 +132,10 @@ fn apf_drives_gradient_norm_down_on_quadratic_bowl() {
         mgr.sync(&mut x, r, |up| up.to_vec());
     }
     let g_end = grad_norm(&x);
-    assert!(g_end < 0.15 * g0, "gradient norm {g_end} did not shrink from {g0}");
+    assert!(
+        g_end < 0.15 * g0,
+        "gradient norm {g_end} did not shrink from {g0}"
+    );
     // Freezing must actually have happened (otherwise the test is vacuous).
     assert!(
         mgr.frozen_count(299) > 0 || mgr.freezing_periods().iter().any(|&l| l > 0),
