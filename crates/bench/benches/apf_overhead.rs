@@ -25,7 +25,7 @@ fn warmed_manager(n: usize) -> (ApfManager, Vec<f32>) {
         threshold_decay: None,
         ..ApfConfig::default()
     };
-    let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+    let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
     let mut params = init;
     for r in 0..20u64 {
         for (j, p) in params.iter_mut().enumerate() {

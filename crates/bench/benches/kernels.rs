@@ -44,7 +44,7 @@ fn main() {
     let img = normal_init(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
     let seq = normal_init(&[16, 20, 10], 0.0, 1.0, &mut rng);
     for name in ["lenet5", "resnet", "lstm"] {
-        let mut model = models::by_name(name, 0);
+        let mut model = models::by_name(name, 0).unwrap();
         let x = if name == "lstm" {
             seq.clone()
         } else {

@@ -25,11 +25,14 @@ fn run_set(ctx: &Ctx, model: ModelKind, base_rounds: usize, tag: &str) -> [Exper
     let apf = run_fl(
         ctx,
         spec(format!("fig13/{tag}/apf")),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 2),
-            Box::new(|| Box::new(aimd_for(2))),
-            "apf",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "apf",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     // Gaia: 1% significance threshold (its paper's default).

@@ -38,11 +38,14 @@ fn arms(ctx: &Ctx) -> Vec<(String, ExperimentLog, ExperimentLog)> {
         let apf = run_fl(
             ctx,
             spec(stem(tag, "apf")),
-            Box::new(ApfStrategy::with_controller(
-                apf_cfg(ctx, 2),
-                Box::new(|| Box::new(aimd_for(2))),
-                "apf",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(
+                    apf_cfg(ctx, 2),
+                    Box::new(|| Box::new(aimd_for(2))),
+                    "apf",
+                )
+                .unwrap(),
+            ),
             |b| b,
         );
         out.push((tag.to_owned(), full, apf));

@@ -29,11 +29,14 @@ pub fn extra_granularity(ctx: &Ctx) {
     let apf = run_fl(
         ctx,
         spec("extra/apf"),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 2),
-            Box::new(|| Box::new(aimd_for(2))),
-            "apf",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "apf",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     // Layer layout of LeNet-5 for the FreezeOut-style baseline: freeze one
@@ -84,7 +87,7 @@ pub fn extra_dp(ctx: &Ctx) {
         label: label.to_owned(),
     };
     let mk_apf = |cfg: ApfConfig| {
-        ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")
+        ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf").unwrap()
     };
     let clean = run_fl(
         ctx,

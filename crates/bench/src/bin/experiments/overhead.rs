@@ -33,7 +33,7 @@ pub fn table4(ctx: &Ctx) {
             seed: ctx.seed,
             ..ApfConfig::default()
         };
-        let mut mgr = ApfManager::new(&flat, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&flat, cfg, Box::new(Aimd::default())).unwrap();
         let fs = 8usize;
 
         // Time the APF-side work of one round (amortized over many rounds).

@@ -32,11 +32,14 @@ pub fn fig19(ctx: &Ctx) {
     let fedprox_apf = run_fl(
         ctx,
         spec("fig19/fedprox-apf"),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 2),
-            Box::new(|| Box::new(aimd_for(2))),
-            "fedprox+apf",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "fedprox+apf",
+            )
+            .unwrap(),
+        ),
         |b| with_stragglers(b).prox_mu(0.01),
     );
     curves_csv("fig19_accuracy.csv", &[&fedavg, &fedprox, &fedprox_apf]);

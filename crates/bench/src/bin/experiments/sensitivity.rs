@@ -29,11 +29,14 @@ pub fn fig20(ctx: &Ctx) {
     let tight = run_fl(
         ctx,
         spec_lenet("fig20/lenet5/threshold-default"),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 2),
-            Box::new(|| Box::new(aimd_for(2))),
-            "Ts=0.1",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "Ts=0.1",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     let loose_cfg = ApfConfig {
@@ -43,11 +46,10 @@ pub fn fig20(ctx: &Ctx) {
     let loose = run_fl(
         ctx,
         spec_lenet("fig20/lenet5/threshold-0.5"),
-        Box::new(ApfStrategy::with_controller(
-            loose_cfg,
-            Box::new(|| Box::new(aimd_for(2))),
-            "Ts=0.5",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(loose_cfg, Box::new(|| Box::new(aimd_for(2))), "Ts=0.5")
+                .unwrap(),
+        ),
         |b| b,
     );
     curves_csv("fig20a_threshold_accuracy.csv", &[&tight, &loose]);
@@ -70,27 +72,33 @@ pub fn fig20(ctx: &Ctx) {
     let fc1 = run_fl(
         ctx,
         spec_lstm("fig20/lstm/fc-1"),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 1),
-            Box::new(|| Box::new(aimd_for(1))),
-            "Fc=Fs",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 1),
+                Box::new(|| Box::new(aimd_for(1))),
+                "Fc=Fs",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     // §7.8: with F_c = 5, increment 5 and scale-down factor 5.
     let fc5 = run_fl(
         ctx,
         spec_lstm("fig20/lstm/fc-5"),
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 5),
-            Box::new(|| {
-                Box::new(apf::Aimd {
-                    increment: 5,
-                    decrease_factor: 5,
-                })
-            }),
-            "Fc=5Fs",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 5),
+                Box::new(|| {
+                    Box::new(apf::Aimd {
+                        increment: 5,
+                        decrease_factor: 5,
+                    })
+                }),
+                "Fc=5Fs",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     curves_csv("fig20b_check_frequency_accuracy.csv", &[&fc1, &fc5]);
@@ -114,11 +122,14 @@ pub fn fig21(ctx: &Ctx) {
         label: label.to_owned(),
     };
     let apf_strategy = || {
-        Box::new(ApfStrategy::with_controller(
-            apf_cfg(ctx, 2),
-            Box::new(|| Box::new(aimd_for(2))),
-            "apf",
-        ))
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "apf",
+            )
+            .unwrap(),
+        )
     };
     let sgd = |lr: f32| apf_fedsim::OptimizerKind::Sgd {
         lr,
@@ -182,11 +193,14 @@ pub fn fig22(ctx: &Ctx) {
         let log = run_fl(
             ctx,
             spec,
-            Box::new(ApfStrategy::with_controller(
-                apf_cfg(ctx, 2),
-                Box::new(|| Box::new(aimd_for(2))),
-                tag,
-            )),
+            Box::new(
+                ApfStrategy::with_controller(
+                    apf_cfg(ctx, 2),
+                    Box::new(|| Box::new(aimd_for(2))),
+                    tag,
+                )
+                .unwrap(),
+            ),
             |b| b.local_iters(fs),
         );
         logs.push(log);

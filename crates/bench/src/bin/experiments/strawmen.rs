@@ -178,7 +178,7 @@ pub fn fig6(ctx: &Ctx) {
     let frozen = run_fl(
         ctx,
         spec("fig6/permanent-freeze"),
-        Box::new(ApfStrategy::permanent_freeze(apf_cfg(ctx, 2))),
+        Box::new(ApfStrategy::permanent_freeze(apf_cfg(ctx, 2)).unwrap()),
         |b| b,
     );
     curves_csv("fig6_permanent_freeze_accuracy.csv", &[&full, &frozen]);
@@ -213,11 +213,14 @@ pub fn fig12(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig12/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(
-                apf_cfg(ctx, 2),
-                Box::new(|| Box::new(aimd_for(2))),
-                "apf",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(
+                    apf_cfg(ctx, 2),
+                    Box::new(|| Box::new(aimd_for(2))),
+                    "apf",
+                )
+                .unwrap(),
+            ),
             |b| b,
         );
         let partial = run_fl(
@@ -229,7 +232,7 @@ pub fn fig12(ctx: &Ctx) {
         let perm = run_fl(
             ctx,
             spec(format!("fig12/{tag}/permanent-freeze")),
-            Box::new(ApfStrategy::permanent_freeze(apf_cfg(ctx, 2))),
+            Box::new(ApfStrategy::permanent_freeze(apf_cfg(ctx, 2)).unwrap()),
             |b| b,
         );
         curves_csv(

@@ -26,42 +26,49 @@ pub fn fig15(ctx: &Ctx) {
     let aimd = run_fl(
         ctx,
         spec("fig15/aimd".into()),
-        Box::new(ApfStrategy::with_controller(
-            cfg,
-            Box::new(|| Box::new(aimd_for(2))),
-            "aimd",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "aimd").unwrap(),
+        ),
         |b| b,
     );
     let additive = run_fl(
         ctx,
         spec("fig15/pure-additive".into()),
-        Box::new(ApfStrategy::with_controller(
-            cfg,
-            Box::new(|| Box::new(PureAdditive { step: 5 })),
-            "pure-additive",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(PureAdditive { step: 5 })),
+                "pure-additive",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     let multiplicative = run_fl(
         ctx,
         spec("fig15/pure-multiplicative".into()),
-        Box::new(ApfStrategy::with_controller(
-            cfg,
-            Box::new(|| Box::new(PureMultiplicative { factor: 2 })),
-            "pure-multiplicative",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(PureMultiplicative { factor: 2 })),
+                "pure-multiplicative",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     // Fixed: 10 stability checks = 10 * F_c rounds (§7.5).
     let fixed = run_fl(
         ctx,
         spec("fig15/fixed".into()),
-        Box::new(ApfStrategy::with_controller(
-            cfg,
-            Box::new(|| Box::new(FixedPeriod { len: 50 })),
-            "fixed-10-checks",
-        )),
+        Box::new(
+            ApfStrategy::with_controller(
+                cfg,
+                Box::new(|| Box::new(FixedPeriod { len: 50 })),
+                "fixed-10-checks",
+            )
+            .unwrap(),
+        ),
         |b| b,
     );
     curves_csv(
@@ -104,11 +111,10 @@ pub fn fig16(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig16/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(
-                cfg,
-                Box::new(|| Box::new(aimd_for(1))),
-                "apf",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(1))), "apf")
+                    .unwrap(),
+            ),
             |b| b,
         );
         let sharp_cfg = apf::ApfConfig {
@@ -118,11 +124,10 @@ pub fn fig16(ctx: &Ctx) {
         let sharp = run_fl(
             ctx,
             spec(format!("fig16/{tag}/apf-sharp")),
-            Box::new(ApfStrategy::with_controller(
-                sharp_cfg,
-                Box::new(|| Box::new(aimd_for(1))),
-                "apf#",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(sharp_cfg, Box::new(|| Box::new(aimd_for(1))), "apf#")
+                    .unwrap(),
+            ),
             |b| b,
         );
         curves_csv(&format!("fig16_{tag}_accuracy.csv"), &[&apf, &sharp]);
@@ -155,11 +160,10 @@ pub fn fig17(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig17/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(
-                cfg,
-                Box::new(|| Box::new(aimd_for(1))),
-                "apf",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(1))), "apf")
+                    .unwrap(),
+            ),
             |b| b,
         );
         let a1 = 1.0 / (2.0 * r as f64);
@@ -171,11 +175,10 @@ pub fn fig17(ctx: &Ctx) {
         let pp = run_fl(
             ctx,
             spec(format!("fig17/{tag}/apf-plusplus")),
-            Box::new(ApfStrategy::with_controller(
-                pp_cfg,
-                Box::new(|| Box::new(aimd_for(1))),
-                "apf++",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(pp_cfg, Box::new(|| Box::new(aimd_for(1))), "apf++")
+                    .unwrap(),
+            ),
             |b| b,
         );
         curves_csv(&format!("fig17_{tag}_accuracy.csv"), &[&apf, &pp]);
@@ -206,11 +209,10 @@ pub fn fig18(ctx: &Ctx) {
         let apf = run_fl(
             ctx,
             spec(format!("fig18/{tag}/apf")),
-            Box::new(ApfStrategy::with_controller(
-                cfg,
-                Box::new(|| Box::new(aimd_for(2))),
-                "apf",
-            )),
+            Box::new(
+                ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")
+                    .unwrap(),
+            ),
             |b| b,
         );
         let quant = run_fl(
@@ -218,6 +220,7 @@ pub fn fig18(ctx: &Ctx) {
             spec(format!("fig18/{tag}/apf-q")),
             Box::new(
                 ApfStrategy::with_controller(cfg, Box::new(|| Box::new(aimd_for(2))), "apf")
+                    .unwrap()
                     .with_f16(),
             ),
             |b| b,

@@ -70,7 +70,8 @@ fn main() {
             })
         }),
         "apf",
-    );
+    )
+    .unwrap();
     strat.init(&init, 4);
     let mut global = init.clone();
     let mut eval_model = model.build(7);

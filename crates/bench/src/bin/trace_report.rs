@@ -1,0 +1,371 @@
+//! `trace-report`: offline analyzer for `apf-trace` JSONL files.
+//!
+//! Usage:
+//!
+//! ```text
+//! APF_TRACE=debug APF_TRACE_FILE=trace.jsonl cargo run --bin experiments -- end2end
+//! cargo run --bin trace-report -- trace.jsonl
+//! ```
+//!
+//! Prints three views of a run:
+//!
+//! 1. **Top spans by self-time** — wall time spent in each `(target, name)`
+//!    span kind, excluding time attributed to child spans.
+//! 2. **Per-layer freeze heatmap** — frozen fraction of every model layer
+//!    over rounds, from the manager's `layer_freeze` events.
+//! 3. **Bytes by phase** — uplink/downlink volume per transfer phase, from
+//!    `fedsim.comm` events.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use apf_bench::report::{fmt_mb, render_table};
+use apf_fedsim::json::{self, Value};
+
+/// One parsed `{"t":"span",...}` line.
+struct SpanLine {
+    target: String,
+    name: String,
+    id: u64,
+    dur_us: u64,
+}
+
+/// Accumulated statistics for one `(target, name)` span kind.
+#[derive(Default)]
+struct SpanStat {
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Value::as_str)
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.get("fields").and_then(|f| f.get(key))
+}
+
+/// Shade character for a ratio in `[0, 1]`.
+fn shade(ratio: f64) -> char {
+    const RAMP: [char; 10] = ['.', '1', '2', '3', '4', '5', '6', '7', '8', '#'];
+    if ratio <= 0.0 {
+        return RAMP[0];
+    }
+    let idx = (ratio * (RAMP.len() - 1) as f64).ceil() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+struct Report {
+    spans: Vec<SpanLine>,
+    /// `id -> dur_us` for parent lookup.
+    durs: BTreeMap<u64, u64>,
+    /// `id -> parent id` (0 = root).
+    parents: BTreeMap<u64, u64>,
+    /// `(layer name, round) -> frozen_ratio`, plus layer order of first sight.
+    freeze: BTreeMap<(String, u64), f64>,
+    layer_order: Vec<String>,
+    /// `phase -> (bytes_up, bytes_down, transfers)`.
+    phases: BTreeMap<String, (u64, u64, u64)>,
+    lines: u64,
+    skipped: u64,
+}
+
+impl Report {
+    fn new() -> Report {
+        Report {
+            spans: Vec::new(),
+            durs: BTreeMap::new(),
+            parents: BTreeMap::new(),
+            freeze: BTreeMap::new(),
+            layer_order: Vec::new(),
+            phases: BTreeMap::new(),
+            lines: 0,
+            skipped: 0,
+        }
+    }
+
+    fn ingest_line(&mut self, line: &str) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        self.lines += 1;
+        let Ok(v) = json::parse(trimmed) else {
+            self.skipped += 1;
+            return;
+        };
+        match get_str(&v, "t") {
+            Some("span") => self.ingest_span(&v),
+            Some("event") => self.ingest_event(&v),
+            _ => self.skipped += 1,
+        }
+    }
+
+    fn ingest_span(&mut self, v: &Value) {
+        let (Some(id), Some(parent), Some(dur_us)) =
+            (get_u64(v, "id"), get_u64(v, "parent"), get_u64(v, "dur_us"))
+        else {
+            self.skipped += 1;
+            return;
+        };
+        self.durs.insert(id, dur_us);
+        self.parents.insert(id, parent);
+        self.spans.push(SpanLine {
+            target: get_str(v, "target").unwrap_or("?").to_owned(),
+            name: get_str(v, "name").unwrap_or("?").to_owned(),
+            id,
+            dur_us,
+        });
+    }
+
+    fn ingest_event(&mut self, v: &Value) {
+        let target = get_str(v, "target").unwrap_or("");
+        let msg = get_str(v, "msg").unwrap_or("");
+        if target == "apf.manager" && msg == "layer_freeze" {
+            let (Some(layer), Some(round), Some(ratio)) = (
+                field(v, "layer").and_then(Value::as_str),
+                field(v, "round").and_then(Value::as_u64),
+                field(v, "frozen_ratio").and_then(Value::as_f64),
+            ) else {
+                return;
+            };
+            if !self.layer_order.iter().any(|l| l == layer) {
+                self.layer_order.push(layer.to_owned());
+            }
+            self.freeze.insert((layer.to_owned(), round), ratio);
+        } else if target == "fedsim.comm" && msg == "transfer" {
+            let phase = field(v, "phase")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_owned();
+            let up = field(v, "bytes_up").and_then(Value::as_u64).unwrap_or(0);
+            let down = field(v, "bytes_down").and_then(Value::as_u64).unwrap_or(0);
+            let e = self.phases.entry(phase).or_insert((0, 0, 0));
+            e.0 += up;
+            e.1 += down;
+            e.2 += 1;
+        }
+    }
+
+    /// Self-time per `(target, name)`: each span's duration minus the summed
+    /// durations of its direct children.
+    fn span_stats(&self) -> Vec<(String, SpanStat)> {
+        let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&id, &parent) in &self.parents {
+            if parent != 0 && self.durs.contains_key(&parent) {
+                *child_us.entry(parent).or_insert(0) += self.durs[&id];
+            }
+        }
+        let mut stats: BTreeMap<String, SpanStat> = BTreeMap::new();
+        for s in &self.spans {
+            let key = format!("{}::{}", s.target, s.name);
+            let children = child_us.get(&s.id).copied().unwrap_or(0);
+            let stat = stats.entry(key).or_default();
+            stat.count += 1;
+            stat.total_us += s.dur_us;
+            stat.self_us += s.dur_us.saturating_sub(children.min(s.dur_us));
+        }
+        let mut out: Vec<(String, SpanStat)> = stats.into_iter().collect();
+        out.sort_by_key(|(_, s)| std::cmp::Reverse(s.self_us));
+        out
+    }
+
+    fn print_spans(&self) {
+        let stats = self.span_stats();
+        if stats.is_empty() {
+            println!("\n== top spans by self-time ==\n(no span records; run with APF_TRACE=info or lower)");
+            return;
+        }
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .take(20)
+            .map(|(key, s)| {
+                vec![
+                    key.clone(),
+                    s.count.to_string(),
+                    fmt_us(s.self_us),
+                    fmt_us(s.total_us),
+                    fmt_us(s.total_us / s.count.max(1)),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "top spans by self-time",
+                &["span", "count", "self", "total", "mean"],
+                &rows,
+            )
+        );
+    }
+
+    fn print_heatmap(&self) {
+        println!("\n== per-layer freeze heatmap ==");
+        if self.freeze.is_empty() {
+            println!("(no layer_freeze events; run with APF_TRACE=debug and the APF strategy)");
+            return;
+        }
+        let mut rounds: Vec<u64> = self.freeze.keys().map(|(_, r)| *r).collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        // Downsample columns so wide runs still fit a terminal.
+        const MAX_COLS: usize = 64;
+        let step = rounds.len().div_ceil(MAX_COLS);
+        let cols: Vec<u64> = rounds.iter().copied().step_by(step.max(1)).collect();
+        let name_w = self
+            .layer_order
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        println!(
+            "frozen fraction per round (., 1-8 = deciles, # = fully frozen); rounds {}..{} step {}",
+            rounds.first().unwrap(),
+            rounds.last().unwrap(),
+            step.max(1)
+        );
+        for layer in &self.layer_order {
+            let cells: String = cols
+                .iter()
+                .map(|r| {
+                    self.freeze
+                        .get(&(layer.clone(), *r))
+                        .map_or(' ', |ratio| shade(*ratio))
+                })
+                .collect();
+            println!("  {layer:<name_w$} |{cells}|");
+        }
+    }
+
+    fn print_phases(&self) {
+        if self.phases.is_empty() {
+            println!("\n== bytes by phase ==\n(no fedsim.comm transfer events; run with APF_TRACE=debug)");
+            return;
+        }
+        let rows: Vec<Vec<String>> = self
+            .phases
+            .iter()
+            .map(|(phase, (up, down, n))| {
+                vec![
+                    phase.clone(),
+                    n.to_string(),
+                    fmt_mb(*up),
+                    fmt_mb(*down),
+                    fmt_mb(up + down),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "bytes by phase",
+                &["phase", "transfers", "up", "down", "total"],
+                &rows,
+            )
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: trace-report <trace.jsonl>");
+        eprintln!("  produce a trace with e.g. APF_TRACE=debug APF_TRACE_FILE=trace.jsonl");
+        return ExitCode::FAILURE;
+    };
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = Report::new();
+    for line in data.lines() {
+        report.ingest_line(line);
+    }
+    println!(
+        "{path}: {} records ({} unparsable)",
+        report.lines, report.skipped
+    );
+    report.print_spans();
+    report.print_heatmap();
+    report.print_phases();
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_ramp_monotone() {
+        assert_eq!(shade(0.0), '.');
+        assert_eq!(shade(1.0), '#');
+        assert_eq!(shade(2.0), '#');
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let mut r = Report::new();
+        r.ingest_line(
+            r#"{"t":"span","ts_us":1,"lvl":"info","target":"a","name":"child","id":2,"parent":1,"start_us":0,"dur_us":30}"#,
+        );
+        r.ingest_line(
+            r#"{"t":"span","ts_us":2,"lvl":"info","target":"a","name":"root","id":1,"parent":0,"start_us":0,"dur_us":100}"#,
+        );
+        let stats = r.span_stats();
+        let root = stats.iter().find(|(k, _)| k == "a::root").unwrap();
+        assert_eq!(root.1.self_us, 70);
+        assert_eq!(root.1.total_us, 100);
+        let child = stats.iter().find(|(k, _)| k == "a::child").unwrap();
+        assert_eq!(child.1.self_us, 30);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut r = Report::new();
+        r.ingest_line(
+            r#"{"t":"event","ts_us":1,"lvl":"debug","target":"fedsim.comm","msg":"transfer","span":0,"fields":{"round":0,"phase":"sync","bytes_up":10,"bytes_down":20}}"#,
+        );
+        r.ingest_line(
+            r#"{"t":"event","ts_us":2,"lvl":"debug","target":"fedsim.comm","msg":"transfer","span":0,"fields":{"round":1,"phase":"sync","bytes_up":1,"bytes_down":2}}"#,
+        );
+        assert_eq!(r.phases["sync"], (11, 22, 2));
+    }
+
+    #[test]
+    fn heatmap_tracks_layer_rounds() {
+        let mut r = Report::new();
+        r.ingest_line(
+            r#"{"t":"event","ts_us":1,"lvl":"debug","target":"apf.manager","msg":"layer_freeze","span":0,"fields":{"round":3,"layer":"fc1-w","offset":0,"len":10,"frozen":5,"frozen_ratio":0.5}}"#,
+        );
+        assert_eq!(r.layer_order, vec!["fc1-w"]);
+        assert_eq!(r.freeze[&("fc1-w".to_owned(), 3)], 0.5);
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let mut r = Report::new();
+        r.ingest_line("not json at all");
+        r.ingest_line("");
+        assert_eq!(r.lines, 1);
+        assert_eq!(r.skipped, 1);
+    }
+}

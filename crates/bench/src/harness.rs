@@ -8,6 +8,7 @@
 //! Set `APF_BENCH_QUICK=1` to cut sample counts for smoke runs.
 
 use std::hint::black_box as std_black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity, so benchmarked results are not elided.
@@ -63,16 +64,24 @@ pub fn fmt_duration(d: Duration) -> String {
 pub struct BenchGroup {
     name: String,
     results: Vec<Measurement>,
+    out: Box<dyn Write + Send>,
 }
 
 impl BenchGroup {
-    /// Starts a group (header is printed immediately so long benches show
-    /// progress).
+    /// Starts a group writing to stdout (header is written immediately so
+    /// long benches show progress).
     pub fn new(name: &str) -> Self {
-        println!("\n== {name} ==");
+        BenchGroup::with_writer(name, Box::new(std::io::stdout()))
+    }
+
+    /// Starts a group writing progress to `out` (e.g. a buffer in tests, or
+    /// `io::sink()` for silent runs). Write errors are ignored.
+    pub fn with_writer(name: &str, mut out: Box<dyn Write + Send>) -> Self {
+        let _ = writeln!(out, "\n== {name} ==");
         BenchGroup {
             name: name.to_owned(),
             results: Vec::new(),
+            out,
         }
     }
 
@@ -117,7 +126,8 @@ impl BenchGroup {
             iters,
             samples,
         };
-        println!(
+        let _ = writeln!(
+            self.out,
             "  {label:<24} median {:>12}  min {:>12}  max {:>12}  ({} iters x {} samples)",
             fmt_duration(m.median),
             fmt_duration(m.min),
@@ -149,7 +159,7 @@ mod tests {
     #[test]
     fn bench_measures_something() {
         std::env::set_var("APF_BENCH_QUICK", "1");
-        let mut g = BenchGroup::new("selftest");
+        let mut g = BenchGroup::with_writer("selftest", Box::new(std::io::sink()));
         let m = g.bench("spin", || {
             black_box((0..1000u64).sum::<u64>());
         });

@@ -77,6 +77,7 @@ impl LocalTrace {
 ///
 /// # Panics
 /// Panics if `epochs` or `sample_count` is zero.
+#[allow(clippy::too_many_arguments)] // experiment knobs, mirrors the paper's Fig. 2/3 setup
 pub fn train_local_traced(
     model: ModelKind,
     train: &Dataset,

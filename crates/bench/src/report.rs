@@ -6,6 +6,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use apf_fedsim::ExperimentLog;
+use apf_trace::{event, Level};
 
 /// Directory all experiment artifacts are written to.
 pub fn results_dir() -> PathBuf {
@@ -15,9 +16,8 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Prints an aligned table to stdout.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
+/// Renders an aligned table as a string (one trailing newline).
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -34,17 +34,24 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!(
-        "{}",
-        fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
-    );
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-    );
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let _ = std::io::stdout().write_all(render_table(title, headers, rows).as_bytes());
 }
 
 /// Writes a CSV file under `results/`.
@@ -58,7 +65,7 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
     for row in rows {
         writeln!(f, "{}", row.join(",")).expect("write failed");
     }
-    println!("wrote {}", path.display());
+    announce_written(&path.display().to_string(), rows.len() as u64);
     path
 }
 
@@ -68,7 +75,16 @@ pub fn save_log(log: &ExperimentLog, stem: &str) {
     log.write_csv(dir.join(format!("{stem}.csv")))
         .expect("cannot write log csv");
     fs::write(dir.join(format!("{stem}.json")), log.to_json()).expect("cannot write log json");
-    println!("wrote {}/{stem}.{{csv,json}}", dir.display());
+    announce_written(
+        &format!("{}/{stem}.{{csv,json}}", dir.display()),
+        log.records.len() as u64,
+    );
+}
+
+/// Reports an artifact write on stdout and as a structured trace event.
+fn announce_written(path: &str, rows: u64) {
+    let _ = writeln!(std::io::stdout(), "wrote {path}");
+    event!(Level::Info, target: "bench.report", "wrote", path = path, rows = rows);
 }
 
 /// Loads a previously saved log, if present.
@@ -96,6 +112,22 @@ mod tests {
     fn fmt_mb_format() {
         assert_eq!(fmt_mb(2_500_000), "2.50 MB");
         assert_eq!(fmt_mb(0), "0.00 MB");
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            "t",
+            &["col", "x"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        assert!(s.contains("== t =="));
+        assert!(s.contains("col     x"), "{s}");
+        assert!(s.contains("longer  2"), "{s}");
+        assert!(s.ends_with('\n'));
     }
 
     #[test]

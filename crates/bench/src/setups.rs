@@ -28,7 +28,7 @@ impl ModelKind {
 
     /// Builds the model.
     pub fn build(self, seed: u64) -> Sequential {
-        models::by_name(self.name(), seed)
+        models::by_name(self.name(), seed).expect("bundled model names are valid")
     }
 
     /// The §7.1 optimizer for this model (Adam/0.001 for LeNet-5, SGD/0.1

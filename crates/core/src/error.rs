@@ -1,0 +1,32 @@
+//! Error types for APF construction and configuration.
+
+/// Errors produced when assembling APF machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApfError {
+    /// The [`crate::ApfConfig`] failed validation; the payload describes the
+    /// first invalid field.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ApfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApfError::InvalidConfig(msg) => write!(f, "invalid APF config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_field() {
+        let e = ApfError::InvalidConfig("check_every_rounds must be positive".to_owned());
+        assert!(e.to_string().contains("check_every_rounds"));
+        assert!(e.to_string().contains("invalid APF config"));
+    }
+}

@@ -29,21 +29,24 @@
 //! use apf::{Aimd, ApfConfig, ApfManager};
 //!
 //! let params = vec![0.0f32; 100];
-//! let mut mgr = ApfManager::new(&params, ApfConfig::default(), Box::new(Aimd::default()));
+//! let mut mgr = ApfManager::new(&params, ApfConfig::default(), Box::new(Aimd::default()))?;
 //! // Single-client loop: the aggregate of one client is its own upload.
 //! let mut p = params.clone();
 //! let report = mgr.sync(&mut p, 0, |upload| upload.to_vec());
 //! assert_eq!(report.total, 100);
+//! # Ok::<(), apf::ApfError>(())
 //! ```
 
 mod config;
 mod controller;
+mod error;
 mod manager;
 mod perturbation;
 mod state;
 
 pub use config::{ApfConfig, ApfVariant, ThresholdDecay};
 pub use controller::{Aimd, FixedPeriod, FreezeController, PureAdditive, PureMultiplicative};
+pub use error::ApfError;
 pub use manager::{ApfManager, SyncReport};
 pub use perturbation::{EmaPerturbation, WindowedPerturbation};
 pub use state::{mask_update_bytes, ApfState};

@@ -2,9 +2,11 @@
 //! stable scalars, synchronizes only the rest, and adapts freezing periods.
 
 use apf_tensor::{derive_seed, splitmix64};
+use apf_trace::{event, Level};
 
 use crate::config::ApfConfig;
 use crate::controller::FreezeController;
+use crate::error::ApfError;
 use crate::perturbation::EmaPerturbation;
 
 /// Communication/freezing statistics for one synchronization round.
@@ -72,6 +74,9 @@ pub struct ApfManager {
     check_ref: Vec<f32>,
     threshold: f32,
     checks_run: u64,
+    /// Optional `(layer name, scalar count)` layout over the flat vector,
+    /// used only for per-layer trace telemetry.
+    layout: Vec<(String, usize)>,
 }
 
 impl std::fmt::Debug for ApfManager {
@@ -89,14 +94,17 @@ impl ApfManager {
     /// Creates a manager for a model whose initial (already synchronized)
     /// parameters are `init`.
     ///
-    /// # Panics
-    /// Panics if `cfg` fails [`ApfConfig::validate`].
-    pub fn new(init: &[f32], cfg: ApfConfig, controller: Box<dyn FreezeController>) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid APF config: {e}");
-        }
+    /// # Errors
+    /// Returns [`ApfError::InvalidConfig`] if `cfg` fails
+    /// [`ApfConfig::validate`].
+    pub fn new(
+        init: &[f32],
+        cfg: ApfConfig,
+        controller: Box<dyn FreezeController>,
+    ) -> Result<Self, ApfError> {
+        cfg.validate().map_err(ApfError::InvalidConfig)?;
         let n = init.len();
-        ApfManager {
+        Ok(ApfManager {
             controller,
             n,
             ema: EmaPerturbation::new(n, cfg.ema_alpha),
@@ -107,7 +115,17 @@ impl ApfManager {
             threshold: cfg.stability_threshold,
             checks_run: 0,
             cfg,
-        }
+            layout: Vec::new(),
+        })
+    }
+
+    /// Registers a `(layer name, scalar count)` layout over the flat vector.
+    ///
+    /// Purely observational: when set, [`ApfManager::finish_round`] emits a
+    /// per-layer frozen-ratio trace event per round. Segments beyond the
+    /// managed length are ignored.
+    pub fn set_layout(&mut self, layout: Vec<(String, usize)>) {
+        self.layout = layout;
     }
 
     /// Number of managed scalars.
@@ -164,9 +182,13 @@ impl ApfManager {
     /// Panics if `params.len()` differs from the managed scalar count.
     pub fn rollback(&self, params: &mut [f32], round: u64) {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
-        for j in 0..self.n {
-            if round < self.unfreeze_round[j] {
-                params[j] = self.pinned[j];
+        for ((p, &unfreeze), &pin) in params
+            .iter_mut()
+            .zip(&self.unfreeze_round)
+            .zip(&self.pinned)
+        {
+            if round < unfreeze {
+                *p = pin;
             }
         }
     }
@@ -179,9 +201,9 @@ impl ApfManager {
     pub fn select_unfrozen(&self, params: &[f32], round: u64) -> Vec<f32> {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
         let mut out = Vec::with_capacity(self.n - self.frozen_count(round));
-        for j in 0..self.n {
-            if round >= self.unfreeze_round[j] {
-                out.push(params[j]);
+        for (&p, &unfreeze) in params.iter().zip(&self.unfreeze_round) {
+            if round >= unfreeze {
+                out.push(p);
             }
         }
         out
@@ -195,12 +217,16 @@ impl ApfManager {
     pub fn apply_aggregate(&mut self, params: &mut [f32], agg: &[f32], round: u64) {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
         let mut it = agg.iter();
-        for j in 0..self.n {
-            if round >= self.unfreeze_round[j] {
-                params[j] = *it.next().expect("aggregate shorter than unfrozen count");
+        for ((p, &unfreeze), &pin) in params
+            .iter_mut()
+            .zip(&self.unfreeze_round)
+            .zip(&self.pinned)
+        {
+            if round >= unfreeze {
+                *p = *it.next().expect("aggregate shorter than unfrozen count");
             } else {
                 // Frozen scalars must still hold their pinned value.
-                params[j] = self.pinned[j];
+                *p = pin;
             }
         }
         assert!(it.next().is_none(), "aggregate longer than unfrozen count");
@@ -224,7 +250,7 @@ impl ApfManager {
             self.stability_check(params, round);
         }
         self.random_freeze(round);
-        SyncReport {
+        let report = SyncReport {
             round,
             total: self.n,
             frozen: frozen_now,
@@ -232,6 +258,49 @@ impl ApfManager {
             bytes_down: unfrozen_now * self.cfg.bytes_per_scalar,
             checked,
             threshold: self.threshold,
+        };
+        self.emit_round_telemetry(&report);
+        report
+    }
+
+    /// Per-round trace output: one round-level event plus, when a layout is
+    /// registered, one frozen-ratio event per layer. Costs a relaxed atomic
+    /// load when tracing is below `Debug`.
+    fn emit_round_telemetry(&self, report: &SyncReport) {
+        if !apf_trace::enabled(Level::Debug) {
+            return;
+        }
+        event!(Level::Debug, target: "apf.manager", "round",
+            round = report.round,
+            total = report.total,
+            frozen = report.frozen,
+            frozen_ratio = report.frozen_ratio(),
+            bytes_up = report.bytes_up,
+            bytes_down = report.bytes_down,
+            checked = report.checked,
+            threshold = report.threshold,
+        );
+        apf_trace::metrics::counter("apf.bytes_up").add(report.bytes_up);
+        apf_trace::metrics::counter("apf.bytes_down").add(report.bytes_down);
+        let mut off = 0usize;
+        for (name, len) in &self.layout {
+            let end = (off + len).min(self.n);
+            if off >= end {
+                break;
+            }
+            let frozen = self.unfreeze_round[off..end]
+                .iter()
+                .filter(|&&u| report.round < u)
+                .count();
+            event!(Level::Debug, target: "apf.manager", "layer_freeze",
+                round = report.round,
+                layer = name.as_str(),
+                offset = off,
+                len = end - off,
+                frozen = frozen,
+                frozen_ratio = frozen as f32 / (end - off) as f32,
+            );
+            off = end;
         }
     }
 
@@ -269,8 +338,8 @@ impl ApfManager {
             })
             .collect();
         self.ema.update_masked(&delta, &trained);
-        for j in 0..self.n {
-            if !trained[j] {
+        for (j, &was_trained) in trained.iter().enumerate() {
+            if !was_trained {
                 continue;
             }
             let stable = self.ema.value(j) < self.threshold;
@@ -282,8 +351,51 @@ impl ApfManager {
             let frozen_next = self.frozen_count(round + 1);
             if frozen_next as f32 >= decay.trigger_fraction * self.n as f32 && self.n > 0 {
                 self.threshold *= decay.factor;
+                event!(Level::Debug, target: "apf.manager", "threshold_decay",
+                    round = round, threshold = self.threshold);
             }
         }
+        self.emit_check_telemetry(round);
+    }
+
+    /// Distribution telemetry at each stability check: freezing-period and
+    /// effective-perturbation histograms (metrics registry) plus a summary
+    /// event. Costs a relaxed atomic load when tracing is below `Debug`.
+    fn emit_check_telemetry(&self, round: u64) {
+        if !apf_trace::enabled(Level::Debug) {
+            return;
+        }
+        let periods = apf_trace::metrics::histogram(
+            "apf.freeze_period_rounds",
+            &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        );
+        for &len in &self.freeze_len {
+            periods.record(f64::from(len));
+        }
+        let perturb = apf_trace::metrics::histogram(
+            "apf.effective_perturbation",
+            &[1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.5, 1.0],
+        );
+        let mut sum = 0.0f64;
+        let mut max = 0.0f32;
+        let values = self.ema.values();
+        for &p in &values {
+            perturb.record(f64::from(p));
+            sum += f64::from(p);
+            max = max.max(p);
+        }
+        let mean = if values.is_empty() {
+            0.0
+        } else {
+            sum / values.len() as f64
+        };
+        event!(Level::Debug, target: "apf.manager", "stability_check",
+            round = round,
+            checks_run = self.checks_run,
+            threshold = self.threshold,
+            perturbation_mean = mean,
+            perturbation_max = max,
+        );
     }
 
     pub(crate) fn snapshot_impl(&self) -> crate::state::ApfState {
@@ -323,6 +435,7 @@ impl ApfManager {
             threshold: state.threshold,
             checks_run: state.checks_run,
             cfg: state.cfg,
+            layout: Vec::new(),
         }
     }
 
@@ -396,7 +509,8 @@ mod tests {
                 ..ApfConfig::default()
             },
             Box::new(Aimd::default()),
-        );
+        )
+        .unwrap();
         // Scalars 0,1 oscillate; scalars 2,3 drift steadily.
         let reports = drive(&mut mgr, &mut params, 0..40, |r, j| {
             if j < 2 {
@@ -435,14 +549,15 @@ mod tests {
                 ..ApfConfig::default()
             },
             Box::new(Aimd::default()),
-        );
+        )
+        .unwrap();
         let mut params = init.clone();
         // Oscillate scalar 0 until it becomes frozen for the *next* round.
         let mut r = 0u64;
         loop {
             assert!(r < 100, "oscillator never froze");
             if !mgr.is_frozen(0, r) {
-                params[0] += if r % 2 == 0 { 0.5 } else { -0.5 };
+                params[0] += if r.is_multiple_of(2) { 0.5 } else { -0.5 };
             }
             params[1] += 0.3;
             mgr.sync(&mut params, r, |up| up.to_vec());
@@ -465,7 +580,7 @@ mod tests {
     #[test]
     fn reports_account_bytes_both_directions() {
         let params = vec![0.0f32; 10];
-        let mut mgr = ApfManager::new(&params, cfg_every(5), Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&params, cfg_every(5), Box::new(Aimd::default())).unwrap();
         let mut p = params.clone();
         let rep = mgr.sync(&mut p, 0, |up| up.to_vec());
         assert_eq!(rep.bytes_up, 40);
@@ -484,7 +599,8 @@ mod tests {
                 ..ApfConfig::default()
             },
             Box::new(Aimd::default()),
-        );
+        )
+        .unwrap();
         let mut periods = Vec::new();
         for r in 0..200u64 {
             // Pure oscillation while unfrozen.
@@ -514,7 +630,8 @@ mod tests {
                 ..ApfConfig::default()
             },
             Box::new(Aimd::default()),
-        );
+        )
+        .unwrap();
         let mut grew_to = 0;
         for r in 0..60u64 {
             if !mgr.is_frozen(0, r) {
@@ -553,7 +670,8 @@ mod tests {
                 increment: 50,
                 decrease_factor: 2,
             }),
-        );
+        )
+        .unwrap();
         let t0 = mgr.threshold();
         // Everything oscillates -> everything freezes -> threshold halves.
         for r in 0..20u64 {
@@ -581,7 +699,7 @@ mod tests {
             threshold_decay: None,
             ..ApfConfig::default()
         };
-        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default())).unwrap();
         // All scalars drift (never naturally stable).
         for (j, p) in params.iter_mut().enumerate() {
             *p += 0.1 + j as f32 * 1e-4;
@@ -610,13 +728,13 @@ mod tests {
             ..ApfConfig::default()
         };
         let params = vec![0.0f32; n];
-        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default())).unwrap();
         let mut p = params.clone();
         // Early round: low probability.
         mgr.sync(&mut p, 5, |up| up.to_vec());
         let early = mgr.frozen_count(6);
         // Late round: ~50% probability at K=50.
-        let mut mgr2 = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+        let mut mgr2 = ApfManager::new(&params, cfg, Box::new(Aimd::default())).unwrap();
         let mut p2 = params.clone();
         mgr2.sync(&mut p2, 50, |up| up.to_vec());
         let late = mgr2.frozen_count(51);
@@ -633,15 +751,23 @@ mod tests {
             ..ApfConfig::default()
         };
         let init = vec![0.0f32; n];
-        let mut a = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
-        let mut b = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut a = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
+        let mut b = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
         let mut pa = init.clone();
         let mut pb = init.clone();
         for r in 0..30u64 {
             for j in 0..n {
                 // Different *local* trajectories...
-                let da = if (r + j as u64) % 2 == 0 { 0.1 } else { -0.1 };
-                let db = if (r + j as u64) % 2 == 0 { 0.12 } else { -0.12 };
+                let da = if (r + j as u64).is_multiple_of(2) {
+                    0.1
+                } else {
+                    -0.1
+                };
+                let db = if (r + j as u64).is_multiple_of(2) {
+                    0.12
+                } else {
+                    -0.12
+                };
                 if !a.is_frozen(j, r) {
                     pa[j] += da;
                     pb[j] += db;
@@ -671,7 +797,7 @@ mod tests {
     #[test]
     fn apply_aggregate_restores_frozen_to_pinned() {
         let init = vec![5.0f32, 7.0];
-        let mut mgr = ApfManager::new(&init, cfg_every(1), Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg_every(1), Box::new(Aimd::default())).unwrap();
         // Manually freeze scalar 1 by oscillating it.
         let mut params = init.clone();
         for r in 0..20u64 {
@@ -694,28 +820,31 @@ mod tests {
     #[should_panic(expected = "aggregate shorter")]
     fn short_aggregate_panics() {
         let init = vec![0.0f32; 3];
-        let mut mgr = ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default()));
+        let mut mgr =
+            ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         mgr.apply_aggregate(&mut p, &[1.0], 0);
     }
 
     #[test]
-    #[should_panic(expected = "invalid APF config")]
-    fn invalid_config_panics() {
-        let _ = ApfManager::new(
+    fn invalid_config_is_a_typed_error() {
+        let err = ApfManager::new(
             &[0.0],
             ApfConfig {
                 check_every_rounds: 0,
                 ..ApfConfig::default()
             },
             Box::new(Aimd::default()),
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, ApfError::InvalidConfig(_)));
+        assert!(err.to_string().contains("check_every_rounds"));
     }
 
     #[test]
     fn check_cadence_respected() {
         let init = vec![0.0f32; 2];
-        let mut mgr = ApfManager::new(&init, cfg_every(5), Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg_every(5), Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         let mut checks = Vec::new();
         for r in 0..10u64 {

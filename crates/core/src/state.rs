@@ -197,7 +197,7 @@ mod tests {
             threshold_decay: None,
             ..ApfConfig::default()
         };
-        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
         let mut p = init;
         for r in 0..30u64 {
             for (j, v) in p.iter_mut().enumerate() {

@@ -23,7 +23,7 @@ const N: usize = 4;
 fn update(r: u64, j: usize) -> f32 {
     match j {
         0 => {
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 0.2
             } else {
                 -0.2
@@ -32,7 +32,7 @@ fn update(r: u64, j: usize) -> f32 {
         1 => 0.1,
         2 => {
             if r < 12 {
-                if r % 2 == 0 {
+                if r.is_multiple_of(2) {
                     0.15
                 } else {
                     -0.15
@@ -72,7 +72,7 @@ fn drive() -> Vec<Row> {
         ..ApfConfig::default()
     };
     let mut params = vec![0.0f32; N];
-    let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default()));
+    let mut mgr = ApfManager::new(&params, cfg, Box::new(Aimd::default())).unwrap();
     let mut rows = Vec::new();
     for r in 0..ROUNDS {
         for (j, p) in params.iter_mut().enumerate() {

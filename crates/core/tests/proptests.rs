@@ -51,7 +51,7 @@ property! {
         let n = 16usize;
         let init = vec![0.0f32; n];
         let cfg = ApfConfig { check_every_rounds: 1, seed, ..ApfConfig::default() };
-        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         for r in 0..rounds {
             for (j, v) in p.iter_mut().enumerate() {
@@ -86,7 +86,7 @@ property! {
             threshold_decay: None,
             ..ApfConfig::default()
         };
-        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         for r in 0..steps {
             p[0] += 0.05;
@@ -108,7 +108,7 @@ property! {
             ..ApfConfig::default()
         };
         let init = vec![0.0f32; n];
-        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default()));
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         mgr.sync(&mut p, 0, |u| u.to_vec());
         let frac = mgr.frozen_count(1) as f64 / n as f64;

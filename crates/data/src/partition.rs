@@ -193,7 +193,7 @@ mod tests {
         let imbalance = |parts: &[Vec<usize>]| -> f64 {
             let mut worst: f64 = 0.0;
             for p in parts {
-                let mut h = vec![0usize; 10];
+                let mut h = [0usize; 10];
                 for &i in p {
                     h[l[i]] += 1;
                 }

@@ -130,6 +130,38 @@ pub fn synth_kws_split(n: usize, seed: u64, split: u64) -> Dataset {
     )
 }
 
+/// Replaces a `frac` fraction of labels with uniformly random (different)
+/// classes — irreducible label noise that keeps the asymptotic training loss
+/// (and hence the SGD gradient noise that drives the paper's parameter
+/// oscillation) bounded away from zero, as on real datasets.
+///
+/// # Panics
+/// Panics unless `0.0 <= frac <= 1.0`.
+pub fn with_label_noise(ds: &Dataset, frac: f32, seed: u64) -> Dataset {
+    assert!(
+        (0.0..=1.0).contains(&frac),
+        "noise fraction must be in [0,1]"
+    );
+    let mut rng = seeded_rng(derive_seed(seed, 0x1ABE1));
+    let k = ds.num_classes();
+    let labels: Vec<usize> = ds
+        .labels()
+        .iter()
+        .map(|&l| {
+            if rng.gen::<f32>() < frac {
+                let mut nl = rng.gen_range(0..k);
+                if nl == l {
+                    nl = (nl + 1) % k;
+                }
+                nl
+            } else {
+                l
+            }
+        })
+        .collect();
+    Dataset::new(ds.inputs().clone(), labels, k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,36 +265,4 @@ mod tests {
         let acc = correct as f32 / 200.0;
         assert!(acc > 0.5, "nearest-prototype accuracy {acc}");
     }
-}
-
-/// Replaces a `frac` fraction of labels with uniformly random (different)
-/// classes — irreducible label noise that keeps the asymptotic training loss
-/// (and hence the SGD gradient noise that drives the paper's parameter
-/// oscillation) bounded away from zero, as on real datasets.
-///
-/// # Panics
-/// Panics unless `0.0 <= frac <= 1.0`.
-pub fn with_label_noise(ds: &Dataset, frac: f32, seed: u64) -> Dataset {
-    assert!(
-        (0.0..=1.0).contains(&frac),
-        "noise fraction must be in [0,1]"
-    );
-    let mut rng = seeded_rng(derive_seed(seed, 0x1ABE1));
-    let k = ds.num_classes();
-    let labels: Vec<usize> = ds
-        .labels()
-        .iter()
-        .map(|&l| {
-            if rng.gen::<f32>() < frac {
-                let mut nl = rng.gen_range(0..k);
-                if nl == l {
-                    nl = (nl + 1) % k;
-                }
-                nl
-            } else {
-                l
-            }
-        })
-        .collect();
-    Dataset::new(ds.inputs().clone(), labels, k)
 }

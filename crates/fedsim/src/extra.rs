@@ -208,9 +208,9 @@ impl SyncStrategy for LayerFreeze {
         for m in &mut mean {
             *m /= total_w;
         }
-        for j in 0..n {
+        for (j, m) in mean.iter_mut().enumerate() {
             if self.is_frozen(j) {
-                mean[j] = self.pinned[j];
+                *m = self.pinned[j];
             }
         }
         global.copy_from_slice(&mean);

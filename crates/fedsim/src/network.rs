@@ -4,11 +4,17 @@
 
 /// Per-client link model used to convert byte counts into simulated transfer
 /// time.
+///
+/// # Invariant
+/// Both bandwidths must be positive and finite. [`NetworkModel::new`]
+/// enforces this once at construction; building a literal with the public
+/// fields is possible but leaves the invariant to the caller
+/// ([`NetworkModel::transfer_secs`] only `debug_assert`s it).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
-    /// Client download bandwidth in Mbps.
+    /// Client download bandwidth in Mbps. Must be positive and finite.
     pub down_mbps: f64,
-    /// Client upload bandwidth in Mbps.
+    /// Client upload bandwidth in Mbps. Must be positive and finite.
     pub up_mbps: f64,
 }
 
@@ -23,17 +29,37 @@ impl Default for NetworkModel {
 }
 
 impl NetworkModel {
+    /// Creates a link model, validating the bandwidths once.
+    ///
+    /// # Errors
+    /// Returns a description of the offending bandwidth when either is not
+    /// a positive finite number.
+    pub fn new(down_mbps: f64, up_mbps: f64) -> Result<Self, String> {
+        if !(down_mbps.is_finite() && down_mbps > 0.0) {
+            return Err(format!(
+                "download bandwidth must be positive and finite, got {down_mbps}"
+            ));
+        }
+        if !(up_mbps.is_finite() && up_mbps > 0.0) {
+            return Err(format!(
+                "upload bandwidth must be positive and finite, got {up_mbps}"
+            ));
+        }
+        Ok(NetworkModel { down_mbps, up_mbps })
+    }
+
     /// Transfer time in seconds for a synchronous round in which the busiest
     /// client uploads `bytes_up` and downloads `bytes_down` (all clients
     /// transfer in parallel over their own links, so the slowest — i.e.
     /// largest — transfer gates the barrier).
     ///
-    /// # Panics
-    /// Panics if either bandwidth is not positive.
+    /// Relies on the type invariant (positive finite bandwidths, checked by
+    /// [`NetworkModel::new`]); only `debug_assert`ed here so the per-round
+    /// hot path carries no branch in release builds.
     pub fn transfer_secs(&self, bytes_up: u64, bytes_down: u64) -> f64 {
-        assert!(
+        debug_assert!(
             self.down_mbps > 0.0 && self.up_mbps > 0.0,
-            "bandwidth must be positive"
+            "bandwidth must be positive (use NetworkModel::new)"
         );
         let up = bytes_up as f64 * 8.0 / (self.up_mbps * 1e6);
         let down = bytes_down as f64 * 8.0 / (self.down_mbps * 1e6);
@@ -53,11 +79,34 @@ mod tests {
     }
 
     #[test]
+    fn new_validates_once() {
+        let n = NetworkModel::new(9.0, 3.0).unwrap();
+        assert_eq!(n, NetworkModel::default());
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        assert!(NetworkModel::new(0.0, 3.0).is_err());
+        assert!(NetworkModel::new(9.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn negative_bandwidth_rejected() {
+        let err = NetworkModel::new(-1.0, 3.0).unwrap_err();
+        assert!(err.contains("download"), "{err}");
+        let err = NetworkModel::new(9.0, -2.5).unwrap_err();
+        assert!(err.contains("upload"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_bandwidth_rejected() {
+        assert!(NetworkModel::new(f64::NAN, 3.0).is_err());
+        assert!(NetworkModel::new(9.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
     fn transfer_time_math() {
-        let n = NetworkModel {
-            down_mbps: 8.0,
-            up_mbps: 8.0,
-        };
+        let n = NetworkModel::new(8.0, 8.0).unwrap();
         // 1 MB up + 1 MB down at 8 Mbps = 1 s + 1 s.
         assert!((n.transfer_secs(1_000_000, 1_000_000) - 2.0).abs() < 1e-9);
         assert_eq!(n.transfer_secs(0, 0), 0.0);

@@ -6,6 +6,7 @@ use std::time::Instant;
 use apf_data::Dataset;
 use apf_nn::{models, Adam, LrSchedule, Optimizer, Sequential, Sgd, Trainer};
 use apf_tensor::derive_seed;
+use apf_trace::{event, span, Level};
 
 use crate::client::Client;
 use crate::metrics::{ExperimentLog, RoundRecord};
@@ -216,6 +217,9 @@ impl FlRunnerBuilder {
     /// # Panics
     /// Panics if no clients or no test set were configured.
     pub fn build(self) -> FlRunner {
+        // Honor APF_TRACE/APF_TRACE_FILE for any entry point that reaches a
+        // runner; idempotent and free after the first call.
+        apf_trace::init_from_env();
         assert!(!self.client_data.is_empty(), "no clients configured");
         let test = self.test.expect("no test set configured");
         let cfg = self.cfg;
@@ -248,12 +252,27 @@ impl FlRunnerBuilder {
         }
         let mut strategy = self.strategy.unwrap_or_else(|| Box::new(FullSync::new()));
         let init = clients[0].flat_params();
+        let mut eval_model = (self.model_factory)(model_seed);
+        let layout: Vec<(String, usize)> = eval_model
+            .flat_spec()
+            .params()
+            .iter()
+            .map(|p| (p.name.clone(), p.len))
+            .collect();
+        strategy.set_model_layout(layout);
         strategy.init(&init, clients.len());
-        let eval_model = (self.model_factory)(model_seed);
         let name = self
             .name
             .unwrap_or_else(|| format!("{}/{}", eval_model.name(), strategy.name()));
         let model_bytes = init.len() as u64 * 4;
+        event!(Level::Info, target: "fedsim", "run_configured",
+            name = name.as_str(),
+            clients = clients.len(),
+            model_scalars = init.len(),
+            rounds = cfg.rounds,
+            local_iters = cfg.local_iters,
+            strategy = strategy.name(),
+        );
         FlRunner {
             clients,
             strategy,
@@ -320,10 +339,25 @@ impl FlRunner {
         }
     }
 
-    /// Convenience builder for one of the three paper models by name
-    /// (`"lenet5"`, `"resnet"`, `"lstm"`).
-    pub fn builder_for_model(model: &'static str, cfg: FlConfig) -> FlRunnerBuilder {
-        FlRunner::builder(move |seed| models::by_name(model, seed), cfg)
+    /// Convenience builder for one of the paper models by name
+    /// (`"lenet5"`, `"resnet"`, `"vgg"`, `"lstm"`).
+    ///
+    /// # Errors
+    /// Returns [`models::ModelError`] (whose `Display` lists the valid
+    /// names) for an unrecognized name, so CLI callers can print usage.
+    pub fn builder_for_model(
+        model: &'static str,
+        cfg: FlConfig,
+    ) -> Result<FlRunnerBuilder, models::ModelError> {
+        if !models::MODEL_NAMES.contains(&model) {
+            return Err(models::ModelError {
+                name: model.to_owned(),
+            });
+        }
+        Ok(FlRunner::builder(
+            move |seed| models::by_name(model, seed).expect("name validated above"),
+            cfg,
+        ))
     }
 
     /// The metric log so far.
@@ -359,10 +393,17 @@ impl FlRunner {
 
     /// Runs one communication round and returns its record.
     pub fn run_round(&mut self, round: u64) -> RoundRecord {
+        let _round_span = span!(Level::Info, target: "fedsim", "round", round = round);
         if round == 0 {
             // Initial model distribution: every client pulls the full model.
             self.cum_bytes += self.initial_model_bytes * self.clients.len() as u64;
             self.cum_secs += self.network.transfer_secs(0, self.initial_model_bytes);
+            event!(Level::Debug, target: "fedsim.comm", "transfer",
+                round = round,
+                phase = "init_broadcast",
+                bytes_down = self.initial_model_bytes * self.clients.len() as u64,
+                bytes_up = 0u64,
+            );
         }
         let local_iters = self.cfg.local_iters;
         let strategy = &*self.strategy;
@@ -384,6 +425,9 @@ impl FlRunner {
         };
         // Local training, optionally parallel across clients; compute time is
         // the slowest client's wall time (synchronous barrier).
+        let local_span = span!(Level::Info, target: "fedsim", "local_train",
+            round = round,
+            participants = participating.iter().filter(|&&p| p).count());
         let mut losses = vec![0.0f32; self.clients.len()];
         let mut times = vec![0.0f64; self.clients.len()];
         if self.cfg.parallel && self.clients.len() > 1 {
@@ -426,7 +470,17 @@ impl FlRunner {
                 times[i] = t0.elapsed().as_secs_f64();
             }
         }
+        drop(local_span);
         let compute_secs = times.iter().cloned().fold(0.0, f64::max);
+        if apf_trace::enabled(Level::Debug) {
+            for i in 0..self.clients.len() {
+                if participating[i] {
+                    event!(Level::Debug, target: "fedsim.client", "local_round",
+                        round = round, client = i,
+                        loss = losses[i], compute_secs = times[i]);
+                }
+            }
+        }
         // Aggregation weights: non-participants contribute nothing, and
         // FedAvg additionally drops stragglers (FedProx keeps them).
         let weights: Vec<f32> = self
@@ -441,13 +495,19 @@ impl FlRunner {
                 }
             })
             .collect();
-        let mut locals: Vec<Vec<f32>> = self.clients.iter_mut().map(Client::flat_params).collect();
-        let comm = self
-            .strategy
-            .sync_round(round, &mut locals, &weights, &mut self.global);
-        for (c, l) in self.clients.iter_mut().zip(&locals) {
-            c.load_flat(l);
-        }
+        let comm = {
+            let _s = span!(Level::Info, target: "fedsim", "aggregate", round = round);
+            let mut locals: Vec<Vec<f32>> =
+                self.clients.iter_mut().map(Client::flat_params).collect();
+            let comm = self
+                .strategy
+                .sync_round(round, &mut locals, &weights, &mut self.global);
+            for (c, l) in self.clients.iter_mut().zip(&locals) {
+                c.load_flat(l);
+            }
+            comm
+        };
+        let sync_span = span!(Level::Info, target: "fedsim", "sync", round = round);
         // FedProx: anchor the next round's proximal term at the fresh global.
         if let Some(mu) = self.cfg.prox_mu {
             for c in self.clients.iter_mut() {
@@ -459,9 +519,23 @@ impl FlRunner {
             .transfer_secs(comm.max_client_up, comm.max_client_down);
         self.cum_bytes += comm.bytes_up + comm.bytes_down;
         self.cum_secs += compute_secs + comm_secs;
+        event!(Level::Debug, target: "fedsim.comm", "transfer",
+            round = round,
+            phase = "sync",
+            bytes_up = comm.bytes_up,
+            bytes_down = comm.bytes_down,
+            max_client_up = comm.max_client_up,
+            max_client_down = comm.max_client_down,
+            comm_secs = comm_secs,
+            compute_secs = compute_secs,
+        );
+        apf_trace::metrics::counter("fedsim.bytes_up").add(comm.bytes_up);
+        apf_trace::metrics::counter("fedsim.bytes_down").add(comm.bytes_down);
+        drop(sync_span);
         let accuracy = if round.is_multiple_of(self.cfg.eval_every as u64)
             || round + 1 == self.cfg.rounds as u64
         {
+            let _s = span!(Level::Info, target: "fedsim", "eval", round = round);
             let acc = self.evaluate_global();
             self.best_accuracy = self.best_accuracy.max(acc);
             Some(acc)
@@ -485,14 +559,31 @@ impl FlRunner {
             cum_secs: self.cum_secs,
         };
         self.log.push(record);
+        apf_trace::metrics::counter("fedsim.rounds").inc();
+        event!(Level::Info, target: "fedsim", "round_complete",
+            round = round,
+            loss = record.loss,
+            accuracy = record.accuracy.map_or(f32::NAN, |a| a),
+            frozen_ratio = record.frozen_ratio,
+            bytes_up = record.bytes_up,
+            bytes_down = record.bytes_down,
+            cum_bytes = record.cum_bytes,
+            compute_secs = record.compute_secs,
+            comm_secs = record.comm_secs,
+        );
         record
     }
 
     /// Runs all configured rounds and returns the final log.
+    ///
+    /// On completion, dumps the metrics registry into the trace and flushes
+    /// the sink (both no-ops when tracing is disabled).
     pub fn run(&mut self) -> &ExperimentLog {
         for r in 0..self.cfg.rounds as u64 {
             self.run_round(r);
         }
+        apf_trace::metrics::emit();
+        apf_trace::flush();
         &self.log
     }
 }
@@ -594,7 +685,7 @@ mod tests {
             })
             .clients_from_partition(&train, &parts)
             .test_set(test)
-            .strategy(Box::new(ApfStrategy::new(apf_cfg)))
+            .strategy(Box::new(ApfStrategy::new(apf_cfg).unwrap()))
             .build();
         let log = runner.run();
         // Some freezing should have occurred by round 20.

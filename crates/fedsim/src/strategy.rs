@@ -1,7 +1,7 @@
 //! Synchronization strategies: FedAvg, the §4.1 strawmen, the APF family,
 //! and the §7.4 sparsification baselines (Gaia, CMFL).
 
-use apf::{Aimd, ApfConfig, ApfManager, EmaPerturbation, FixedPeriod, FreezeController};
+use apf::{Aimd, ApfConfig, ApfError, ApfManager, EmaPerturbation, FixedPeriod, FreezeController};
 use apf_quant::{f16_decode, f16_encode};
 
 /// Communication accounting for one synchronization round.
@@ -32,6 +32,11 @@ pub trait SyncStrategy: Send + Sync {
 
     /// Called once before round 0 with the synchronized initial model.
     fn init(&mut self, _init_params: &[f32], _num_clients: usize) {}
+
+    /// Registers the model's `(layer name, scalar count)` layout for
+    /// per-layer telemetry. Called (when available) before
+    /// [`SyncStrategy::init`]. Default: ignored.
+    fn set_model_layout(&mut self, _layout: Vec<(String, usize)>) {}
 
     /// Performs the round's synchronization.
     ///
@@ -249,6 +254,7 @@ pub struct ApfStrategy {
     managers: Vec<ApfManager>,
     quantize_f16: bool,
     label: String,
+    layout: Vec<(String, usize)>,
 }
 
 impl std::fmt::Debug for ApfStrategy {
@@ -262,23 +268,38 @@ impl std::fmt::Debug for ApfStrategy {
 
 impl ApfStrategy {
     /// Creates standard APF with the default AIMD controller.
-    pub fn new(cfg: ApfConfig) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`ApfError::InvalidConfig`] for an invalid `cfg`.
+    pub fn new(cfg: ApfConfig) -> Result<Self, ApfError> {
         ApfStrategy::with_controller(cfg, Box::new(|| Box::new(Aimd::default())), "apf")
     }
 
     /// Creates APF with a custom controller (the §7.5 ablations).
-    pub fn with_controller(cfg: ApfConfig, factory: ControllerFactory, label: &str) -> Self {
-        ApfStrategy {
+    ///
+    /// # Errors
+    /// Returns [`ApfError::InvalidConfig`] for an invalid `cfg`.
+    pub fn with_controller(
+        cfg: ApfConfig,
+        factory: ControllerFactory,
+        label: &str,
+    ) -> Result<Self, ApfError> {
+        cfg.validate().map_err(ApfError::InvalidConfig)?;
+        Ok(ApfStrategy {
             cfg,
             controller_factory: factory,
             managers: Vec::new(),
             quantize_f16: false,
             label: label.to_owned(),
-        }
+            layout: Vec::new(),
+        })
     }
 
     /// Strawman 2 of §4.1: freeze stabilized scalars forever.
-    pub fn permanent_freeze(cfg: ApfConfig) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`ApfError::InvalidConfig`] for an invalid `cfg`.
+    pub fn permanent_freeze(cfg: ApfConfig) -> Result<Self, ApfError> {
         ApfStrategy::with_controller(
             cfg,
             Box::new(|| Box::new(FixedPeriod { len: u32::MAX })),
@@ -308,8 +329,23 @@ impl SyncStrategy for ApfStrategy {
 
     fn init(&mut self, init_params: &[f32], num_clients: usize) {
         self.managers = (0..num_clients)
-            .map(|_| ApfManager::new(init_params, self.cfg, (self.controller_factory)()))
+            .map(|_| {
+                ApfManager::new(init_params, self.cfg, (self.controller_factory)())
+                    .expect("config validated at strategy construction")
+            })
             .collect();
+        // Masks are identical on every client, so layer telemetry from
+        // manager 0 alone describes the whole fleet without duplication.
+        if let Some(m) = self.managers.first_mut() {
+            m.set_layout(self.layout.clone());
+        }
+    }
+
+    fn set_model_layout(&mut self, layout: Vec<(String, usize)>) {
+        self.layout = layout.clone();
+        if let Some(m) = self.managers.first_mut() {
+            m.set_layout(layout);
+        }
     }
 
     fn sync_round(
@@ -670,7 +706,7 @@ mod tests {
             threshold_decay: None,
             ..ApfConfig::default()
         };
-        let mut s = ApfStrategy::new(cfg);
+        let mut s = ApfStrategy::new(cfg).unwrap();
         let init = vec![0.0f32; 4];
         s.init(&init, 3);
         let mut g = init.clone();
@@ -678,9 +714,9 @@ mod tests {
         let mut saw_frozen = false;
         for r in 0..40u64 {
             for l in ls.iter_mut() {
-                for j in 0..4 {
+                for (j, lj) in l.iter_mut().enumerate() {
                     if !s.managers()[0].is_frozen(j, r) {
-                        l[j] += if j < 2 {
+                        *lj += if j < 2 {
                             if r % 2 == 0 {
                                 0.1
                             } else {
@@ -705,8 +741,8 @@ mod tests {
     #[test]
     fn apf_f16_halves_bytes() {
         let cfg = ApfConfig::default();
-        let mut plain = ApfStrategy::new(cfg);
-        let mut quant = ApfStrategy::new(cfg).with_f16();
+        let mut plain = ApfStrategy::new(cfg).unwrap();
+        let mut quant = ApfStrategy::new(cfg).unwrap().with_f16();
         let init = vec![0.5f32; 100];
         plain.init(&init, 2);
         quant.init(&init, 2);
@@ -727,7 +763,7 @@ mod tests {
             threshold_decay: None,
             ..ApfConfig::default()
         };
-        let mut s = ApfStrategy::permanent_freeze(cfg);
+        let mut s = ApfStrategy::permanent_freeze(cfg).unwrap();
         let init = vec![0.0f32];
         s.init(&init, 1);
         let mut g = init.clone();
@@ -757,7 +793,7 @@ mod tests {
                 threshold_decay: None,
                 ..ApfConfig::default()
             };
-            let mut s = ApfStrategy::new(cfg);
+            let mut s = ApfStrategy::new(cfg).unwrap();
             s.init(&vec![0.0f32; n], 2);
             s
         };

@@ -49,11 +49,14 @@ fn all_strategies(n: usize, seed: u64) -> Vec<Box<dyn SyncStrategy>> {
     vec![
         Box::new(FullSync::new()),
         Box::new(PartialSync::new(0.1, 0.9, 1)),
-        Box::new(ApfStrategy::new(cfg)),
-        Box::new(ApfStrategy::new(ApfConfig {
-            variant: ApfVariant::Sharp { prob: 0.3 },
-            ..cfg
-        })),
+        Box::new(ApfStrategy::new(cfg).unwrap()),
+        Box::new(
+            ApfStrategy::new(ApfConfig {
+                variant: ApfVariant::Sharp { prob: 0.3 },
+                ..cfg
+            })
+            .unwrap(),
+        ),
         Box::new(Gaia::new(0.01)),
         Box::new(Cmfl::new(0.8, 0.99)),
         Box::new(TopK::new(0.3)),
@@ -102,7 +105,7 @@ property! {
         };
         let strategies: Vec<Box<dyn SyncStrategy>> = vec![
             Box::new(FullSync::new()),
-            Box::new(ApfStrategy::new(cfg)),
+            Box::new(ApfStrategy::new(cfg).unwrap()),
             Box::new(Cmfl::new(0.8, 0.99)),
         ];
         for mut s in strategies {

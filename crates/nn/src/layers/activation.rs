@@ -91,6 +91,7 @@ mod tests {
         let _ = act.forward(x.clone(), Mode::Train, &mut rng);
         let gi = act.backward(Tensor::ones(&[1, 5]));
         let eps = 1e-3;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..5 {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;

@@ -175,9 +175,9 @@ impl Layer for BatchNorm2d {
             Mode::Eval => {
                 // Running stats are constants: dx = dy * gamma * inv_std.
                 for ni in 0..n {
-                    for ci in 0..c {
+                    for (ci, (&g, &is)) in gamma.iter().zip(&cache.inv_std).enumerate() {
                         let base = (ni * c + ci) * h * w;
-                        let k = gamma[ci] * cache.inv_std[ci];
+                        let k = g * is;
                         for i in 0..h * w {
                             out[base + i] = gd[base + i] * k;
                         }

@@ -145,8 +145,8 @@ mod tests {
             l.visit_params(&mut |name, _, v, _| {
                 if name.ends_with("-w") {
                     for o in 0..3 {
-                        for i in 0..4 {
-                            t[i] += v.data()[o * 4 + i];
+                        for (i, ti) in t.iter_mut().enumerate() {
+                            *ti += v.data()[o * 4 + i];
                         }
                     }
                 }
@@ -154,8 +154,8 @@ mod tests {
             t
         };
         for n in 0..2 {
-            for i in 0..4 {
-                assert!((grad_in.at2(n, i) - w_colsum[i]).abs() < 1e-4);
+            for (i, &want) in w_colsum.iter().enumerate() {
+                assert!((grad_in.at2(n, i) - want).abs() < 1e-4);
             }
         }
     }

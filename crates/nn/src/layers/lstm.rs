@@ -348,9 +348,7 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mut lstm = LstmLayer::new("l", 2, 3, &mut rng);
         let x = Tensor::from_vec(
-            (0..1 * 4 * 2)
-                .map(|i| (i as f32 * 0.37).cos() * 0.5)
-                .collect(),
+            (0..4 * 2).map(|i| (i as f32 * 0.37).cos() * 0.5).collect(),
             &[1, 4, 2],
         );
         let y = lstm.forward(x.clone(), Mode::Train, &mut rng);

@@ -59,10 +59,12 @@ impl Layer for GlobalAvgPool {
         assert_eq!(s.len(), 4, "global avg pool expects [N,C,H,W]");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let inv = 1.0 / (h * w) as f32;
-        let mut out = vec![0.0f32; n * c];
-        for nc in 0..n * c {
-            out[nc] = x.data()[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() * inv;
-        }
+        let out: Vec<f32> = x
+            .data()
+            .chunks_exact(h * w)
+            .map(|plane| plane.iter().sum::<f32>() * inv)
+            .collect();
+        debug_assert_eq!(out.len(), n * c);
         self.cached_shape = Some(s);
         Tensor::from_vec(out, &[n, c])
     }

@@ -194,18 +194,44 @@ pub fn mlp(name: &str, dims: &[usize], seed: u64) -> Sequential {
     model
 }
 
+/// The error returned by [`by_name`] for an unrecognized model name.
+///
+/// `Display` lists the valid names so CLI callers can print it as usage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown model {:?}; expected one of: {}",
+            self.name,
+            MODEL_NAMES.join(" | ")
+        )
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The model names [`by_name`] accepts.
+pub const MODEL_NAMES: [&str; 4] = ["lenet5", "resnet", "vgg", "lstm"];
+
 /// Builds one of the bundled models by name.
 ///
-/// # Panics
-/// Panics on an unknown name; valid names are `"lenet5"`, `"resnet"`,
-/// `"vgg"`, `"lstm"`.
-pub fn by_name(name: &str, seed: u64) -> Sequential {
+/// # Errors
+/// Returns [`ModelError`] for a name outside [`MODEL_NAMES`].
+pub fn by_name(name: &str, seed: u64) -> Result<Sequential, ModelError> {
     match name {
-        "lenet5" => lenet5(seed),
-        "resnet" => resnet(seed),
-        "vgg" => vgg(seed),
-        "lstm" => lstm_classifier(seed),
-        other => panic!("unknown model {other:?}; expected lenet5 | resnet | vgg | lstm"),
+        "lenet5" => Ok(lenet5(seed)),
+        "resnet" => Ok(resnet(seed)),
+        "vgg" => Ok(vgg(seed)),
+        "lstm" => Ok(lstm_classifier(seed)),
+        other => Err(ModelError {
+            name: other.to_owned(),
+        }),
     }
 }
 
@@ -266,10 +292,10 @@ mod tests {
 
     #[test]
     fn by_name_dispatch() {
-        assert_eq!(by_name("lenet5", 0).name(), "lenet5");
-        assert_eq!(by_name("resnet", 0).name(), "resnet");
-        assert_eq!(by_name("vgg", 0).name(), "vgg");
-        assert_eq!(by_name("lstm", 0).name(), "lstm");
+        assert_eq!(by_name("lenet5", 0).unwrap().name(), "lenet5");
+        assert_eq!(by_name("resnet", 0).unwrap().name(), "resnet");
+        assert_eq!(by_name("vgg", 0).unwrap().name(), "vgg");
+        assert_eq!(by_name("lstm", 0).unwrap().name(), "lstm");
     }
 
     #[test]
@@ -283,9 +309,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
-    fn by_name_rejects_unknown() {
-        let _ = by_name("transformer", 0);
+    fn by_name_rejects_unknown_with_usage() {
+        let err = by_name("transformer", 0).unwrap_err();
+        assert_eq!(err.name, "transformer");
+        let msg = err.to_string();
+        for name in MODEL_NAMES {
+            assert!(msg.contains(name), "usage message missing {name}: {msg}");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use apf_tensor::Rng;
 use apf_tensor::{derive_seed, seeded_rng, Tensor};
+use apf_trace::{span, Level};
 
 use crate::flat::FlatSpec;
 use crate::layer::{Layer, Mode};
@@ -60,7 +61,9 @@ impl Sequential {
     /// Runs all layers forward.
     pub fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
         let mut cur = x;
-        for layer in &mut self.layers {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let _s = span!(Level::Trace, target: "nn.layer", "forward",
+                layer = i, kind = layer.kind());
             cur = layer.forward(cur, mode, &mut self.rng);
         }
         cur
@@ -69,7 +72,10 @@ impl Sequential {
     /// Runs all layers backward, accumulating parameter gradients.
     pub fn backward(&mut self, grad: Tensor) -> Tensor {
         let mut cur = grad;
-        for layer in self.layers.iter_mut().rev() {
+        let last = self.layers.len().saturating_sub(1);
+        for (i, layer) in self.layers.iter_mut().rev().enumerate() {
+            let _s = span!(Level::Trace, target: "nn.layer", "backward",
+                layer = last - i, kind = layer.kind());
             cur = layer.backward(cur);
         }
         cur

@@ -2,6 +2,7 @@
 //! proximal term, plus evaluation helpers.
 
 use apf_tensor::Tensor;
+use apf_trace::{span, Level};
 
 use crate::layer::Mode;
 use crate::loss::{accuracy, softmax_cross_entropy};
@@ -26,9 +27,16 @@ pub fn train_batch(
     prox: Option<(f32, &[f32])>,
 ) -> f32 {
     model.zero_grads();
-    let logits = model.forward(x.clone(), Mode::Train);
+    let logits = {
+        let _s = span!(Level::Debug, target: "nn.train", "forward", batch = labels.len());
+        model.forward(x.clone(), Mode::Train)
+    };
     let (loss, grad) = softmax_cross_entropy(&logits, labels);
-    model.backward(grad);
+    {
+        let _s = span!(Level::Debug, target: "nn.train", "backward");
+        model.backward(grad);
+    }
+    let _s = span!(Level::Debug, target: "nn.train", "optimizer");
     let mut params = model.flat_params();
     let mut grads = model.flat_grads();
     if let Some((mu, anchor)) = prox {

@@ -11,10 +11,15 @@ use std::rc::Rc;
 
 use crate::rng::TkRng;
 
+/// Sampling half of a generator: draws a value from the RNG.
+type SampleFn<T> = Rc<dyn Fn(&mut TkRng) -> T>;
+/// Shrinking half of a generator: proposes smaller counterexamples.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A property-test value generator.
 pub struct Gen<T> {
-    sample: Rc<dyn Fn(&mut TkRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    sample: SampleFn<T>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -1,0 +1,284 @@
+//! **`apf-trace`** — a zero-dependency structured tracing facade and metrics
+//! registry for the APF workspace.
+//!
+//! The workspace is hermetic (no registry crates, see DESIGN.md), so the
+//! usual `tracing`/`log`/`metrics` stack is off the table. This crate
+//! provides the pieces the experiment harness actually needs:
+//!
+//! * **Levels and a global gate** — a single relaxed atomic load decides
+//!   whether an event or span is recorded. With tracing disabled (the
+//!   default) instrumented code performs no allocation and no I/O.
+//! * **Structured events** — `event!(Level::Debug, target: "apf", "msg",
+//!   key = value, ...)` writes one JSON object per line (JSONL) to the
+//!   configured sink.
+//! * **RAII spans** — [`Span::enter`] (or the [`span!`] macro) times a scope
+//!   on the monotonic clock and records it with its parent span on drop,
+//!   so a trace reconstructs the full span tree per thread.
+//! * **Sinks** — stderr, append-to-file, or in-memory (for tests); see
+//!   [`sink`].
+//! * **A metrics registry** — named monotonic counters and fixed-bucket
+//!   histograms; see [`metrics`].
+//!
+//! # Configuration
+//!
+//! Programmatic: [`init`] / [`set_level`] / [`set_sink`]. Environment:
+//! [`init_from_env`] reads `APF_TRACE` (`off|error|warn|info|debug|trace`)
+//! and `APF_TRACE_FILE` (path; default stderr). `init_from_env` is
+//! idempotent and never overrides an explicit [`init`].
+//!
+//! # JSONL schema
+//!
+//! Every line is one JSON object with a `t` discriminator:
+//!
+//! ```json
+//! {"t":"event","ts_us":1024,"lvl":"debug","target":"apf.manager",
+//!  "msg":"round","span":3,"fields":{"round":7,"frozen":120}}
+//! {"t":"span","ts_us":2048,"lvl":"info","target":"fedsim","name":"round",
+//!  "id":3,"parent":0,"start_us":1000,"dur_us":1048,"fields":{"round":7}}
+//! ```
+//!
+//! `ts_us`/`start_us` are microseconds since tracing was initialized
+//! (monotonic clock); `span` on an event is the id of the innermost active
+//! span on the emitting thread (0 = none); `parent` is 0 for root spans.
+
+pub mod metrics;
+pub mod sink;
+
+mod emit;
+mod span;
+
+pub use emit::{emit_event, FieldValue};
+pub use sink::{FileSink, MemorySink, StderrSink, TraceSink};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Verbosity levels, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious conditions worth surfacing.
+    Warn = 2,
+    /// Per-round progress (the default for interactive runs).
+    Info = 3,
+    /// Per-round internals: freeze telemetry, comm breakdowns.
+    Debug = 4,
+    /// Per-batch / per-layer timing spans (high volume).
+    Trace = 5,
+}
+
+impl Level {
+    /// The lowercase name used on the wire and in `APF_TRACE`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name; `"off"` and `"0"` map to `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = tracing off; otherwise the maximum enabled [`Level`] as u8.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// Set once any explicit or env-derived configuration has happened.
+static CONFIGURED: AtomicBool = AtomicBool::new(false);
+
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Whether records at `level` are currently recorded.
+///
+/// This is the fast path instrumented code checks before building any
+/// fields: a single relaxed atomic load, no allocation.
+#[inline(always)]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Microseconds since tracing was initialized (monotonic).
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+pub(crate) fn with_sink(f: impl FnOnce(&dyn TraceSink)) {
+    if let Ok(guard) = SINK.read() {
+        if let Some(s) = guard.as_deref() {
+            f(s);
+        }
+    }
+}
+
+/// Enables tracing at `level`, writing to `sink`.
+///
+/// May be called repeatedly (tests swap in fresh [`MemorySink`]s); the
+/// latest call wins.
+pub fn init(level: Level, sink: Arc<dyn TraceSink>) {
+    EPOCH.get_or_init(Instant::now);
+    if let Ok(mut guard) = SINK.write() {
+        *guard = Some(sink);
+    }
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    CONFIGURED.store(true, Ordering::Relaxed);
+}
+
+/// Disables tracing and drops the sink (flushing it first).
+pub fn shutdown() {
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+    flush();
+    if let Ok(mut guard) = SINK.write() {
+        *guard = None;
+    }
+    CONFIGURED.store(true, Ordering::Relaxed);
+}
+
+/// Adjusts the maximum recorded level without touching the sink.
+/// `None` disables tracing.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    CONFIGURED.store(true, Ordering::Relaxed);
+}
+
+/// Replaces the sink without touching the level.
+pub fn set_sink(sink: Arc<dyn TraceSink>) {
+    EPOCH.get_or_init(Instant::now);
+    if let Ok(mut guard) = SINK.write() {
+        *guard = Some(sink);
+    }
+}
+
+/// Flushes the current sink (e.g. before process exit).
+pub fn flush() {
+    with_sink(|s| s.flush());
+}
+
+/// Configures tracing from `APF_TRACE` / `APF_TRACE_FILE`.
+///
+/// * `APF_TRACE` — `off`, `error`, `warn`, `info`, `debug`, `trace`.
+///   Unset or unparsable means "leave tracing off".
+/// * `APF_TRACE_FILE` — path the JSONL trace is written to (the file is
+///   truncated); unset means stderr.
+///
+/// Idempotent: only the first call does anything, and a preceding explicit
+/// [`init`]/[`set_level`] wins. Library entry points (e.g. the fedsim
+/// runner) call this so `APF_TRACE=debug cargo run ...` works without any
+/// code changes; repeated calls are free.
+pub fn init_from_env() {
+    if CONFIGURED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    let Some(level) = std::env::var("APF_TRACE")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .flatten()
+    else {
+        return;
+    };
+    let sink: Arc<dyn TraceSink> = match std::env::var("APF_TRACE_FILE") {
+        Ok(path) if !path.is_empty() => match FileSink::create(&path) {
+            Ok(f) => Arc::new(f),
+            Err(_) => Arc::new(StderrSink),
+        },
+        _ => Arc::new(StderrSink),
+    };
+    EPOCH.get_or_init(Instant::now);
+    if let Ok(mut guard) = SINK.write() {
+        *guard = Some(sink);
+    }
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Records a structured event.
+///
+/// ```
+/// use apf_trace::{event, Level};
+/// apf_trace::event!(Level::Debug, target: "demo", "round done",
+///     round = 3u64, frozen_ratio = 0.25f32);
+/// ```
+///
+/// Fields are only evaluated when the level is enabled.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, target: $target:expr, $msg:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        if $crate::enabled($lvl) {
+            $crate::emit_event(
+                $lvl,
+                $target,
+                $msg,
+                &[$((stringify!($key), $crate::FieldValue::from($val))),*],
+            );
+        }
+    }};
+}
+
+/// Opens a RAII span; the returned guard records the span on drop.
+///
+/// ```
+/// use apf_trace::{span, Level};
+/// let _s = apf_trace::span!(Level::Info, target: "demo", "round", round = 3u64);
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, target: $target:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled($lvl) {
+            $crate::Span::enter(
+                $lvl,
+                $target,
+                $name,
+                &[$((stringify!($key), $crate::FieldValue::from($val))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("DEBUG"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("trace"), Some(Some(Level::Trace)));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn disabled_by_default_and_gated() {
+        // Other tests may have configured tracing; force a known state.
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Info));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(None);
+    }
+}

@@ -1,0 +1,262 @@
+//! A process-global metrics registry: named monotonic counters and
+//! fixed-bucket histograms.
+//!
+//! Handles are cheap `Arc` clones; hot paths pay one atomic RMW per update
+//! with no locking (the registry lock is only taken on first lookup).
+//! [`emit`] dumps a snapshot into the trace as `metric` events, and
+//! [`reset`] clears everything for tests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{event, Level};
+
+/// A monotonic counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram handle.
+///
+/// Bucket `i` counts samples `x <= bounds[i]`; one extra overflow bucket
+/// counts the rest. Bounds are fixed at registration.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of samples, stored as f64 bits (updated with a CAS loop).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, x: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (one extra overflow bucket at the end).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Looks up (registering on first use) the counter `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry().counters.lock().expect("metrics lock poisoned");
+    map.entry(name.to_owned())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// Looks up (registering on first use) the histogram `name`.
+///
+/// `bounds` must be sorted ascending; they are fixed by the first
+/// registration — later callers get the existing histogram regardless of
+/// the bounds they pass.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    let mut map = registry().histograms.lock().expect("metrics lock poisoned");
+    Arc::clone(
+        map.entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+    )
+}
+
+/// One histogram in a [`Snapshot`]: `(name, bounds, bucket_counts, count,
+/// sum)`.
+pub type HistogramSnapshot = (String, Vec<f64>, Vec<u64>, u64, f64);
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// One [`HistogramSnapshot`] per histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Snapshots all registered metrics.
+pub fn snapshot() -> Snapshot {
+    let counters = registry()
+        .counters
+        .lock()
+        .expect("metrics lock poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.get()))
+        .collect();
+    let histograms = registry()
+        .histograms
+        .lock()
+        .expect("metrics lock poisoned")
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                h.bounds().to_vec(),
+                h.bucket_counts(),
+                h.count(),
+                h.sum(),
+            )
+        })
+        .collect();
+    Snapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Writes the current snapshot to the trace as one `metric` event per
+/// metric (level Info, target `metrics`). No-op when tracing is disabled.
+pub fn emit() {
+    if !crate::enabled(Level::Info) {
+        return;
+    }
+    let snap = snapshot();
+    for (name, value) in &snap.counters {
+        event!(Level::Info, target: "metrics", "counter",
+            name = name.as_str(), value = *value);
+    }
+    for (name, bounds, buckets, count, sum) in &snap.histograms {
+        let bounds_s = bounds
+            .iter()
+            .map(|b| format!("{b}"))
+            .collect::<Vec<_>>()
+            .join("|");
+        let buckets_s = buckets
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("|");
+        event!(Level::Info, target: "metrics", "histogram",
+            name = name.as_str(), bounds = bounds_s, buckets = buckets_s,
+            count = *count, sum = *sum);
+    }
+}
+
+/// Removes every registered metric (tests).
+pub fn reset() {
+    registry()
+        .counters
+        .lock()
+        .expect("metrics lock poisoned")
+        .clear();
+    registry()
+        .histograms
+        .lock()
+        .expect("metrics lock poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let c1 = counter("test.metrics.shared");
+        let c2 = counter("test.metrics.shared");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), c2.get());
+        assert!(c1.get() >= 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = histogram("test.metrics.hist", &[1.0, 10.0]);
+        let before = h.count();
+        h.record(0.5);
+        h.record(5.0);
+        h.record(100.0);
+        assert_eq!(h.count(), before + 3);
+        let b = h.bucket_counts();
+        assert_eq!(b.len(), 3);
+        assert!(h.sum() >= 105.5);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names() {
+        counter("test.metrics.snap").inc();
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test.metrics.snap" && *v >= 1));
+    }
+}

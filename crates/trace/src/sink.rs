@@ -1,0 +1,154 @@
+//! Trace sinks: where JSONL lines go.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for complete JSONL lines (no trailing newline included).
+///
+/// Implementations must be cheap to call concurrently; each `write_line`
+/// receives one complete record so interleaving between threads never
+/// splits a line.
+pub trait TraceSink: Send + Sync {
+    /// Writes one complete record line.
+    fn write_line(&self, line: &str);
+    /// Flushes buffered output (no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+/// Writes each line to stderr (the default for `APF_TRACE` without a file).
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn write_line(&self, line: &str) {
+        let stderr = std::io::stderr();
+        let mut guard = stderr.lock();
+        let _ = writeln!(guard, "{line}");
+    }
+}
+
+/// Buffered JSONL file writer (`APF_TRACE_FILE`).
+///
+/// Lines are buffered; [`TraceSink::flush`] (or dropping the sink) pushes
+/// them to disk. The epoch-based timestamps in the records are unaffected
+/// by buffering.
+pub struct FileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl std::fmt::Debug for FileSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSink").finish()
+    }
+}
+
+impl FileSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileSink> {
+        let file = File::create(path)?;
+        Ok(FileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl TraceSink for FileSink {
+    fn write_line(&self, line: &str) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Collects lines in memory — the sink tests use.
+///
+/// Keep a clone of the `Arc<MemorySink>` you pass to
+/// [`crate::init`] and read the lines back with [`MemorySink::lines`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A snapshot of all lines recorded so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all recorded lines.
+    pub fn clear(&self) {
+        if let Ok(mut l) = self.lines.lock() {
+            l.clear();
+        }
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_line(&self, line: &str) {
+        if let Ok(mut l) = self.lines.lock() {
+            l.push(line.to_owned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_collects() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.write_line("a");
+        s.write_line("b");
+        assert_eq!(s.lines(), vec!["a", "b"]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let path = std::env::temp_dir().join("apf_trace_sink_test.jsonl");
+        {
+            let s = FileSink::create(&path).unwrap();
+            s.write_line("{\"x\":1}");
+            s.write_line("{\"x\":2}");
+            s.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n{\"x\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,152 @@
+//! RAII spans with per-thread parent tracking.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::emit::{push_fields, push_json_str, FieldValue};
+use crate::{enabled, now_us, with_sink, Level};
+
+/// Monotonically increasing span id source (0 is reserved for "no span").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost active span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The id of the innermost active span on this thread (0 = none).
+pub(crate) fn current_span_id() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+struct ActiveSpan {
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A RAII span guard: created by [`Span::enter`] (usually via the
+/// [`crate::span!`] macro), it times the enclosed scope on the monotonic
+/// clock and records one `"t":"span"` line when dropped.
+///
+/// When the span's level is disabled at entry the guard is inert: no id is
+/// allocated, nothing is recorded, and drop is free.
+#[must_use = "a span guard times its scope; dropping it immediately records an empty span"]
+pub struct Span(Option<ActiveSpan>);
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(a) => f
+                .debug_struct("Span")
+                .field("name", &a.name)
+                .field("id", &a.id)
+                .finish(),
+            None => f.write_str("Span(disabled)"),
+        }
+    }
+}
+
+impl Span {
+    /// An inert span guard: records nothing, costs nothing on drop. The
+    /// [`crate::span!`] macro returns this when the level is disabled so
+    /// field expressions are never evaluated.
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// Opens a span. Prefer the [`crate::span!`] macro.
+    ///
+    /// `target` and `name` are `'static` so the disabled path stays
+    /// allocation-free; instrumentation sites use literals.
+    pub fn enter(
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) -> Span {
+        if !enabled(level) {
+            return Span(None);
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT.with(|c| c.replace(id));
+        Span(Some(ActiveSpan {
+            level,
+            target,
+            name,
+            id,
+            parent,
+            start_us: now_us(),
+            start: Instant::now(),
+            fields: fields.to_vec(),
+        }))
+    }
+
+    /// This span's id (0 when the span is disabled).
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Whether the span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches an extra field after entry (e.g. a result computed inside
+    /// the span). No-op when disabled.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(a) = &mut self.0 {
+            a.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(a.parent));
+        let dur_us = a.start.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(128 + 24 * a.fields.len());
+        line.push_str("{\"t\":\"span\",\"ts_us\":");
+        line.push_str(&now_us().to_string());
+        line.push_str(",\"lvl\":\"");
+        line.push_str(a.level.as_str());
+        line.push_str("\",\"target\":");
+        push_json_str(&mut line, a.target);
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, a.name);
+        line.push_str(",\"id\":");
+        line.push_str(&a.id.to_string());
+        line.push_str(",\"parent\":");
+        line.push_str(&a.parent.to_string());
+        line.push_str(",\"start_us\":");
+        line.push_str(&a.start_us.to_string());
+        line.push_str(",\"dur_us\":");
+        line.push_str(&dur_us.to_string());
+        push_fields(&mut line, &a.fields);
+        line.push('}');
+        with_sink(|s| s.write_line(&line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        crate::set_level(None);
+        let s = Span::enter(Level::Info, "t", "n", &[]);
+        assert!(!s.is_recording());
+        assert_eq!(s.id(), 0);
+        assert_eq!(current_span_id(), 0);
+    }
+}

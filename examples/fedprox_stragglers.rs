@@ -28,7 +28,8 @@ fn main() {
         ..FlConfig::default()
     };
 
-    let runs: Vec<(&str, Box<dyn SyncStrategy>, bool, Option<f32>)> = vec![
+    type RunSpec = (&'static str, Box<dyn SyncStrategy>, bool, Option<f32>);
+    let runs: Vec<RunSpec> = vec![
         (
             "fedavg (drops stragglers)",
             Box::new(FullSync::new()),
@@ -43,13 +44,16 @@ fn main() {
         ),
         (
             "fedprox + apf",
-            Box::new(ApfStrategy::new(ApfConfig {
-                check_every_rounds: 2,
-                stability_threshold: 0.1,
-                ema_alpha: 0.9,
-                seed,
-                ..ApfConfig::default()
-            })),
+            Box::new(
+                ApfStrategy::new(ApfConfig {
+                    check_every_rounds: 2,
+                    stability_threshold: 0.1,
+                    ema_alpha: 0.9,
+                    seed,
+                    ..ApfConfig::default()
+                })
+                .unwrap(),
+            ),
             false,
             Some(0.01),
         ),

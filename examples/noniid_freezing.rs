@@ -40,9 +40,9 @@ fn main() {
         ("partial-sync", Box::new(PartialSync::new(0.1, 0.9, 2))),
         (
             "permanent-freeze",
-            Box::new(ApfStrategy::permanent_freeze(apf_cfg)),
+            Box::new(ApfStrategy::permanent_freeze(apf_cfg).unwrap()),
         ),
-        ("apf", Box::new(ApfStrategy::new(apf_cfg))),
+        ("apf", Box::new(ApfStrategy::new(apf_cfg).unwrap())),
     ];
     println!(
         "{:<18} {:>9} {:>12} {:>9}",

@@ -49,7 +49,7 @@ fn main() {
         "scheme", "best_acc", "transfer", "frozen"
     );
     for (name, cfg_v) in [("apf", base), ("apf++", plusplus)] {
-        let strategy: Box<dyn SyncStrategy> = Box::new(ApfStrategy::new(cfg_v));
+        let strategy: Box<dyn SyncStrategy> = Box::new(ApfStrategy::new(cfg_v).unwrap());
         let mut runner = FlRunner::builder(models::resnet, cfg.clone())
             .optimizer(apf_fedsim::OptimizerKind::Sgd {
                 lr: 0.1,

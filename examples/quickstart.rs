@@ -31,13 +31,16 @@ fn main() {
     let mut results = Vec::new();
     for apf_on in [false, true] {
         let strategy: Box<dyn apf_fedsim::SyncStrategy> = if apf_on {
-            Box::new(ApfStrategy::new(ApfConfig {
-                check_every_rounds: 2,
-                stability_threshold: 0.1,
-                ema_alpha: 0.9,
-                seed,
-                ..ApfConfig::default()
-            }))
+            Box::new(
+                ApfStrategy::new(ApfConfig {
+                    check_every_rounds: 2,
+                    stability_threshold: 0.1,
+                    ema_alpha: 0.9,
+                    seed,
+                    ..ApfConfig::default()
+                })
+                .unwrap(),
+            )
         } else {
             Box::new(FullSync::new())
         };

@@ -29,13 +29,16 @@ fn main() {
     let arms: Vec<(&str, Box<dyn SyncStrategy>)> = vec![
         (
             "apf",
-            Box::new(ApfStrategy::new(ApfConfig {
-                check_every_rounds: 2,
-                stability_threshold: 0.1,
-                ema_alpha: 0.9,
-                seed,
-                ..ApfConfig::default()
-            })),
+            Box::new(
+                ApfStrategy::new(ApfConfig {
+                    check_every_rounds: 2,
+                    stability_threshold: 0.1,
+                    ema_alpha: 0.9,
+                    seed,
+                    ..ApfConfig::default()
+                })
+                .unwrap(),
+            ),
         ),
         ("gaia", Box::new(Gaia::new(0.01))),
         ("cmfl", Box::new(Cmfl::new(0.8, 0.99))),

@@ -16,6 +16,25 @@ cargo build --release --offline --workspace
 echo "== cargo test --offline (workspace) =="
 cargo test -q --offline --workspace
 
+echo "== cargo clippy -D warnings (workspace) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== no println!/eprintln! in library code =="
+# Library sources must report through apf-trace (or an injected writer), not
+# ad-hoc prints. Binaries (src/bin/), benches, examples, tests, and comment
+# lines are exempt; #[cfg(test)] modules inside lib files are caught by the
+# grep but whitelisted here via the test-module paths below being none —
+# keep test-only prints inside tests/ or benches/ instead.
+offenders=$(grep -rn --include='*.rs' -E '\b(println!|eprintln!)\(' crates/*/src \
+  | grep -v '/src/bin/' \
+  | grep -vE ':[0-9]+:\s*(//|//!|///)' || true)
+if [ -n "$offenders" ]; then
+  echo "println!/eprintln! found in library code (use apf-trace events or an injected writer):" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "OK: no stray prints in library code"
+
 echo "== dependency hermeticity =="
 # Every node in the dependency graph must live inside this repository.
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \

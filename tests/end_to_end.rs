@@ -58,13 +58,16 @@ fn run(strategy: Box<dyn apf_fedsim::SyncStrategy>, rounds: usize) -> apf_fedsim
 fn apf_strategy(check_every: u32) -> Box<ApfStrategy> {
     // Scaled defaults (shorter EMA horizon, looser threshold) as used by the
     // experiment harness — the paper's values assume 1000+ round runs.
-    Box::new(ApfStrategy::new(ApfConfig {
-        check_every_rounds: check_every,
-        stability_threshold: 0.1,
-        ema_alpha: 0.9,
-        seed: 9,
-        ..ApfConfig::default()
-    }))
+    Box::new(
+        ApfStrategy::new(ApfConfig {
+            check_every_rounds: check_every,
+            stability_threshold: 0.1,
+            ema_alpha: 0.9,
+            seed: 9,
+            ..ApfConfig::default()
+        })
+        .unwrap(),
+    )
 }
 
 #[test]

@@ -74,7 +74,8 @@ fn partial_sync_lets_clients_diverge_apf_does_not() {
         ema_alpha: 0.9,
         seed: 3,
         ..ApfConfig::default()
-    });
+    })
+    .unwrap();
     let (a0, a1) = drive_two_clients(&mut apf, 50);
     assert_eq!(a0, a1, "APF must keep all clients bit-identical after sync");
 }
@@ -91,7 +92,7 @@ fn permanent_freeze_is_sticky_apf_releases() {
         seed: 4,
         ..ApfConfig::default()
     };
-    let mut perm = ApfStrategy::permanent_freeze(cfg);
+    let mut perm = ApfStrategy::permanent_freeze(cfg).unwrap();
     let (_, _) = drive_two_clients(&mut perm, 40);
     let frozen_at_horizon = perm.managers()[0].frozen_count(1_000_000_000);
     let frozen_now = perm.managers()[0].frozen_count(40);
@@ -105,7 +106,7 @@ fn permanent_freeze_is_sticky_apf_releases() {
         eprintln!("note: nothing froze under permanent freezing at this scale");
     }
 
-    let mut apf = ApfStrategy::new(cfg);
+    let mut apf = ApfStrategy::new(cfg).unwrap();
     let (_, _) = drive_two_clients(&mut apf, 40);
     let frozen_far = apf.managers()[0].frozen_count(1_000_000_000);
     assert_eq!(frozen_far, 0, "APF freezing periods must all be finite");
@@ -120,7 +121,7 @@ fn apf_rollback_pins_frozen_scalars_through_local_training() {
         seed: 5,
         ..ApfConfig::default()
     };
-    let mut apf = ApfStrategy::new(cfg);
+    let mut apf = ApfStrategy::new(cfg).unwrap();
     let train = flat_images(80, 0);
     let parts = classes_per_client_partition(train.labels(), 2, 5, 3);
     let mut c0 = make_client(train.select(&parts[0]), 0);

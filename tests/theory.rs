@@ -37,7 +37,7 @@ fn theorem1_geometric_decay_to_noise_floor() {
     }
     sq_mid /= f64::from(trials);
     sq_end /= f64::from(trials);
-    let bound_mid = (1.0 - 2.0 * mu * eta).powi(k_mid as i32) as f64 * 100.0
+    let bound_mid = (1.0 - 2.0 * mu * eta).powi(k_mid) as f64 * 100.0
         + f64::from(eta * sigma * sigma / (2.0 * mu));
     // The transient phase respects the bound (with slack for f32 noise).
     assert!(
@@ -111,7 +111,7 @@ fn apf_drives_gradient_norm_down_on_quadratic_bowl() {
         seed: 7,
         ..ApfConfig::default()
     };
-    let mut mgr = ApfManager::new(&x, cfg, Box::new(Aimd::default()));
+    let mut mgr = ApfManager::new(&x, cfg, Box::new(Aimd::default())).unwrap();
     let grad_norm = |x: &[f32]| -> f32 {
         x.iter()
             .zip(&curit)
