@@ -23,6 +23,20 @@ fn main() {
         });
     }
 
+    // Thread sweep over the apf-par pool (results identical by contract;
+    // only time should move, and only on multi-core hosts).
+    let mut g = BenchGroup::new("matmul192_threads");
+    let mut rng = seeded_rng(0);
+    let a = normal_init(&[192, 192], 0.0, 1.0, &mut rng);
+    let b = normal_init(&[192, 192], 0.0, 1.0, &mut rng);
+    for t in [1usize, 2, 4] {
+        apf_par::with_threads(t, || {
+            g.bench(&format!("t{t}"), || {
+                black_box(a.matmul(&b));
+            });
+        });
+    }
+
     let mut g = BenchGroup::new("conv2d_forward");
     let mut rng = seeded_rng(0);
     let spec = ConvSpec {

@@ -1,0 +1,149 @@
+//! `bench-kernels`: machine-readable kernel/round baselines.
+//!
+//! Measures dense matmul and conv2d forward throughput (GFLOP/s) and the
+//! end-to-end federated round time at pool sizes 1, 2 and 4, then writes
+//! `BENCH_kernels.json` for regression tracking. The host's available
+//! parallelism is recorded alongside, so numbers from a single-core CI
+//! host (where extra threads cannot speed anything up) are interpretable.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin bench-kernels            # full samples
+//! APF_BENCH_QUICK=1 cargo run --release --bin bench-kernels
+//! ```
+
+use std::time::Instant;
+
+use apf_bench::harness::{black_box, BenchGroup};
+use apf_bench::setups::{standard_builder, ModelKind, Scale};
+use apf_data::iid_partition;
+use apf_fedsim::FullSync;
+use apf_tensor::{conv2d_forward, normal_init, seeded_rng, ConvSpec, Tensor};
+
+/// Square matmul side for the throughput probe.
+const MM_N: usize = 192;
+/// Federated rounds timed per thread count.
+const ROUNDS: usize = 2;
+
+struct ThreadResult {
+    threads: usize,
+    matmul_gflops: f64,
+    conv2d_gflops: f64,
+    round_ms: f64,
+}
+
+fn bench_matmul(g: &mut BenchGroup, threads: usize) -> f64 {
+    let mut rng = seeded_rng(7);
+    let a = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+    let b = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+    let m = g.bench(&format!("matmul{MM_N}_t{threads}"), || {
+        black_box(a.matmul(&b));
+    });
+    let flops = 2.0 * (MM_N as f64).powi(3);
+    flops / m.median.as_secs_f64() / 1e9
+}
+
+fn bench_conv2d(g: &mut BenchGroup, threads: usize) -> f64 {
+    let mut rng = seeded_rng(7);
+    // The LeNet-5 second conv at batch 8: the workspace's canonical conv probe.
+    let spec = ConvSpec {
+        in_channels: 6,
+        out_channels: 16,
+        kernel: 5,
+        stride: 1,
+        padding: 0,
+    };
+    let (n, h, w) = (8usize, 16usize, 16usize);
+    let input = normal_init(&[n, spec.in_channels, h, w], 0.0, 1.0, &mut rng);
+    let weight = normal_init(
+        &[
+            spec.out_channels,
+            spec.in_channels * spec.kernel * spec.kernel,
+        ],
+        0.0,
+        0.1,
+        &mut rng,
+    );
+    let bias = Tensor::zeros(&[spec.out_channels]);
+    let m = g.bench(&format!("conv2d_t{threads}"), || {
+        black_box(conv2d_forward(&input, &weight, &bias, &spec));
+    });
+    let (oh, ow) = spec.out_size(h, w);
+    let flops = 2.0
+        * (n * oh * ow) as f64
+        * spec.out_channels as f64
+        * (spec.in_channels * spec.kernel * spec.kernel) as f64;
+    flops / m.median.as_secs_f64() / 1e9
+}
+
+/// Times `ROUNDS` federated rounds (LeNet-5, 4 parallel clients) and
+/// returns the mean per-round wall time in milliseconds.
+fn bench_round() -> f64 {
+    let clients = 4;
+    let (builder, train, test) =
+        standard_builder(ModelKind::Lenet5, Scale::Quick, clients, ROUNDS, 7);
+    let parts = iid_partition(train.len(), clients, 7);
+    let mut runner = builder
+        .clients_from_partition(&train, &parts)
+        .test_set(test)
+        .strategy(Box::new(FullSync::new()))
+        .parallel(true)
+        .build();
+    let t0 = Instant::now();
+    let log = runner.run();
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / log.records.len().max(1) as f64;
+    println!(
+        "  round_t{}               mean   {ms:>9.2} ms",
+        apf_par::threads()
+    );
+    ms
+}
+
+fn json_escape_free(results: &[ThreadResult], host_parallelism: usize) -> String {
+    // All content is numeric or fixed ASCII — no escaping needed.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    out.push_str(&format!("  \"matmul_n\": {MM_N},\n"));
+    out.push_str(
+        "  \"note\": \"GFLOP/s medians and mean round wall time per APF_PAR_THREADS; speedups above 1 thread require host_parallelism > 1\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"matmul_gflops\": {:.4}, \"conv2d_gflops\": {:.4}, \"round_ms\": {:.3}}}{}\n",
+            r.threads,
+            r.matmul_gflops,
+            r.conv2d_gflops,
+            r.round_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench-kernels: host parallelism = {host_parallelism}");
+    let mut results = Vec::new();
+    let mut g = BenchGroup::new("kernels_by_threads");
+    for threads in [1usize, 2, 4] {
+        apf_par::set_threads(threads);
+        let matmul_gflops = bench_matmul(&mut g, threads);
+        let conv2d_gflops = bench_conv2d(&mut g, threads);
+        let round_ms = bench_round();
+        results.push(ThreadResult {
+            threads,
+            matmul_gflops,
+            conv2d_gflops,
+            round_ms,
+        });
+    }
+    apf_par::set_threads(1);
+    let json = json_escape_free(&results, host_parallelism);
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, &json).expect("failed to write BENCH_kernels.json");
+    println!("\nwrote {path}:\n{json}");
+}

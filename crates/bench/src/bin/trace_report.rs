@@ -7,13 +7,16 @@
 //! cargo run --bin trace-report -- trace.jsonl
 //! ```
 //!
-//! Prints three views of a run:
+//! Prints four views of a run:
 //!
 //! 1. **Top spans by self-time** — wall time spent in each `(target, name)`
 //!    span kind, excluding time attributed to child spans.
-//! 2. **Per-layer freeze heatmap** — frozen fraction of every model layer
+//! 2. **Pool utilization** — span self-time per emitting thread (the
+//!    `thread` ordinal on each record), showing how evenly work spread over
+//!    the `apf-par` workers.
+//! 3. **Per-layer freeze heatmap** — frozen fraction of every model layer
 //!    over rounds, from the manager's `layer_freeze` events.
-//! 3. **Bytes by phase** — uplink/downlink volume per transfer phase, from
+//! 4. **Bytes by phase** — uplink/downlink volume per transfer phase, from
 //!    `fedsim.comm` events.
 
 use std::collections::BTreeMap;
@@ -28,6 +31,8 @@ struct SpanLine {
     name: String,
     id: u64,
     dur_us: u64,
+    /// Emitting thread ordinal (0 for traces predating the field).
+    thread: u64,
 }
 
 /// Accumulated statistics for one `(target, name)` span kind.
@@ -130,6 +135,7 @@ impl Report {
             name: get_str(v, "name").unwrap_or("?").to_owned(),
             id,
             dur_us,
+            thread: get_u64(v, "thread").unwrap_or(0),
         });
     }
 
@@ -162,15 +168,21 @@ impl Report {
         }
     }
 
-    /// Self-time per `(target, name)`: each span's duration minus the summed
-    /// durations of its direct children.
-    fn span_stats(&self) -> Vec<(String, SpanStat)> {
+    /// Duration attributed to each span's direct children (`id -> us`).
+    fn child_times(&self) -> BTreeMap<u64, u64> {
         let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
         for (&id, &parent) in &self.parents {
             if parent != 0 && self.durs.contains_key(&parent) {
                 *child_us.entry(parent).or_insert(0) += self.durs[&id];
             }
         }
+        child_us
+    }
+
+    /// Self-time per `(target, name)`: each span's duration minus the summed
+    /// durations of its direct children.
+    fn span_stats(&self) -> Vec<(String, SpanStat)> {
+        let child_us = self.child_times();
         let mut stats: BTreeMap<String, SpanStat> = BTreeMap::new();
         for s in &self.spans {
             let key = format!("{}::{}", s.target, s.name);
@@ -209,6 +221,48 @@ impl Report {
             render_table(
                 "top spans by self-time",
                 &["span", "count", "self", "total", "mean"],
+                &rows,
+            )
+        );
+    }
+
+    /// Span self-time and count per emitting thread ordinal.
+    fn thread_stats(&self) -> Vec<(u64, u64, u64)> {
+        let child_us = self.child_times();
+        let mut per: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let children = child_us.get(&s.id).copied().unwrap_or(0);
+            let e = per.entry(s.thread).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us.saturating_sub(children.min(s.dur_us));
+        }
+        per.into_iter().map(|(t, (n, us))| (t, n, us)).collect()
+    }
+
+    fn print_threads(&self) {
+        let stats = self.thread_stats();
+        // A single thread (or a pre-`thread`-field trace, all ordinal 0)
+        // carries no utilization signal worth a table.
+        if stats.len() <= 1 {
+            return;
+        }
+        let busiest = stats.iter().map(|&(_, _, us)| us).max().unwrap_or(0);
+        let rows: Vec<Vec<String>> = stats
+            .iter()
+            .map(|&(t, n, us)| {
+                let share = if busiest > 0 {
+                    format!("{:.0}%", 100.0 * us as f64 / busiest as f64)
+                } else {
+                    "-".to_owned()
+                };
+                vec![t.to_string(), n.to_string(), fmt_us(us), share]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "pool utilization (span self-time per thread)",
+                &["thread", "spans", "busy", "vs busiest"],
                 &rows,
             )
         );
@@ -305,6 +359,7 @@ fn main() -> ExitCode {
         report.lines, report.skipped
     );
     report.print_spans();
+    report.print_threads();
     report.print_heatmap();
     report.print_phases();
     ExitCode::SUCCESS
@@ -336,6 +391,19 @@ mod tests {
         assert_eq!(root.1.total_us, 100);
         let child = stats.iter().find(|(k, _)| k == "a::child").unwrap();
         assert_eq!(child.1.self_us, 30);
+    }
+
+    #[test]
+    fn thread_stats_attribute_self_time() {
+        let mut r = Report::new();
+        r.ingest_line(
+            r#"{"t":"span","ts_us":1,"lvl":"info","target":"a","name":"child","id":2,"parent":1,"start_us":0,"dur_us":30,"thread":2}"#,
+        );
+        r.ingest_line(
+            r#"{"t":"span","ts_us":2,"lvl":"info","target":"a","name":"root","id":1,"parent":0,"start_us":0,"dur_us":100,"thread":1}"#,
+        );
+        let stats = r.thread_stats();
+        assert_eq!(stats, vec![(1, 1, 70), (2, 1, 30)]);
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub struct FlConfig {
     /// training and contribute weight 0 to aggregation; with admission
     /// control they rejoin from the latest global model. 1.0 = everyone.
     pub participation: f32,
-    /// Train clients on worker threads.
+    /// Train clients concurrently on the `apf-par` pool (bounded by
+    /// `APF_PAR_THREADS`). Aggregation order is by client index either way,
+    /// so results are bitwise identical to the serial path.
     pub parallel: bool,
 }
 
@@ -160,6 +162,13 @@ impl FlRunnerBuilder {
     /// Sets the held-out evaluation set.
     pub fn test_set(mut self, test: Dataset) -> Self {
         self.test = Some(test);
+        self
+    }
+
+    /// Enables or disables parallel client training over the `apf-par` pool
+    /// (results are identical either way; see [`FlConfig::parallel`]).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.cfg.parallel = on;
         self
     }
 
@@ -431,30 +440,31 @@ impl FlRunner {
         let mut losses = vec![0.0f32; self.clients.len()];
         let mut times = vec![0.0f64; self.clients.len()];
         if self.cfg.parallel && self.clients.len() > 1 {
-            std::thread::scope(|scope| {
+            // One pool task per participating client, each writing into its
+            // own (loss, time) slot; the pool bounds concurrency at
+            // `apf_par::threads()` instead of one OS thread per client.
+            // Aggregation below reads the slots in client-index order, so
+            // results do not depend on completion order.
+            apf_par::scope(|s| {
                 let participating = &participating;
-                let handles: Vec<_> = self
+                for (((i, client), loss_slot), time_slot) in self
                     .clients
                     .iter_mut()
                     .enumerate()
-                    .map(|(i, client)| {
-                        scope.spawn(move || {
-                            if !participating[i] {
-                                return (0.0, 0.0);
-                            }
-                            let t0 = Instant::now();
-                            let hook = move |p: &mut [f32]| {
-                                strategy.post_local_iteration(round, i, p);
-                            };
-                            let loss = client.local_round(local_iters, &hook);
-                            (loss, t0.elapsed().as_secs_f64())
-                        })
-                    })
-                    .collect();
-                for (i, h) in handles.into_iter().enumerate() {
-                    let (loss, secs) = h.join().expect("client thread panicked");
-                    losses[i] = loss;
-                    times[i] = secs;
+                    .zip(losses.iter_mut())
+                    .zip(times.iter_mut())
+                {
+                    s.spawn(move || {
+                        if !participating[i] {
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        let hook = move |p: &mut [f32]| {
+                            strategy.post_local_iteration(round, i, p);
+                        };
+                        *loss_slot = client.local_round(local_iters, &hook);
+                        *time_slot = t0.elapsed().as_secs_f64();
+                    });
                 }
             });
         } else {

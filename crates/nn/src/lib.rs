@@ -8,6 +8,14 @@
 //! APF — *flat parameter views*: the whole model as one `Vec<f32>` of scalars,
 //! which is the representation §3.2.2 of the paper operates on.
 //!
+//! # Parallelism
+//!
+//! Forward/backward passes inherit parallel matmul/conv kernels from
+//! `apf-tensor`; optimizer steps and the FedProx proximal gradient are
+//! additionally chunked over the `apf-par` pool for large flat vectors. All
+//! of it is bitwise deterministic at any `APF_PAR_THREADS` (see the
+//! `apf-par` crate docs for the contract).
+//!
 //! # Example
 //!
 //! ```

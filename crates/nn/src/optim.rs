@@ -4,6 +4,74 @@
 //! The paper's setup (§7.1): Adam for LeNet-5, SGD for ResNet-18 and LSTM,
 //! with weight decay 0.01; §7.8 additionally evaluates a multiplicative
 //! learning-rate decay.
+//!
+//! Optimizer steps are elementwise over the flat vector, so large models
+//! update in parallel chunks over the `apf-par` pool; every scalar's update
+//! uses only its own index, making results bitwise identical at any
+//! `APF_PAR_THREADS`.
+
+/// Minimum scalars before an optimizer step is dispatched to the pool.
+const PAR_STEP_MIN: usize = 1 << 15;
+
+/// One chunk of a plain (no-momentum) SGD step.
+fn sgd_chunk_plain(lr: f32, wd: f32, p: &mut [f32], g: &[f32], mask: &[bool]) {
+    for i in 0..p.len() {
+        if !mask[i] {
+            continue;
+        }
+        p[i] -= lr * (g[i] + wd * p[i]);
+    }
+}
+
+/// One chunk of a momentum SGD step.
+fn sgd_chunk_momentum(
+    lr: f32,
+    momentum: f32,
+    wd: f32,
+    p: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    mask: &[bool],
+) {
+    for i in 0..p.len() {
+        if !mask[i] {
+            continue;
+        }
+        let grad = g[i] + wd * p[i];
+        let vel = momentum * v[i] + grad;
+        v[i] = vel;
+        p[i] -= lr * vel;
+    }
+}
+
+/// One chunk of an Adam step (`b1t`/`b2t` are the bias corrections).
+#[allow(clippy::too_many_arguments)]
+fn adam_chunk(
+    lr: f32,
+    betas: (f32, f32),
+    eps: f32,
+    wd: f32,
+    corr: (f32, f32),
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    mask: &[bool],
+) {
+    let (beta1, beta2) = betas;
+    let (b1t, b2t) = corr;
+    for i in 0..p.len() {
+        if !mask[i] {
+            continue;
+        }
+        let grad = g[i] + wd * p[i];
+        m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+        let mhat = m[i] / b1t;
+        let vhat = v[i] / b2t;
+        p[i] -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
 
 /// A learning-rate schedule mapping a step index to a learning rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,19 +174,45 @@ impl Optimizer for Sgd {
         if self.momentum != 0.0 && self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        for i in 0..params.len() {
-            if !trainable[i] {
-                continue;
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        let serial = apf_par::threads() <= 1 || params.len() < PAR_STEP_MIN;
+        if momentum != 0.0 {
+            if serial {
+                sgd_chunk_momentum(
+                    lr,
+                    momentum,
+                    wd,
+                    params,
+                    &mut self.velocity,
+                    grads,
+                    trainable,
+                );
+                return;
             }
-            let g = grads[i] + self.weight_decay * params[i];
-            let update = if self.momentum != 0.0 {
-                let v = self.momentum * self.velocity[i] + g;
-                self.velocity[i] = v;
-                v
-            } else {
-                g
-            };
-            params[i] -= self.lr * update;
+            let chunk = apf_par::chunk_len(params.len());
+            apf_par::scope(|s| {
+                for (((p, v), g), m) in params
+                    .chunks_mut(chunk)
+                    .zip(self.velocity.chunks_mut(chunk))
+                    .zip(grads.chunks(chunk))
+                    .zip(trainable.chunks(chunk))
+                {
+                    s.spawn(move || sgd_chunk_momentum(lr, momentum, wd, p, v, g, m));
+                }
+            });
+        } else if serial {
+            sgd_chunk_plain(lr, wd, params, grads, trainable);
+        } else {
+            let chunk = apf_par::chunk_len(params.len());
+            apf_par::scope(|s| {
+                for ((p, g), m) in params
+                    .chunks_mut(chunk)
+                    .zip(grads.chunks(chunk))
+                    .zip(trainable.chunks(chunk))
+                {
+                    s.spawn(move || sgd_chunk_plain(lr, wd, p, g, m));
+                }
+            });
         }
     }
 
@@ -182,19 +276,43 @@ impl Optimizer for Adam {
             self.t = 0;
         }
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            if !trainable[i] {
-                continue;
-            }
-            let g = grads[i] + self.weight_decay * params[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let mhat = self.m[i] / b1t;
-            let vhat = self.v[i] / b2t;
-            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        let corr = (
+            1.0 - self.beta1.powi(self.t as i32),
+            1.0 - self.beta2.powi(self.t as i32),
+        );
+        let (lr, betas, eps, wd) = (
+            self.lr,
+            (self.beta1, self.beta2),
+            self.eps,
+            self.weight_decay,
+        );
+        if apf_par::threads() <= 1 || params.len() < PAR_STEP_MIN {
+            adam_chunk(
+                lr,
+                betas,
+                eps,
+                wd,
+                corr,
+                params,
+                &mut self.m,
+                &mut self.v,
+                grads,
+                trainable,
+            );
+            return;
         }
+        let chunk = apf_par::chunk_len(params.len());
+        apf_par::scope(|s| {
+            for ((((p, m), v), g), mask) in params
+                .chunks_mut(chunk)
+                .zip(self.m.chunks_mut(chunk))
+                .zip(self.v.chunks_mut(chunk))
+                .zip(grads.chunks(chunk))
+                .zip(trainable.chunks(chunk))
+            {
+                s.spawn(move || adam_chunk(lr, betas, eps, wd, corr, p, m, v, g, mask));
+            }
+        });
     }
 
     fn set_lr(&mut self, lr: f32) {
@@ -304,6 +422,34 @@ mod tests {
         let i = LrSchedule::InverseSqrt { initial: 1.0 };
         assert_eq!(i.lr_at(0), 1.0);
         assert!((i.lr_at(3) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steps_bitwise_identical_across_thread_counts() {
+        // Large enough to cross PAR_STEP_MIN so the pool path actually runs.
+        let n = PAR_STEP_MIN + 100;
+        let params: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.013).sin()).collect();
+        let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.031).cos()).collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 17 != 0).collect();
+        let run = |t: usize| {
+            apf_par::with_threads(t, || {
+                let mut sp = params.clone();
+                let mut sgd = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(0.01);
+                sgd.step(&mut sp, &grads, &mask);
+                sgd.step(&mut sp, &grads, &mask);
+                let mut ap = params.clone();
+                let mut adam = Adam::new(0.05).with_weight_decay(0.01);
+                adam.step(&mut ap, &grads, &mask);
+                adam.step(&mut ap, &grads, &mask);
+                (sp, ap)
+            })
+        };
+        let (sgd1, adam1) = run(1);
+        for t in [2usize, 4, 7] {
+            let (sgd_t, adam_t) = run(t);
+            assert_eq!(sgd1, sgd_t, "sgd threads={t}");
+            assert_eq!(adam1, adam_t, "adam threads={t}");
+        }
     }
 
     #[test]

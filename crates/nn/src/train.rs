@@ -41,11 +41,16 @@ pub fn train_batch(
     let mut grads = model.flat_grads();
     if let Some((mu, anchor)) = prox {
         assert_eq!(anchor.len(), params.len(), "prox anchor length mismatch");
-        for i in 0..grads.len() {
-            if trainable[i] {
-                grads[i] += mu * (params[i] - anchor[i]);
+        // Elementwise, so chunking over the pool cannot change any value.
+        let chunk = apf_par::chunk_len(grads.len());
+        apf_par::par_chunks_mut(&mut grads, chunk, |ci, g| {
+            let off = ci * chunk;
+            for (i, gv) in g.iter_mut().enumerate() {
+                if trainable[off + i] {
+                    *gv += mu * (params[off + i] - anchor[off + i]);
+                }
             }
-        }
+        });
     }
     optimizer.step(&mut params, &grads, trainable);
     model.load_flat(&params);

@@ -1,0 +1,189 @@
+//! Chunked data-parallel primitives built on [`scope`](crate::scope).
+
+use std::ops::Range;
+
+use crate::pool::{scope, threads};
+
+/// Number of chunks targeted per pool thread: a little oversubscription so
+/// an unlucky slow chunk rebalances across the pool.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Runs `f` over disjoint sub-ranges covering `range`.
+///
+/// `grain` is the minimum items per chunk; work at or below one grain (or
+/// with parallelism 1) runs inline as a single `f(range)` call. `f` must be
+/// safe to call concurrently on disjoint ranges; per-element results must
+/// not depend on the chunk boundaries (all kernels in this workspace write
+/// disjoint outputs, so this holds trivially).
+pub fn parallel_for<F>(range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let t = threads();
+    if t <= 1 || len <= grain {
+        f(range);
+        return;
+    }
+    let chunks = len.div_ceil(grain).min(t * CHUNKS_PER_THREAD);
+    let chunk = len.div_ceil(chunks);
+    scope(|s| {
+        let f = &f;
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + chunk).min(range.end);
+            s.spawn(move || f(start..end));
+            start = end;
+        }
+    });
+}
+
+/// Splits `data` into chunks of `chunk` items (the last may be shorter) and
+/// runs `f(chunk_index, chunk)` for each across the pool.
+///
+/// With parallelism 1 the chunks run inline in ascending index order — the
+/// exact serial fallback. Chunk `i` starts at element `i * chunk`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    if threads() <= 1 || data.len() <= chunk {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    scope(|s| {
+        let f = &f;
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            s.spawn(move || f(i, c));
+        }
+    });
+}
+
+/// Deterministic chunked map-reduce over an index range.
+///
+/// The range is cut into `ceil(len / grain)` chunks whose boundaries depend
+/// **only on `grain`** — never on the thread count — and the chunk results
+/// are folded left-to-right in ascending chunk order. A floating-point
+/// reduction therefore associates identically at any `APF_PAR_THREADS`,
+/// making the result bitwise reproducible across thread counts (though not
+/// necessarily equal to a single unchunked serial fold — pick `grain`
+/// larger than common sizes where that distinction matters).
+///
+/// Returns `None` for an empty range.
+pub fn map_reduce<A, M, R>(range: Range<usize>, grain: usize, map: M, reduce: R) -> Option<A>
+where
+    A: Send,
+    M: Fn(Range<usize>) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return None;
+    }
+    let grain = grain.max(1);
+    let chunks = len.div_ceil(grain);
+    let mut slots: Vec<Option<A>> = Vec::with_capacity(chunks);
+    slots.resize_with(chunks, || None);
+    par_chunks_mut(&mut slots, 1, |i, slot| {
+        let start = range.start + i * grain;
+        let end = (start + grain).min(range.end);
+        slot[0] = Some(map(start..end));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("map_reduce chunk not computed"))
+        .reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_threads;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        for t in [1usize, 2, 4] {
+            with_threads(t, || {
+                let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for(0..hits.len(), 16, |r| {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        parallel_for(5..5, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_indices_match_offsets() {
+        for t in [1usize, 3] {
+            with_threads(t, || {
+                let mut data = vec![0usize; 100];
+                par_chunks_mut(&mut data, 7, |i, c| {
+                    for (j, x) in c.iter_mut().enumerate() {
+                        *x = i * 7 + j;
+                    }
+                });
+                for (i, &x) in data.iter().enumerate() {
+                    assert_eq!(x, i);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_thread_count_independent() {
+        let xs: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let sum_at = |t: usize| {
+            with_threads(t, || {
+                map_reduce(
+                    0..xs.len(),
+                    128,
+                    |r| xs[r].iter().sum::<f32>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+        let s1 = sum_at(1);
+        for t in [2usize, 3, 7] {
+            assert_eq!(s1.to_bits(), sum_at(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        assert_eq!(map_reduce(3..3, 4, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn map_reduce_single_chunk_equals_plain_fold() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+        let serial: f32 = xs.iter().sum();
+        let chunked = with_threads(4, || {
+            map_reduce(
+                0..xs.len(),
+                1000,
+                |r| xs[r].iter().sum::<f32>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        });
+        assert_eq!(serial.to_bits(), chunked.to_bits());
+    }
+}

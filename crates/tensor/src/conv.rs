@@ -4,8 +4,13 @@
 //! `[O, C * kh * kw]` (pre-flattened), and the im2col matrix is
 //! `[C * kh * kw, N * out_h * out_w]` so that the forward pass is a single
 //! matrix product `weight x cols`.
+//!
+//! The im2col/col2im transforms and the layout-shuffling assembly loops are
+//! parallelized over contiguous row or plane blocks; within each block the
+//! per-element operation order matches the serial code, so outputs are
+//! bitwise identical at any `APF_PAR_THREADS`.
 
-use crate::tensor::Tensor;
+use crate::tensor::{rows_per_block, Tensor, PAR_OPS_MIN};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,32 +107,37 @@ pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
     let mut cols = vec![0.0f32; rows * cols_w];
     let data = input.data();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = &data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = ci * k * k + ky * k + kx;
-                    let row_base = row * cols_w + ni * oh * ow;
-                    for oy in 0..oh {
-                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    // Row-outer so each parallel chunk is a contiguous block of complete
+    // matrix rows; every element is written at most once (pure gather), so
+    // the result is independent of chunking.
+    let rows_per = rows_per_block(rows, cols_w.max(1));
+    apf_par::par_chunks_mut(&mut cols, rows_per * cols_w, |bi, block| {
+        for (ri, cols_row) in block.chunks_mut(cols_w).enumerate() {
+            let row = bi * rows_per + ri;
+            let ci = row / (k * k);
+            let ky = (row / k) % k;
+            let kx = row % k;
+            for ni in 0..n {
+                let plane = &data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                let row_base = ni * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    let out_base = row_base + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        let in_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                        let out_base = row_base + oy * ow;
-                        for ox in 0..ow {
-                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            cols[out_base + ox] = in_row[ix as usize];
-                        }
+                        cols_row[out_base + ox] = in_row[ix as usize];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(cols, &[rows, cols_w])
 }
 
@@ -146,9 +156,16 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
     let pad = spec.padding as isize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = &mut out[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+    // Parallel over contiguous `[h, w]` planes. Overlapping windows only
+    // accumulate *within* a plane, and the per-plane loop order (ky, kx, oy,
+    // ox) matches the serial code exactly, so splitting across planes keeps
+    // every float association identical.
+    let hw = h * w;
+    let planes_per = rows_per_block(n * c, k * k * oh * ow);
+    apf_par::par_chunks_mut(&mut out, planes_per * hw, |bi, block| {
+        for (pi, plane) in block.chunks_mut(hw).enumerate() {
+            let nc = bi * planes_per + pi;
+            let (ni, ci) = (nc / c, nc % c);
             for ky in 0..k {
                 for kx in 0..k {
                     let row = ci * k * k + ky * k + kx;
@@ -171,7 +188,7 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -208,16 +225,19 @@ pub fn conv2d_forward(
     let mut out = vec![0.0f32; n * o * hw];
     let om = out_mat.data();
     let b = bias.data();
-    for oi in 0..o {
-        let src = &om[oi * n * hw..(oi + 1) * n * hw];
-        for ni in 0..n {
-            let dst = &mut out[(ni * o + oi) * hw..(ni * o + oi + 1) * hw];
-            let src_n = &src[ni * hw..(ni + 1) * hw];
-            for (d, &v) in dst.iter_mut().zip(src_n) {
+    // Assemble [O, N*oh*ow] -> [N, O, oh, ow] plane by plane; each output
+    // plane is written exactly once (pure scatter + bias add).
+    let planes_per = rows_per_block(n * o, hw.max(1));
+    apf_par::par_chunks_mut(&mut out, planes_per * hw, |bi, block| {
+        for (pi, dst) in block.chunks_mut(hw).enumerate() {
+            let pl = bi * planes_per + pi;
+            let (ni, oi) = (pl / o, pl % o);
+            let src = &om[oi * n * hw + ni * hw..oi * n * hw + (ni + 1) * hw];
+            for (d, &v) in dst.iter_mut().zip(src) {
                 *d = v + b[oi];
             }
         }
-    }
+    });
     (Tensor::from_vec(out, &[n, o, oh, ow]), cols)
 }
 
@@ -240,16 +260,19 @@ pub fn conv2d_backward(
     let (n, o, oh, ow) = (s[0], s[1], s[2], s[3]);
     assert_eq!(o, spec.out_channels);
     let hw = oh * ow;
-    // Rearrange grad_out [N,O,oh,ow] into [O, N*oh*ow] to mirror the forward.
+    // Rearrange grad_out [N,O,oh,ow] into [O, N*oh*ow] to mirror the
+    // forward; each destination plane is a disjoint copy.
     let mut gm = vec![0.0f32; o * n * hw];
     let g = grad_out.data();
-    for ni in 0..n {
-        for oi in 0..o {
+    let planes_per = rows_per_block(o * n, hw.max(1));
+    apf_par::par_chunks_mut(&mut gm, planes_per * hw, |bi, block| {
+        for (pi, dst) in block.chunks_mut(hw).enumerate() {
+            let pl = bi * planes_per + pi;
+            let (oi, ni) = (pl / n, pl % n);
             let src = &g[(ni * o + oi) * hw..(ni * o + oi + 1) * hw];
-            let dst = &mut gm[oi * n * hw + ni * hw..oi * n * hw + (ni + 1) * hw];
             dst.copy_from_slice(src);
         }
-    }
+    });
     let grad_mat = Tensor::from_vec(gm, &[o, n * hw]);
     let grad_weight = grad_mat.matmul_nt(cols); // [O, CKK]
     let grad_bias = {
@@ -280,10 +303,13 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
     assert_eq!(s.len(), 4, "maxpool expects [N,C,H,W]");
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let (oh, ow) = spec.out_size(h, w);
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut arg = vec![0usize; n * c * oh * ow];
+    let ohw = oh * ow;
+    let mut out = vec![0.0f32; n * c * ohw];
+    let mut arg = vec![0usize; n * c * ohw];
     let data = input.data();
-    for nc in 0..n * c {
+    // Each `[oh, ow]` plane of (out, arg) depends on one input plane only;
+    // argmax selection per window is order-independent across planes.
+    let pool_plane = |nc: usize, o_plane: &mut [f32], a_plane: &mut [usize]| {
         let plane_base = nc * h * w;
         for oy in 0..oh {
             for ox in 0..ow {
@@ -300,11 +326,24 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
                         }
                     }
                 }
-                let oidx = nc * oh * ow + oy * ow + ox;
-                out[oidx] = best;
-                arg[oidx] = best_idx;
+                o_plane[oy * ow + ox] = best;
+                a_plane[oy * ow + ox] = best_idx;
             }
         }
+    };
+    let cost = ohw * spec.kernel * spec.kernel;
+    let planes = out.chunks_mut(ohw).zip(arg.chunks_mut(ohw)).enumerate();
+    if apf_par::threads() <= 1 || (n * c).saturating_mul(cost) < PAR_OPS_MIN {
+        for (nc, (op, ap)) in planes {
+            pool_plane(nc, op, ap);
+        }
+    } else {
+        apf_par::scope(|s| {
+            let pool_plane = &pool_plane;
+            for (nc, (op, ap)) in planes {
+                s.spawn(move || pool_plane(nc, op, ap));
+            }
+        });
     }
     (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
 }

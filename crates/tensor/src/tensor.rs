@@ -1,7 +1,69 @@
 //! The owned, row-major dense tensor type.
+//!
+//! The heavy kernels (the `matmul` family, large elementwise ops, and the
+//! reductions) are parallelized over the `apf-par` pool above fixed size
+//! thresholds. Parallel and serial paths compute every output element with
+//! the same per-element operation order, so results are bitwise identical
+//! at any `APF_PAR_THREADS` value; reductions additionally use
+//! [`apf_par::map_reduce`], whose chunking is thread-count independent.
 
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+
+/// Minimum elements before an elementwise op is dispatched to the pool.
+const PAR_ELEM_MIN: usize = 1 << 15;
+/// Minimum multiply-adds before a matrix kernel is dispatched to the pool.
+pub(crate) const PAR_OPS_MIN: usize = 1 << 16;
+/// Fixed reduction grain: chunk boundaries for `sum`/`norm_sq` depend only
+/// on this constant, never on the thread count, keeping reductions bitwise
+/// reproducible. Inputs at or below one grain reduce exactly like a plain
+/// serial fold.
+const REDUCE_GRAIN: usize = 1 << 16;
+
+/// Row-block size for dispatching a `rows`-row kernel whose per-row cost is
+/// `row_cost` operations: all rows in one block (serial) below the
+/// threshold, else ~4 blocks per pool thread.
+pub(crate) fn rows_per_block(rows: usize, row_cost: usize) -> usize {
+    let t = apf_par::threads();
+    if t <= 1 || rows.saturating_mul(row_cost) < PAR_OPS_MIN {
+        rows.max(1)
+    } else {
+        rows.div_ceil(4 * t).max(1)
+    }
+}
+
+/// Dense row-blocked matmul kernel: accumulates `a[i0+ri, :] x b` into each
+/// row of `out_block`. Per-element accumulation order (ascending `p`) is
+/// the same regardless of blocking, so any block split is bitwise identical.
+fn mm_block(a: &[f32], b: &[f32], out_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (ri, o_row) in out_block.chunks_mut(n).enumerate() {
+        let a_row = &a[(i0 + ri) * k..(i0 + ri + 1) * k];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Sparse-lhs variant of [`mm_block`]: skips zero lhs entries. Only worth it
+/// when the lhs is genuinely sparse (e.g. frozen-masked updates); on dense
+/// activations the data-dependent branch mispredicts and costs ~2x.
+fn mm_block_sparse(a: &[f32], b: &[f32], out_block: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (ri, o_row) in out_block.chunks_mut(n).enumerate() {
+        let a_row = &a[(i0 + ri) * k..(i0 + ri + 1) * k];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// An owned, row-major, dense `f32` tensor of arbitrary rank.
 ///
@@ -172,33 +234,75 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// Large tensors are mapped in parallel chunks; elements are independent,
+    /// so the result is identical at any thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            return Tensor {
+                data: self.data.iter().map(|&x| f(x)).collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut data = vec![0.0f32; self.data.len()];
+        let chunk = apf_par::chunk_len(data.len());
+        apf_par::par_chunks_mut(&mut data, chunk, |i, c| {
+            let src = &self.data[i * chunk..i * chunk + c.len()];
+            for (d, &s) in c.iter_mut().zip(src) {
+                *d = f(s);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
+            return;
         }
+        let chunk = apf_par::chunk_len(self.data.len());
+        apf_par::par_chunks_mut(&mut self.data, chunk, |_, c| {
+            for x in c {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Combines two same-shaped tensors elementwise.
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            return Tensor {
+                data: self
+                    .data
+                    .iter()
+                    .zip(&other.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut data = vec![0.0f32; self.data.len()];
+        let chunk = apf_par::chunk_len(data.len());
+        apf_par::par_chunks_mut(&mut data, chunk, |i, c| {
+            let off = i * chunk;
+            let lhs = &self.data[off..off + c.len()];
+            let rhs = &other.data[off..off + c.len()];
+            for ((d, &a), &b) in c.iter_mut().zip(lhs).zip(rhs) {
+                *d = f(a, b);
+            }
+        });
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
@@ -209,28 +313,55 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a += alpha * b;
+            }
+            return;
         }
+        let chunk = apf_par::chunk_len(self.data.len());
+        apf_par::par_chunks_mut(&mut self.data, chunk, |i, c| {
+            let src = &other.data[i * chunk..i * chunk + c.len()];
+            for (a, &b) in c.iter_mut().zip(src) {
+                *a += alpha * b;
+            }
+        });
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
-            *x *= s;
-        }
+        self.map_in_place(|x| x * s);
     }
 
     /// Sets every element to zero.
     pub fn fill(&mut self, v: f32) {
-        for x in &mut self.data {
-            *x = v;
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            for x in &mut self.data {
+                *x = v;
+            }
+            return;
         }
+        let chunk = apf_par::chunk_len(self.data.len());
+        apf_par::par_chunks_mut(&mut self.data, chunk, |_, c| {
+            for x in c {
+                *x = v;
+            }
+        });
     }
 
     /// Sum of all elements.
+    ///
+    /// Reduced via [`apf_par::map_reduce`] with a fixed grain: the chunking
+    /// (and hence the float association order) is independent of the thread
+    /// count, so the value is bitwise reproducible.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        apf_par::map_reduce(
+            0..self.data.len(),
+            REDUCE_GRAIN,
+            |r| self.data[r].iter().sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -253,19 +384,44 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams over contiguous rows of `other` and `out`.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        // ikj loop order inside each row block: streams over contiguous rows
+        // of `other` and `out`. Dense path — no zero-skip branch (a
+        // data-dependent branch mispredicts on dense activations; use
+        // `matmul_sparse_lhs` when the lhs really is sparse).
+        if n > 0 {
+            let rows_per = rows_per_block(m, k * n);
+            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
+                mm_block(&self.data, &other.data, block, ci * rows_per, k, n);
+            });
+        }
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// Like [`matmul`](Tensor::matmul), but skips zero entries of `self`.
+    ///
+    /// Use this when the lhs is genuinely sparse — e.g. gradient updates
+    /// masked by frozen-parameter bitmaps, where APF zeroes whole rows. The
+    /// result is bitwise identical to `matmul` whenever every lhs zero is a
+    /// positive zero and the rhs is finite (skipping `0.0 * b` only differs
+    /// for `-0.0` outputs or non-finite `b`).
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or inner dimensions mismatch.
+    pub fn matmul_sparse_lhs(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_sparse_lhs lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_sparse_lhs rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_sparse_lhs inner dimension mismatch");
+        let mut out = vec![0.0f32; m * n];
+        if n > 0 {
+            let rows_per = rows_per_block(m, k * n);
+            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
+                mm_block_sparse(&self.data, &other.data, block, ci * rows_per, k, n);
+            });
         }
         Tensor {
             data: out,
@@ -285,18 +441,26 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        // Row blocks of the output; each block reads a strided column of
+        // `self`. Accumulation stays ascending in `p` for every output
+        // element, matching the serial order exactly.
+        if n > 0 {
+            let rows_per = rows_per_block(m, k * n);
+            let a = &self.data;
+            let b = &other.data;
+            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
+                let i0 = ci * rows_per;
+                for (ri, o_row) in block.chunks_mut(n).enumerate() {
+                    let i = i0 + ri;
+                    for p in 0..k {
+                        let av = a[p * m + i];
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
                 }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            });
         }
         Tensor {
             data: out,
@@ -316,16 +480,27 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        // Dot-product kernel over row blocks; each output element is an
+        // independent ascending-`p` dot product, so blocking cannot change
+        // its value.
+        if n > 0 {
+            let a = &self.data;
+            let b = &other.data;
+            let rows_per = rows_per_block(m, k * n);
+            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
+                let i0 = ci * rows_per;
+                for (ri, o_row) in block.chunks_mut(n).enumerate() {
+                    let a_row = &a[(i0 + ri) * k..(i0 + ri + 1) * k];
+                    for (j, o) in o_row.iter_mut().enumerate() {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row) {
+                            acc += av * bv;
+                        }
+                        *o = acc;
+                    }
                 }
-                out[i * n + j] = acc;
-            }
+            });
         }
         Tensor {
             data: out,
@@ -433,8 +608,17 @@ impl Tensor {
     }
 
     /// Squared L2 norm of all elements.
+    ///
+    /// Uses the same fixed-grain deterministic reduction as
+    /// [`sum`](Tensor::sum).
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        apf_par::map_reduce(
+            0..self.data.len(),
+            REDUCE_GRAIN,
+            |r| self.data[r].iter().map(|&x| x * x).sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
     }
 }
 
@@ -583,5 +767,72 @@ mod tests {
         assert!(!format!("{t:?}").is_empty());
         let big = Tensor::zeros(&[100]);
         assert!(format!("{big:?}").contains("100 elements"));
+    }
+
+    fn pseudo(shape: &[usize], seed: u32) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|i| ((i as f32 + seed as f32) * 0.173).sin())
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn matmul_sparse_lhs_matches_dense_on_masked_input() {
+        // Zero out whole rows, as a frozen-parameter mask would.
+        let mut a = pseudo(&[8, 16], 1);
+        for j in 0..16 {
+            a.set2(2, j, 0.0);
+            a.set2(5, j, 0.0);
+        }
+        let b = pseudo(&[16, 8], 2);
+        let dense = a.matmul(&b);
+        let sparse = a.matmul_sparse_lhs(&b);
+        for (d, s) in dense.data().iter().zip(sparse.data()) {
+            assert_eq!(d.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_family_bitwise_identical_across_thread_counts() {
+        // Big enough to cross PAR_OPS_MIN so the pool path actually runs.
+        let a = pseudo(&[96, 48], 3);
+        let b = pseudo(&[48, 96], 4);
+        let bt = b.transpose2();
+        let run = |t: usize| {
+            apf_par::with_threads(t, || {
+                (a.matmul(&b), a.transpose2().matmul_tn(&b), a.matmul_nt(&bt))
+            })
+        };
+        let (m1, tn1, nt1) = run(1);
+        for t in [2usize, 3, 7] {
+            let (m, tn, nt) = run(t);
+            assert_eq!(m1, m, "matmul threads={t}");
+            assert_eq!(tn1, tn, "matmul_tn threads={t}");
+            assert_eq!(nt1, nt, "matmul_nt threads={t}");
+        }
+    }
+
+    #[test]
+    fn elementwise_and_reductions_thread_count_independent() {
+        let a = pseudo(&[40_000], 5);
+        let b = pseudo(&[40_000], 6);
+        let run = |t: usize| {
+            apf_par::with_threads(t, || {
+                let mut acc = a.clone();
+                acc.axpy(0.25, &b);
+                acc.scale(1.5);
+                let mapped = acc.map(|x| x * x + 0.1);
+                let zipped = mapped.zip_map(&b, |x, y| x - y);
+                (zipped.sum().to_bits(), zipped.norm_sq().to_bits(), zipped)
+            })
+        };
+        let (s1, n1, z1) = run(1);
+        for t in [2usize, 4, 7] {
+            let (s, n, z) = run(t);
+            assert_eq!(s1, s, "sum threads={t}");
+            assert_eq!(n1, n, "norm_sq threads={t}");
+            assert_eq!(z1, z, "data threads={t}");
+        }
     }
 }

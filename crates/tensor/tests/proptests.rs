@@ -144,4 +144,73 @@ property! {
         let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         prop_assert!(l2_norm(&sum) <= l2_norm(&a) + l2_norm(&b) + 1e-4);
     }
+
+    // -- Parallel determinism: pool results must be bitwise identical to
+    // -- serial at any thread count, for random shapes.
+
+    fn parallel_matmul_bitwise_matches_serial(
+        m in usizes(1..80),
+        k in usizes(1..40),
+        n in usizes(1..80),
+        seed in u64s(0..1000),
+    ) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed ^ 0xB);
+        let bt = b.transpose2();
+        let serial = apf_par::with_threads(1, || {
+            (a.matmul(&b), a.matmul_nt(&bt), a.transpose2().matmul_tn(&b))
+        });
+        for t in [2usize, 7] {
+            let par = apf_par::with_threads(t, || {
+                (a.matmul(&b), a.matmul_nt(&bt), a.transpose2().matmul_tn(&b))
+            });
+            prop_assert!(serial.0 == par.0, "matmul differs at threads={t}");
+            prop_assert!(serial.1 == par.1, "matmul_nt differs at threads={t}");
+            prop_assert!(serial.2 == par.2, "matmul_tn differs at threads={t}");
+        }
+    }
+
+    fn parallel_conv2d_bitwise_matches_serial(
+        c in usizes(1..4),
+        o in usizes(1..4),
+        hw in usizes(3..10),
+        seed in u64s(0..200),
+    ) {
+        let spec = ConvSpec { in_channels: c, out_channels: o, kernel: 3, stride: 1, padding: 1 };
+        let n = 2;
+        let input = Tensor::from_vec(
+            (0..n * c * hw * hw)
+                .map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 200) as f32 / 100.0) - 1.0)
+                .collect(),
+            &[n, c, hw, hw],
+        );
+        let weight = matrix(o, c * 9, seed ^ 0x17);
+        let bias = matrix(1, o, seed ^ 0x29).reshape(&[o]);
+        let run = || {
+            let (out, cols) = apf_tensor::conv2d_forward(&input, &weight, &bias, &spec);
+            let grad_out = out.map(|x| x * 0.5);
+            let grads = apf_tensor::conv2d_backward(&grad_out, &cols, &weight, &spec, (hw, hw));
+            (out, grads.input, grads.weight, grads.bias)
+        };
+        let serial = apf_par::with_threads(1, run);
+        for t in [2usize, 7] {
+            let par = apf_par::with_threads(t, run);
+            prop_assert!(serial.0 == par.0, "forward differs at threads={t}");
+            prop_assert!(serial.1 == par.1, "grad input differs at threads={t}");
+            prop_assert!(serial.2 == par.2, "grad weight differs at threads={t}");
+            prop_assert!(serial.3 == par.3, "grad bias differs at threads={t}");
+        }
+    }
+
+    fn parallel_reduce_bitwise_matches_serial(
+        len in usizes(1..100_000),
+        seed in u64s(0..1000),
+    ) {
+        let x = matrix(1, len, seed).reshape(&[len]);
+        let serial = apf_par::with_threads(1, || (x.sum().to_bits(), x.norm_sq().to_bits()));
+        for t in [2usize, 7] {
+            let par = apf_par::with_threads(t, || (x.sum().to_bits(), x.norm_sq().to_bits()));
+            prop_assert!(serial == par, "reduction differs at threads={t}");
+        }
+    }
 }

@@ -1,6 +1,6 @@
 //! Record construction: field values, JSON string building, event emission.
 
-use crate::span::current_span_id;
+use crate::span::{current_span_id, thread_ordinal};
 use crate::{now_us, with_sink, Level};
 
 /// A structured field value.
@@ -151,6 +151,8 @@ pub fn emit_event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldV
     push_json_str(&mut line, msg);
     line.push_str(",\"span\":");
     line.push_str(&current_span_id().to_string());
+    line.push_str(",\"thread\":");
+    line.push_str(&thread_ordinal().to_string());
     push_fields(&mut line, fields);
     line.push('}');
     with_sink(|s| s.write_line(&line));

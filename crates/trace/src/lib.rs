@@ -32,14 +32,18 @@
 //!
 //! ```json
 //! {"t":"event","ts_us":1024,"lvl":"debug","target":"apf.manager",
-//!  "msg":"round","span":3,"fields":{"round":7,"frozen":120}}
+//!  "msg":"round","span":3,"thread":1,"fields":{"round":7,"frozen":120}}
 //! {"t":"span","ts_us":2048,"lvl":"info","target":"fedsim","name":"round",
-//!  "id":3,"parent":0,"start_us":1000,"dur_us":1048,"fields":{"round":7}}
+//!  "id":3,"parent":0,"start_us":1000,"dur_us":1048,"thread":1,
+//!  "fields":{"round":7}}
 //! ```
 //!
 //! `ts_us`/`start_us` are microseconds since tracing was initialized
 //! (monotonic clock); `span` on an event is the id of the innermost active
 //! span on the emitting thread (0 = none); `parent` is 0 for root spans.
+//! `thread` is a small stable per-thread ordinal (assigned on first record,
+//! starting at 1) identifying the emitting thread — with the `apf-par` pool
+//! active, it attributes work to individual pool workers.
 
 pub mod metrics;
 pub mod sink;

@@ -10,14 +10,36 @@ use crate::{enabled, now_us, with_sink, Level};
 /// Monotonically increasing span id source (0 is reserved for "no span").
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Thread ordinal source: ordinal 1 goes to the first thread that records.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     /// Innermost active span on this thread (0 = none).
     static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// This thread's ordinal for trace records (0 = not yet assigned).
+    static THREAD_ORD: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The id of the innermost active span on this thread (0 = none).
 pub(crate) fn current_span_id() -> u64 {
     CURRENT.with(Cell::get)
+}
+
+/// A small stable per-thread ordinal, assigned lazily on first use.
+///
+/// Emitted as the `thread` field on every record so `trace-report` can
+/// attribute spans/events to pool workers (pool utilization view). Ordinals
+/// are process-wide and first-use ordered, not OS thread ids.
+pub(crate) fn thread_ordinal() -> u64 {
+    THREAD_ORD.with(|c| {
+        let v = c.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
 }
 
 struct ActiveSpan {
@@ -131,6 +153,8 @@ impl Drop for Span {
         line.push_str(&a.start_us.to_string());
         line.push_str(",\"dur_us\":");
         line.push_str(&dur_us.to_string());
+        line.push_str(",\"thread\":");
+        line.push_str(&thread_ordinal().to_string());
         push_fields(&mut line, &a.fields);
         line.push('}');
         with_sink(|s| s.write_line(&line));

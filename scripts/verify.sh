@@ -13,8 +13,14 @@ cargo fmt --all --check
 echo "== cargo build --release --offline (workspace) =="
 cargo build --release --offline --workspace
 
-echo "== cargo test --offline (workspace) =="
-cargo test -q --offline --workspace
+echo "== cargo test --offline (workspace, APF_PAR_THREADS=1) =="
+APF_PAR_THREADS=1 cargo test -q --offline --workspace
+
+echo "== cargo test --offline (workspace, APF_PAR_THREADS=4) =="
+APF_PAR_THREADS=4 cargo test -q --offline --workspace
+
+echo "== apf-par pool stress (nested scopes, panics, zero-work) =="
+APF_PAR_THREADS=4 cargo test -q --offline -p apf-par --test stress
 
 echo "== cargo clippy -D warnings (workspace) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
