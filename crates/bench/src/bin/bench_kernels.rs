@@ -6,11 +6,19 @@
 //! parallelism is recorded alongside, so numbers from a single-core CI
 //! host (where extra threads cannot speed anything up) are interpretable.
 //!
+//! Each invocation also appends a `LedgerRecord` (model `"kernels"`,
+//! strategy `"bench"`, per-thread throughputs in `metrics`) to the run
+//! ledger at `APF_LEDGER_FILE` (default `results/ledger.jsonl`) unless
+//! `--no-ledger` is passed, so `ledger-report` can track kernel performance
+//! over time alongside experiment runs.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release --bin bench-kernels            # full samples
 //! APF_BENCH_QUICK=1 cargo run --release --bin bench-kernels
+//! bench-kernels --out /tmp/candidate.json            # alternate output
+//! bench-kernels --no-ledger                          # skip the ledger
 //! ```
 
 use std::time::Instant;
@@ -18,7 +26,7 @@ use std::time::Instant;
 use apf_bench::harness::{black_box, BenchGroup};
 use apf_bench::setups::{standard_builder, ModelKind, Scale};
 use apf_data::iid_partition;
-use apf_fedsim::FullSync;
+use apf_fedsim::{fnv1a64, FullSync, LedgerRecord};
 use apf_tensor::{conv2d_forward, normal_init, seeded_rng, ConvSpec, Tensor};
 
 /// Square matmul side for the throughput probe.
@@ -124,9 +132,54 @@ fn json_escape_free(results: &[ThreadResult], host_parallelism: usize) -> String
     out
 }
 
+/// Builds the ledger record for this bench invocation: per-thread
+/// throughputs as summary metrics, the bench knobs in the digest.
+fn ledger_record(
+    results: &[ThreadResult],
+    host_parallelism: usize,
+    wall_secs: f64,
+) -> LedgerRecord {
+    let quick = std::env::var("APF_BENCH_QUICK").is_ok();
+    let digest = fnv1a64(
+        format!("model=kernels;strategy=bench;mm_n={MM_N};rounds={ROUNDS};quick={quick}")
+            .as_bytes(),
+    );
+    let mut record = LedgerRecord {
+        name: "kernels/bench".to_owned(),
+        model: "kernels".to_owned(),
+        strategy: "bench".to_owned(),
+        config_digest: format!("{digest:016x}"),
+        rounds: ROUNDS as u64,
+        wall_secs,
+        threads: results.iter().map(|r| r.threads).max().unwrap_or(1) as u64,
+        host_parallelism: host_parallelism as u64,
+        ..LedgerRecord::default()
+    };
+    for r in results {
+        let t = r.threads;
+        record
+            .metrics
+            .insert(format!("matmul_gflops_t{t}"), r.matmul_gflops);
+        record
+            .metrics
+            .insert(format!("conv2d_gflops_t{t}"), r.conv2d_gflops);
+        record.metrics.insert(format!("round_ms_t{t}"), r.round_ms);
+    }
+    record
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+    let no_ledger = args.iter().any(|a| a == "--no-ledger");
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("bench-kernels: host parallelism = {host_parallelism}");
+    let t0 = Instant::now();
     let mut results = Vec::new();
     let mut g = BenchGroup::new("kernels_by_threads");
     for threads in [1usize, 2, 4] {
@@ -142,8 +195,19 @@ fn main() {
         });
     }
     apf_par::set_threads(1);
+    let wall_secs = t0.elapsed().as_secs_f64();
     let json = json_escape_free(&results, host_parallelism);
-    let path = "BENCH_kernels.json";
-    std::fs::write(path, &json).expect("failed to write BENCH_kernels.json");
-    println!("\nwrote {path}:\n{json}");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!("\nwrote {out_path}:\n{json}");
+    if !no_ledger {
+        let ledger_path = std::env::var("APF_LEDGER_FILE")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "results/ledger.jsonl".to_owned());
+        let record = ledger_record(&results, host_parallelism, wall_secs);
+        match record.append_to(&ledger_path) {
+            Ok(()) => println!("appended kernel record to {ledger_path}"),
+            Err(e) => println!("warning: could not append to {ledger_path}: {e}"),
+        }
+    }
 }

@@ -1,0 +1,242 @@
+//! `ledger-report`: list, diff, and regression-check the run ledger.
+//!
+//! ```text
+//! ledger-report list [--ledger PATH]
+//! ledger-report diff <BASE_IDX> <CAND_IDX> [--ledger PATH]
+//! ledger-report check [--ledger PATH]      # or: ledger-report --check
+//! ledger-report bench-diff <BASELINE.json> <CANDIDATE.json>
+//! ```
+//!
+//! `check` takes the newest record as the candidate, finds its baseline
+//! (the latest earlier record with the same config digest), and exits 1
+//! when the candidate regresses beyond tolerance (accuracy −0.5 pt, bytes
+//! +5%, wall time +20%; wall time is warn-only across differing hosts).
+//! Exit codes: 0 = clean, 1 = regression, 2 = usage or I/O error.
+//!
+//! The default ledger path is `results/ledger.jsonl`.
+
+use std::process::ExitCode;
+
+use apf_bench::regress::{any_failure, check_bench_json, check_records, find_baseline, Tolerances};
+use apf_fedsim::{load_ledger, LedgerRecord};
+
+const DEFAULT_LEDGER: &str = "results/ledger.jsonl";
+
+fn usage() -> ExitCode {
+    println!(
+        "usage:\n  ledger-report list [--ledger PATH]\n  \
+         ledger-report diff <BASE_IDX> <CAND_IDX> [--ledger PATH]\n  \
+         ledger-report check [--ledger PATH]\n  \
+         ledger-report bench-diff <BASELINE.json> <CANDIDATE.json>"
+    );
+    ExitCode::from(2)
+}
+
+/// Extracts `--ledger PATH` from `args` (mutating them), defaulting to
+/// [`DEFAULT_LEDGER`].
+fn ledger_path(args: &mut Vec<String>) -> String {
+    if let Some(i) = args.iter().position(|a| a == "--ledger") {
+        if i + 1 < args.len() {
+            let path = args.remove(i + 1);
+            args.remove(i);
+            return path;
+        }
+    }
+    DEFAULT_LEDGER.to_owned()
+}
+
+fn load_or_exit(path: &str) -> Result<Vec<LedgerRecord>, ExitCode> {
+    load_ledger(path).map_err(|e| {
+        println!("ledger-report: cannot load {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn list(records: &[LedgerRecord]) {
+    println!(
+        "{:>3}  {:<24} {:<10} {:<16} {:>6} {:>9} {:>12} {:>9} {:>4}",
+        "#", "name", "strategy", "digest", "rounds", "accuracy", "bytes", "wall_s", "host"
+    );
+    for (i, r) in records.iter().enumerate() {
+        println!(
+            "{i:>3}  {:<24} {:<10} {:<16} {:>6} {:>9.4} {:>12} {:>9.2} {:>4}",
+            r.name,
+            r.strategy,
+            r.config_digest,
+            r.rounds,
+            r.final_accuracy,
+            r.total_bytes,
+            r.wall_secs,
+            r.host_parallelism
+        );
+    }
+}
+
+fn diff(base: &LedgerRecord, cand: &LedgerRecord) {
+    println!(
+        "baseline:  {} ({}, digest {})",
+        base.name, base.strategy, base.config_digest
+    );
+    println!(
+        "candidate: {} ({}, digest {})",
+        cand.name, cand.strategy, cand.config_digest
+    );
+    if base.config_digest != cand.config_digest {
+        println!("note: config digests differ — these runs are not like-for-like");
+    }
+    let rel = |b: f64, c: f64| {
+        if b == 0.0 {
+            "    n/a".to_owned()
+        } else {
+            format!("{:+7.2}%", (c - b) / b * 100.0)
+        }
+    };
+    let rows = [
+        ("final_accuracy", base.final_accuracy, cand.final_accuracy),
+        (
+            "total_bytes",
+            base.total_bytes as f64,
+            cand.total_bytes as f64,
+        ),
+        ("wall_secs", base.wall_secs, cand.wall_secs),
+        ("sim_secs", base.sim_secs, cand.sim_secs),
+        ("rounds", base.rounds as f64, cand.rounds as f64),
+    ];
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}",
+        "field", "baseline", "candidate", "delta"
+    );
+    for (name, b, c) in rows {
+        println!("{name:<16} {b:>14.4} {c:>14.4} {}", rel(b, c));
+    }
+    for (k, c) in &cand.metrics {
+        if let Some(b) = base.metrics.get(k) {
+            println!("{k:<16} {b:>14.4} {c:>14.4} {}", rel(*b, *c));
+        }
+    }
+}
+
+fn check(records: &[LedgerRecord]) -> ExitCode {
+    if records.is_empty() {
+        println!("ledger is empty; nothing to check");
+        return ExitCode::SUCCESS;
+    }
+    let cand_idx = records.len() - 1;
+    let cand = &records[cand_idx];
+    let Some(base_idx) = find_baseline(records, cand_idx) else {
+        println!(
+            "no baseline with digest {} before record {cand_idx}; treating as first run (ok)",
+            cand.config_digest
+        );
+        return ExitCode::SUCCESS;
+    };
+    let base = &records[base_idx];
+    println!(
+        "checking record {cand_idx} ({}) against baseline {base_idx} (digest {})",
+        cand.name, cand.config_digest
+    );
+    let findings = check_records(base, cand, &Tolerances::default());
+    if findings.is_empty() {
+        println!("ok: within tolerance (accuracy -0.5pt, bytes +5%, wall +20%)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if any_failure(&findings) {
+        println!("REGRESSION detected");
+        ExitCode::FAILURE
+    } else {
+        println!("warnings only (timing not comparable on this host); ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn bench_diff(baseline_path: &str, candidate_path: &str) -> ExitCode {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).map_err(|e| {
+            println!("ledger-report: cannot read {p}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let baseline = match read(baseline_path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let candidate = match read(candidate_path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match check_bench_json(&baseline, &candidate, &Tolerances::default()) {
+        Ok(findings) if findings.is_empty() => {
+            println!("ok: kernel bench within tolerance of {baseline_path}");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if any_failure(&findings) {
+                println!("REGRESSION detected");
+                ExitCode::FAILURE
+            } else {
+                println!("warnings only (different host parallelism); ok");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            println!("ledger-report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let path = ledger_path(&mut args);
+    match args.first().map(String::as_str) {
+        Some("list") | None => {
+            let records = match load_or_exit(&path) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            list(&records);
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let (Some(b), Some(c)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let (Ok(bi), Ok(ci)) = (b.parse::<usize>(), c.parse::<usize>()) else {
+                return usage();
+            };
+            let records = match load_or_exit(&path) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            let (Some(base), Some(cand)) = (records.get(bi), records.get(ci)) else {
+                println!(
+                    "ledger-report: indices {bi}/{ci} out of range (ledger has {} records)",
+                    records.len()
+                );
+                return ExitCode::from(2);
+            };
+            diff(base, cand);
+            ExitCode::SUCCESS
+        }
+        Some("check") | Some("--check") => {
+            let records = match load_or_exit(&path) {
+                Ok(r) => r,
+                Err(code) => return code,
+            };
+            check(&records)
+        }
+        Some("bench-diff") => {
+            let (Some(b), Some(c)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            bench_diff(b, c)
+        }
+        _ => usage(),
+    }
+}

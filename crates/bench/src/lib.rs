@@ -8,5 +8,6 @@
 
 pub mod harness;
 pub mod motivation;
+pub mod regress;
 pub mod report;
 pub mod setups;

@@ -1,0 +1,393 @@
+//! Automated regression detection over ledger records and kernel-bench
+//! JSON.
+//!
+//! A *candidate* run regresses against its *baseline* when it loses more
+//! accuracy, moves more bytes, or takes more wall time than the configured
+//! [`Tolerances`] allow. Wall-time comparisons are inherently host-bound,
+//! so they demote to warnings when the two records disagree on host
+//! parallelism or when the baseline is too short to time reliably — a
+//! laptop re-running a CI baseline should not "regress" by owning fewer
+//! cores.
+//!
+//! The same tolerance logic covers `BENCH_kernels.json` (the kernel
+//! micro-bench baseline committed at the repo root) via
+//! [`check_bench_json`], which `scripts/bench_check.sh` and the
+//! `ledger-report bench-diff` subcommand drive.
+
+use apf_fedsim::json::{self, Value};
+use apf_fedsim::LedgerRecord;
+
+/// Regression thresholds. Defaults match the repo's acceptance gates:
+/// accuracy may drop at most half a point, bytes may grow at most 5%, wall
+/// time at most 20%.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Maximum allowed absolute drop in final accuracy (0.005 = 0.5 pt).
+    pub accuracy_drop: f64,
+    /// Maximum allowed relative growth in total bytes (0.05 = +5%).
+    pub bytes_increase: f64,
+    /// Maximum allowed relative growth in wall time (0.20 = +20%).
+    pub time_increase: f64,
+    /// Baselines shorter than this many seconds make wall-time findings
+    /// warnings rather than failures (sub-second runs are timing noise).
+    pub min_timed_secs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            accuracy_drop: 0.005,
+            bytes_increase: 0.05,
+            time_increase: 0.20,
+            min_timed_secs: 1.0,
+        }
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Out of tolerance: the check should fail.
+    Fail,
+    /// Out of tolerance but not trustworthy on this host: report only.
+    Warn,
+}
+
+/// One out-of-tolerance comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// What was compared, e.g. `"final_accuracy"`.
+    pub field: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Human-readable tolerance description.
+    pub limit: String,
+    /// Whether this fails the check or only warns.
+    pub severity: Severity,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: baseline {:.6} -> candidate {:.6} (limit {})",
+            match self.severity {
+                Severity::Fail => "FAIL",
+                Severity::Warn => "warn",
+            },
+            self.field,
+            self.baseline,
+            self.candidate,
+            self.limit
+        )
+    }
+}
+
+/// Whether any finding is a hard failure.
+pub fn any_failure(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Fail)
+}
+
+/// Compares `candidate` against `baseline` and returns every
+/// out-of-tolerance finding (empty = clean pass).
+pub fn check_records(
+    baseline: &LedgerRecord,
+    candidate: &LedgerRecord,
+    tol: &Tolerances,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if candidate.final_accuracy < baseline.final_accuracy - tol.accuracy_drop {
+        findings.push(Finding {
+            field: "final_accuracy".to_owned(),
+            baseline: baseline.final_accuracy,
+            candidate: candidate.final_accuracy,
+            limit: format!("-{} absolute", tol.accuracy_drop),
+            severity: Severity::Fail,
+        });
+    }
+    let bytes_limit = baseline.total_bytes as f64 * (1.0 + tol.bytes_increase);
+    if baseline.total_bytes > 0 && candidate.total_bytes as f64 > bytes_limit {
+        findings.push(Finding {
+            field: "total_bytes".to_owned(),
+            baseline: baseline.total_bytes as f64,
+            candidate: candidate.total_bytes as f64,
+            limit: format!("+{:.0}%", tol.bytes_increase * 100.0),
+            severity: Severity::Fail,
+        });
+    }
+    let time_limit = baseline.wall_secs * (1.0 + tol.time_increase);
+    if baseline.wall_secs > 0.0 && candidate.wall_secs > time_limit {
+        let comparable = baseline.host_parallelism == candidate.host_parallelism
+            && baseline.threads == candidate.threads
+            && baseline.wall_secs >= tol.min_timed_secs;
+        findings.push(Finding {
+            field: "wall_secs".to_owned(),
+            baseline: baseline.wall_secs,
+            candidate: candidate.wall_secs,
+            limit: format!("+{:.0}%", tol.time_increase * 100.0),
+            severity: if comparable {
+                Severity::Fail
+            } else {
+                Severity::Warn
+            },
+        });
+    }
+    findings
+}
+
+/// Finds the baseline for `candidate` in `records`: the latest record
+/// *before* `candidate_index` with the same config digest.
+pub fn find_baseline(records: &[LedgerRecord], candidate_index: usize) -> Option<usize> {
+    let digest = &records.get(candidate_index)?.config_digest;
+    records[..candidate_index]
+        .iter()
+        .rposition(|r| &r.config_digest == digest)
+}
+
+/// One `{threads, metric -> value}` row from `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Pool size of the row.
+    pub threads: u64,
+    /// Matmul throughput, GFLOP/s (higher is better).
+    pub matmul_gflops: f64,
+    /// Conv2d throughput, GFLOP/s (higher is better).
+    pub conv2d_gflops: f64,
+    /// Mean federated round wall time, ms (lower is better).
+    pub round_ms: f64,
+}
+
+/// The parsed shape of `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Host's available parallelism when the file was produced.
+    pub host_parallelism: u64,
+    /// Per-thread-count results.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Parses `BENCH_kernels.json` text.
+///
+/// # Errors
+/// Returns a description on malformed JSON or a missing `results` array.
+pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let rows = doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("no results array")?
+        .iter()
+        .map(|r| {
+            let num = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            BenchRow {
+                threads: r.get("threads").and_then(Value::as_u64).unwrap_or(0),
+                matmul_gflops: num("matmul_gflops"),
+                conv2d_gflops: num("conv2d_gflops"),
+                round_ms: num("round_ms"),
+            }
+        })
+        .collect();
+    Ok(BenchDoc {
+        host_parallelism: doc
+            .get("host_parallelism")
+            .and_then(Value::as_u64)
+            .unwrap_or(1),
+        rows,
+    })
+}
+
+/// Compares candidate kernel-bench output against the committed baseline.
+///
+/// Throughputs may drop and round time may grow by at most
+/// `tol.time_increase` (relative). All findings are warnings when the two
+/// documents disagree on `host_parallelism` — absolute kernel numbers are
+/// not comparable across machines.
+///
+/// # Errors
+/// Propagates parse failures of either document.
+pub fn check_bench_json(
+    baseline_text: &str,
+    candidate_text: &str,
+    tol: &Tolerances,
+) -> Result<Vec<Finding>, String> {
+    let baseline = parse_bench_json(baseline_text)?;
+    let candidate = parse_bench_json(candidate_text)?;
+    let comparable = baseline.host_parallelism == candidate.host_parallelism;
+    let severity = if comparable {
+        Severity::Fail
+    } else {
+        Severity::Warn
+    };
+    let mut findings = Vec::new();
+    for base_row in &baseline.rows {
+        let Some(cand_row) = candidate
+            .rows
+            .iter()
+            .find(|r| r.threads == base_row.threads)
+        else {
+            findings.push(Finding {
+                field: format!("results[threads={}]", base_row.threads),
+                baseline: base_row.threads as f64,
+                candidate: f64::NAN,
+                limit: "row present".to_owned(),
+                severity: Severity::Fail,
+            });
+            continue;
+        };
+        let t = base_row.threads;
+        // Higher-is-better throughputs: candidate must reach
+        // baseline / (1 + tol).
+        for (name, base, cand) in [
+            (
+                "matmul_gflops",
+                base_row.matmul_gflops,
+                cand_row.matmul_gflops,
+            ),
+            (
+                "conv2d_gflops",
+                base_row.conv2d_gflops,
+                cand_row.conv2d_gflops,
+            ),
+        ] {
+            if base > 0.0 && cand < base / (1.0 + tol.time_increase) {
+                findings.push(Finding {
+                    field: format!("{name}_t{t}"),
+                    baseline: base,
+                    candidate: cand,
+                    limit: format!(
+                        "-{:.0}%",
+                        tol.time_increase / (1.0 + tol.time_increase) * 100.0
+                    ),
+                    severity,
+                });
+            }
+        }
+        // Lower-is-better round time.
+        if base_row.round_ms > 0.0
+            && cand_row.round_ms > base_row.round_ms * (1.0 + tol.time_increase)
+        {
+            findings.push(Finding {
+                field: format!("round_ms_t{t}"),
+                baseline: base_row.round_ms,
+                candidate: cand_row.round_ms,
+                limit: format!("+{:.0}%", tol.time_increase * 100.0),
+                severity,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(accuracy: f64, bytes: u64, wall: f64) -> LedgerRecord {
+        LedgerRecord {
+            name: "t".to_owned(),
+            config_digest: "d".to_owned(),
+            final_accuracy: accuracy,
+            total_bytes: bytes,
+            wall_secs: wall,
+            threads: 2,
+            host_parallelism: 4,
+            ..LedgerRecord::default()
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record(0.8, 1000, 10.0);
+        assert!(check_records(&r, &r, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = record(0.80, 1000, 10.0);
+        let cand = record(0.797, 1040, 11.5);
+        assert!(check_records(&base, &cand, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn each_axis_fails_beyond_tolerance() {
+        let base = record(0.80, 1000, 10.0);
+        let tol = Tolerances::default();
+        let acc = check_records(&base, &record(0.79, 1000, 10.0), &tol);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc[0].field, "final_accuracy");
+        assert_eq!(acc[0].severity, Severity::Fail);
+        let bytes = check_records(&base, &record(0.80, 1100, 10.0), &tol);
+        assert_eq!(bytes[0].field, "total_bytes");
+        let time = check_records(&base, &record(0.80, 1000, 13.0), &tol);
+        assert_eq!(time[0].field, "wall_secs");
+        assert_eq!(time[0].severity, Severity::Fail);
+        assert!(any_failure(&time));
+    }
+
+    #[test]
+    fn wall_time_is_warn_only_across_hosts_or_subsecond_baselines() {
+        let base = record(0.8, 1000, 10.0);
+        let mut cand = record(0.8, 1000, 20.0);
+        cand.host_parallelism = 8;
+        let f = check_records(&base, &cand, &Tolerances::default());
+        assert_eq!(f[0].severity, Severity::Warn);
+        assert!(!any_failure(&f));
+        let fast_base = record(0.8, 1000, 0.05);
+        let slow_cand = record(0.8, 1000, 0.2);
+        let f = check_records(&fast_base, &slow_cand, &Tolerances::default());
+        assert_eq!(f[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn baseline_lookup_matches_digest() {
+        let mut a = record(0.8, 1, 1.0);
+        a.config_digest = "aaa".to_owned();
+        let mut b = record(0.8, 1, 1.0);
+        b.config_digest = "bbb".to_owned();
+        let records = vec![a.clone(), b.clone(), a.clone(), b];
+        assert_eq!(find_baseline(&records, 3), Some(1));
+        assert_eq!(find_baseline(&records, 2), Some(0));
+        assert_eq!(find_baseline(&records, 1), None);
+        assert_eq!(find_baseline(&records, 0), None);
+    }
+
+    fn bench_doc(host: u64, gflops: f64, round_ms: f64) -> String {
+        format!(
+            "{{\"host_parallelism\": {host}, \"results\": [\
+             {{\"threads\": 1, \"matmul_gflops\": {gflops}, \
+               \"conv2d_gflops\": {gflops}, \"round_ms\": {round_ms}}}]}}"
+        )
+    }
+
+    #[test]
+    fn bench_json_within_tolerance_passes() {
+        let base = bench_doc(4, 10.0, 100.0);
+        let cand = bench_doc(4, 9.0, 110.0);
+        let f = check_bench_json(&base, &cand, &Tolerances::default()).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bench_json_regression_fails_same_host_warns_cross_host() {
+        let base = bench_doc(4, 10.0, 100.0);
+        let cand = bench_doc(4, 5.0, 200.0);
+        let f = check_bench_json(&base, &cand, &Tolerances::default()).unwrap();
+        assert!(any_failure(&f));
+        assert!(f.iter().any(|x| x.field == "matmul_gflops_t1"));
+        assert!(f.iter().any(|x| x.field == "round_ms_t1"));
+        let cand_other_host = bench_doc(8, 5.0, 200.0);
+        let f = check_bench_json(&base, &cand_other_host, &Tolerances::default()).unwrap();
+        assert!(!f.is_empty());
+        assert!(!any_failure(&f), "{f:?}");
+    }
+
+    #[test]
+    fn bench_json_missing_row_fails() {
+        let base = bench_doc(4, 10.0, 100.0);
+        let cand = "{\"host_parallelism\": 4, \"results\": []}";
+        let f = check_bench_json(&base, cand, &Tolerances::default()).unwrap();
+        assert!(any_failure(&f));
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end regression-gate test: drive the `ledger-report check` logic
+//! (the same functions the bin calls) over a real ledger file — a clean
+//! re-run must pass, a synthetically regressed record must fail.
+
+use apf_bench::regress::{any_failure, check_records, find_baseline, Tolerances};
+use apf_fedsim::{load_ledger, LedgerRecord};
+
+fn record(digest: &str, accuracy: f64, bytes: u64, wall: f64) -> LedgerRecord {
+    LedgerRecord {
+        name: "mlp/fedavg".to_owned(),
+        model: "mlp".to_owned(),
+        strategy: "fedavg".to_owned(),
+        config_digest: digest.to_owned(),
+        rounds: 2,
+        final_accuracy: accuracy,
+        total_bytes: bytes,
+        wall_secs: wall,
+        sim_secs: wall,
+        threads: 2,
+        host_parallelism: 4,
+        ..LedgerRecord::default()
+    }
+}
+
+/// The check the bin performs: newest record vs its digest-matched
+/// baseline; 0 = ok, 1 = regression (mirrors the process exit code).
+fn check_exit_code(records: &[LedgerRecord]) -> i32 {
+    if records.is_empty() {
+        return 0;
+    }
+    let cand = records.len() - 1;
+    let Some(base) = find_baseline(records, cand) else {
+        return 0;
+    };
+    let findings = check_records(&records[base], &records[cand], &Tolerances::default());
+    i32::from(any_failure(&findings))
+}
+
+#[test]
+fn identical_rerun_passes_through_a_real_ledger_file() {
+    let path = std::env::temp_dir().join("apf_bench_test_ledger_ok.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let r = record("aaaa", 0.8, 1000, 5.0);
+    r.append_to(&path).unwrap();
+    r.append_to(&path).unwrap();
+    let records = load_ledger(&path).unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(check_exit_code(&records), 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn synthetic_regression_fails_each_axis() {
+    let base = record("bbbb", 0.8, 1000, 5.0);
+    for bad in [
+        record("bbbb", 0.7, 1000, 5.0),  // accuracy collapse
+        record("bbbb", 0.8, 2000, 5.0),  // bytes blow-up
+        record("bbbb", 0.8, 1000, 50.0), // wall-time blow-up (same host)
+    ] {
+        let path = std::env::temp_dir().join("apf_bench_test_ledger_bad.jsonl");
+        let _ = std::fs::remove_file(&path);
+        base.append_to(&path).unwrap();
+        bad.append_to(&path).unwrap();
+        let records = load_ledger(&path).unwrap();
+        assert_eq!(check_exit_code(&records), 1, "{bad:?} should regress");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn first_run_and_unrelated_digests_pass() {
+    // No earlier record shares the digest: nothing to compare, check is ok.
+    let records = vec![
+        record("cccc", 0.8, 1000, 5.0),
+        record("dddd", 0.1, 99_999, 500.0),
+    ];
+    assert_eq!(check_exit_code(&records), 0);
+}
+
+#[test]
+fn baseline_skips_interleaved_other_experiments() {
+    // A kernels record lands between two runs of the same experiment; the
+    // check must still pair the candidate with its digest twin.
+    let records = vec![
+        record("eeee", 0.8, 1000, 5.0),
+        record("ffff", 0.0, 0, 1.0),
+        record("eeee", 0.5, 1000, 5.0),
+    ];
+    assert_eq!(find_baseline(&records, 2), Some(0));
+    assert_eq!(check_exit_code(&records), 1);
+}

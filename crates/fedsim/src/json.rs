@@ -112,6 +112,45 @@ impl Value {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the JSONL form the
+    /// run ledger appends (one record per line).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -428,6 +467,15 @@ mod tests {
             let v = parse(src).unwrap();
             assert_eq!(parse(&v.pretty()).unwrap(), v, "{src}");
         }
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let v = parse("{\"a\": [1, 2.5, null], \"b\": {\"c\": \"x y\"}}").unwrap();
+        let line = v.compact();
+        assert_eq!(line, "{\"a\":[1,2.5,null],\"b\":{\"c\":\"x y\"}}");
+        assert!(!line.contains('\n'));
+        assert_eq!(parse(&line).unwrap(), v);
     }
 
     #[test]

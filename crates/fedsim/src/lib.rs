@@ -38,6 +38,7 @@
 mod client;
 mod extra;
 pub mod json;
+pub mod ledger;
 mod metrics;
 mod network;
 mod runner;
@@ -45,6 +46,7 @@ mod strategy;
 
 pub use client::Client;
 pub use extra::{DpGaussian, LayerFreeze, TopK};
+pub use ledger::{fnv1a64, load_ledger, LedgerRecord};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;
 pub use runner::{FlConfig, FlRunner, FlRunnerBuilder, OptimizerKind};

@@ -1,14 +1,18 @@
 //! The federated experiment runner: builds clients, drives rounds, logs
 //! metrics.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use apf_data::Dataset;
 use apf_nn::{models, Adam, LrSchedule, Optimizer, Sequential, Sgd, Trainer};
+use apf_obs::{ObsServer, ObsState, RunInfo};
 use apf_tensor::derive_seed;
 use apf_trace::{event, span, Level};
 
 use crate::client::Client;
+use crate::ledger::{fnv1a64, LedgerRecord};
 use crate::metrics::{ExperimentLog, RoundRecord};
 use crate::network::NetworkModel;
 use crate::strategy::{FullSync, SyncStrategy};
@@ -120,6 +124,8 @@ pub struct FlRunnerBuilder {
     strategy: Option<Box<dyn SyncStrategy>>,
     network: NetworkModel,
     name: Option<String>,
+    obs_addr: Option<String>,
+    ledger_path: Option<PathBuf>,
 }
 
 impl FlRunnerBuilder {
@@ -221,6 +227,28 @@ impl FlRunnerBuilder {
         self
     }
 
+    /// Serves live telemetry over HTTP from `addr` (e.g. `"127.0.0.1:9898"`,
+    /// or port `0` for an ephemeral port) for the lifetime of the runner:
+    /// `/metrics`, `/snapshot`, `/series`, `/healthz`.
+    ///
+    /// Also enabled without code changes by setting `APF_OBS_ADDR`; this
+    /// method wins over the environment. When `APF_OBS_ADDR_FILE` is set,
+    /// the actually-bound address is written there (how scripts discover an
+    /// ephemeral port).
+    pub fn serve(mut self, addr: &str) -> Self {
+        self.obs_addr = Some(addr.to_owned());
+        self
+    }
+
+    /// Appends a [`LedgerRecord`] for the run to the JSONL ledger at `path`
+    /// when [`FlRunner::run`] completes (conventionally
+    /// `results/ledger.jsonl`). Also enabled by `APF_LEDGER_FILE`; this
+    /// method wins over the environment.
+    pub fn ledger(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ledger_path = Some(path.into());
+        self
+    }
+
     /// Assembles the runner.
     ///
     /// # Panics
@@ -282,6 +310,49 @@ impl FlRunnerBuilder {
             local_iters = cfg.local_iters,
             strategy = strategy.name(),
         );
+        let model_name = eval_model.name().to_owned();
+        let config_digest = fnv1a64(
+            config_canonical(&cfg, &model_name, &strategy.name(), clients.len()).as_bytes(),
+        );
+        // Live telemetry is strictly opt-in: no `.serve()` and no
+        // APF_OBS_ADDR means no listener and no per-round sampling cost.
+        let obs_addr = self
+            .obs_addr
+            .or_else(|| std::env::var("APF_OBS_ADDR").ok())
+            .filter(|s| !s.is_empty());
+        let obs = obs_addr.and_then(|addr| {
+            let state = ObsState::new();
+            state.configure_run(RunInfo {
+                name: name.clone(),
+                model: model_name.clone(),
+                strategy: strategy.name(),
+                rounds_total: cfg.rounds as u64,
+                threads: apf_par::threads() as u64,
+                host_parallelism: host_parallelism(),
+            });
+            match ObsServer::bind(addr.as_str(), state) {
+                Ok(server) => {
+                    // Scripts binding port 0 discover the real port here.
+                    if let Ok(path) = std::env::var("APF_OBS_ADDR_FILE") {
+                        if !path.is_empty() {
+                            let _ = std::fs::write(&path, server.addr().to_string());
+                        }
+                    }
+                    Some(server)
+                }
+                Err(e) => {
+                    event!(Level::Warn, target: "obs", "bind_failed",
+                        addr = addr.as_str(), error = e.to_string());
+                    None
+                }
+            }
+        });
+        let ledger_path = self.ledger_path.or_else(|| {
+            std::env::var("APF_LEDGER_FILE")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+        });
         FlRunner {
             clients,
             strategy,
@@ -295,8 +366,35 @@ impl FlRunnerBuilder {
             cum_secs: 0.0,
             best_accuracy: 0.0,
             initial_model_bytes: model_bytes,
+            model_name,
+            config_digest,
+            obs,
+            ledger_path,
         }
     }
+}
+
+/// Canonical configuration string the ledger digest is computed over. Field
+/// order is fixed; changing any run-relevant knob changes the digest.
+fn config_canonical(cfg: &FlConfig, model: &str, strategy: &str, clients: usize) -> String {
+    format!(
+        "model={model};strategy={strategy};clients={clients};local_iters={};rounds={};\
+         batch_size={};eval_every={};eval_batch={};seed={};prox_mu={:?};\
+         drop_stragglers={};participation={}",
+        cfg.local_iters,
+        cfg.rounds,
+        cfg.batch_size,
+        cfg.eval_every,
+        cfg.eval_batch,
+        cfg.seed,
+        cfg.prox_mu,
+        cfg.drop_stragglers,
+        cfg.participation,
+    )
+}
+
+fn host_parallelism() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
 }
 
 /// Drives a federated-learning run and records per-round metrics.
@@ -313,6 +411,10 @@ pub struct FlRunner {
     cum_secs: f64,
     best_accuracy: f32,
     initial_model_bytes: u64,
+    model_name: String,
+    config_digest: u64,
+    obs: Option<ObsServer>,
+    ledger_path: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for FlRunner {
@@ -345,6 +447,8 @@ impl FlRunner {
             strategy: None,
             network: NetworkModel::default(),
             name: None,
+            obs_addr: None,
+            ledger_path: None,
         }
     }
 
@@ -387,6 +491,17 @@ impl FlRunner {
     /// The strategy (for inspection).
     pub fn strategy(&self) -> &dyn SyncStrategy {
         self.strategy.as_ref()
+    }
+
+    /// The live-telemetry server's bound address, when serving (resolves
+    /// `:0` to the actual ephemeral port).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(ObsServer::addr)
+    }
+
+    /// The observable state behind `/snapshot`, when serving.
+    pub fn obs_state(&self) -> Option<&Arc<ObsState>> {
+        self.obs.as_ref().map(ObsServer::state)
     }
 
     /// Evaluates the current global model on the held-out set.
@@ -570,6 +685,29 @@ impl FlRunner {
         };
         self.log.push(record);
         apf_trace::metrics::counter("fedsim.rounds").inc();
+        apf_trace::metrics::gauge("fedsim.round").set(round as f64);
+        apf_trace::metrics::gauge("fedsim.loss").set(f64::from(record.loss));
+        apf_trace::metrics::gauge("fedsim.frozen_ratio").set(f64::from(record.frozen_ratio));
+        apf_trace::metrics::gauge("fedsim.best_accuracy").set(f64::from(record.best_accuracy));
+        if let Some(obs) = &self.obs {
+            // Round-boundary sample for /snapshot and /series.
+            let mut fields: Vec<(&str, f64)> = vec![
+                ("fedsim.loss", f64::from(record.loss)),
+                ("fedsim.best_accuracy", f64::from(record.best_accuracy)),
+                ("fedsim.frozen_ratio", f64::from(record.frozen_ratio)),
+                ("fedsim.bytes_up", record.bytes_up as f64),
+                ("fedsim.bytes_down", record.bytes_down as f64),
+                ("fedsim.cum_bytes", record.cum_bytes as f64),
+                ("fedsim.compute_secs", record.compute_secs),
+                ("fedsim.comm_secs", record.comm_secs),
+                ("fedsim.cum_secs", record.cum_secs),
+            ];
+            if let Some(acc) = record.accuracy {
+                fields.push(("fedsim.accuracy", f64::from(acc)));
+            }
+            obs.state()
+                .record_round(round, &fields, self.strategy.layer_frozen_ratios(round));
+        }
         event!(Level::Info, target: "fedsim", "round_complete",
             round = round,
             loss = record.loss,
@@ -587,13 +725,38 @@ impl FlRunner {
     /// Runs all configured rounds and returns the final log.
     ///
     /// On completion, dumps the metrics registry into the trace and flushes
-    /// the sink (both no-ops when tracing is disabled).
+    /// the sink (both no-ops when tracing is disabled), marks the telemetry
+    /// snapshot completed, and — when a ledger is configured via
+    /// [`FlRunnerBuilder::ledger`] or `APF_LEDGER_FILE` — appends a
+    /// [`LedgerRecord`] for the run.
     pub fn run(&mut self) -> &ExperimentLog {
+        let t0 = Instant::now();
         for r in 0..self.cfg.rounds as u64 {
             self.run_round(r);
         }
+        let wall_secs = t0.elapsed().as_secs_f64();
         apf_trace::metrics::emit();
         apf_trace::flush();
+        if let Some(obs) = &self.obs {
+            obs.state().mark_completed();
+        }
+        if let Some(path) = self.ledger_path.clone() {
+            let record = LedgerRecord::from_log(
+                &self.log,
+                &self.model_name,
+                &self.strategy.name(),
+                self.config_digest,
+                wall_secs,
+            );
+            match record.append_to(&path) {
+                Ok(()) => event!(Level::Info, target: "fedsim", "ledger_appended",
+                    path = path.display().to_string(),
+                    digest = record.config_digest.as_str()),
+                Err(e) => event!(Level::Warn, target: "fedsim", "ledger_write_failed",
+                    path = path.display().to_string(),
+                    error = e.to_string()),
+            }
+        }
         &self.log
     }
 }

@@ -53,6 +53,13 @@ pub trait SyncStrategy: Send + Sync {
     /// Per-local-iteration hook (Alg. 1 line 2 rollback for APF). Default:
     /// no-op.
     fn post_local_iteration(&self, _round: u64, _client: usize, _params: &mut [f32]) {}
+
+    /// Per-layer frozen fraction for `round`, as `(layer name, ratio)` in
+    /// layout order — live-telemetry fodder for `/snapshot`. Default (for
+    /// strategies with no freezing notion): empty.
+    fn layer_frozen_ratios(&self, _round: u64) -> Vec<(String, f64)> {
+        Vec::new()
+    }
 }
 
 /// Weighted elementwise mean of `vecs`; falls back to `None` when all
@@ -394,6 +401,31 @@ impl SyncStrategy for ApfStrategy {
 
     fn post_local_iteration(&self, round: u64, client: usize, params: &mut [f32]) {
         self.managers[client].rollback(params, round);
+    }
+
+    fn layer_frozen_ratios(&self, round: u64) -> Vec<(String, f64)> {
+        // Masks are identical across clients: manager 0 describes the fleet.
+        let Some(m) = self.managers.first() else {
+            return Vec::new();
+        };
+        if self.layout.is_empty() {
+            return Vec::new();
+        }
+        let mask = m.frozen_mask(round);
+        let mut out = Vec::with_capacity(self.layout.len());
+        let mut offset = 0usize;
+        for (name, len) in &self.layout {
+            let end = (offset + len).min(mask.len());
+            let frozen = mask[offset..end].iter().filter(|&&f| f).count();
+            let ratio = if *len == 0 {
+                0.0
+            } else {
+                frozen as f64 / *len as f64
+            };
+            out.push((name.clone(), ratio));
+            offset = end;
+        }
+        out
     }
 }
 

@@ -1,0 +1,398 @@
+//! The `/metrics` HTTP/1.1 server: `std::net::TcpListener`, a bounded
+//! connection queue drained by a small set of worker threads (sized from the
+//! `apf-par` pool configuration), per-connection read/write timeouts, and a
+//! graceful shutdown handle.
+//!
+//! Endpoints:
+//!
+//! | Path               | Content                                             |
+//! |--------------------|-----------------------------------------------------|
+//! | `/healthz`         | `ok` (text) — liveness                              |
+//! | `/metrics`         | Prometheus text exposition of the metrics registry  |
+//! | `/snapshot`        | JSON: run info, latest round sample, layer ratios   |
+//! | `/series?name=N`   | JSON: ring-buffered history of one series           |
+//! | `/series`          | JSON: index of known series names                   |
+//!
+//! The server is deliberately minimal: `GET` only, `Connection: close` on
+//! every response, no keep-alive, no TLS. Malformed or oversized requests
+//! get a 4xx and the connection is closed; handler panics are confined to
+//! the worker thread and never take the process down.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use apf_trace::{event, Level};
+
+use crate::prometheus;
+use crate::state::ObsState;
+
+/// Per-connection socket timeout (read and write).
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Maximum bytes of request head we will read.
+const MAX_HEAD: usize = 8 * 1024;
+/// Maximum accepted request-line length (bytes before the first CRLF).
+const MAX_REQUEST_LINE: usize = 4 * 1024;
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+/// Bounded pending-connection queue depth.
+const QUEUE_CAP: usize = 64;
+
+struct ConnQueue {
+    conns: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) -> bool {
+        let Ok(mut guard) = self.conns.lock() else {
+            return false;
+        };
+        if guard.1 || guard.0.len() >= QUEUE_CAP {
+            return false;
+        }
+        guard.0.push_back(stream);
+        self.ready.notify_one();
+        true
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.conns.lock().ok()?;
+        loop {
+            if let Some(s) = guard.0.pop_front() {
+                return Some(s);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).ok()?;
+        }
+    }
+
+    fn close(&self) {
+        if let Ok(mut guard) = self.conns.lock() {
+            guard.1 = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// A running telemetry server; dropping it shuts the server down
+/// gracefully (in-flight responses finish, then threads join).
+pub struct ObsServer {
+    addr: SocketAddr,
+    state: Arc<ObsState>,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// the accept loop plus worker threads.
+    ///
+    /// # Errors
+    /// Propagates the bind error (address in use, permission, bad syntax).
+    pub fn bind(addr: impl ToSocketAddrs, state: Arc<ObsState>) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue {
+            conns: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        // Worker count rides on the apf-par pool configuration (capped: the
+        // endpoints are cheap, scrapers are few).
+        let n_workers = apf_par::threads().clamp(1, 4);
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("apf-obs-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(stream, &state);
+                        }
+                    })?,
+            );
+        }
+        let accept_stop = Arc::clone(&stop);
+        let accept_queue = Arc::clone(&queue);
+        let accept_handle = std::thread::Builder::new()
+            .name("apf-obs-accept".to_owned())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                            let _ = stream.set_nodelay(true);
+                            // Queue full or closing: drop the connection (a
+                            // scraper will simply retry).
+                            let _ = accept_queue.push(stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?;
+        event!(Level::Info, target: "obs", "serving", addr = addr.to_string());
+        Ok(ObsServer {
+            addr,
+            state,
+            stop,
+            queue,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared observable state this server reads from.
+    pub fn state(&self) -> &Arc<ObsState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains queued connections, and joins all threads.
+    /// Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Write errors (peer gone, timeout) are final for a close-delimited
+    // response; nothing useful to do but drop the connection.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads the request head (up to the blank line or `MAX_HEAD` bytes) and
+/// returns the request line, or an error status to answer with.
+fn read_request_line(stream: &mut TcpStream) -> Result<String, (u16, &'static str)> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // early disconnect
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                let line_end = buf.iter().position(|&b| b == b'\n');
+                if let Some(end) = line_end {
+                    if end > MAX_REQUEST_LINE {
+                        return Err((414, "URI Too Long"));
+                    }
+                    let line = String::from_utf8_lossy(&buf[..end]).trim_end().to_owned();
+                    if line.is_empty() {
+                        return Err((400, "Bad Request"));
+                    }
+                    return Ok(line);
+                }
+                if buf.len() > MAX_REQUEST_LINE {
+                    return Err((414, "URI Too Long"));
+                }
+                if buf.len() > MAX_HEAD {
+                    return Err((431, "Request Header Fields Too Large"));
+                }
+            }
+            Err(_) => break, // timeout or reset
+        }
+    }
+    Err((400, "Bad Request"))
+}
+
+/// Splits `/path?query` and extracts `name=` from the query, if present.
+fn query_param<'a>(target: &'a str, key: &str) -> (&'a str, Option<String>) {
+    let Some((path, query)) = target.split_once('?') else {
+        return (target, None);
+    };
+    for pair in query.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == key {
+            return (path, Some(percent_decode(v)));
+        }
+    }
+    (path, None)
+}
+
+/// Decodes `%xx` escapes and `+` (metric names contain `.` and `_` only,
+/// but scrape tools escape liberally).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 3 <= bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                if let Ok(b) = u8::from_str_radix(hex, 16) {
+                    out.push(b);
+                    i += 3;
+                    continue;
+                }
+                out.push(b'%');
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ObsState) {
+    let line = match read_request_line(&mut stream) {
+        Ok(l) => l,
+        Err((status, reason)) => {
+            respond(&mut stream, status, reason, "text/plain", reason);
+            return;
+        }
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t, v),
+        _ => {
+            respond(&mut stream, 400, "Bad Request", "text/plain", "bad request");
+            return;
+        }
+    };
+    let _ = version;
+    if method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported",
+        );
+        return;
+    }
+    apf_trace::metrics::counter("obs.http_requests").inc();
+    let (path, name) = query_param(target, "name");
+    match path {
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = prometheus::render(&apf_trace::metrics::snapshot());
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/snapshot" => {
+            let body = state.snapshot_json();
+            respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/series" => match name {
+            Some(name) => match state.series_json(&name) {
+                Some(body) => respond(&mut stream, 200, "OK", "application/json", &body),
+                None => respond(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    "{\"error\":\"unknown series\"}",
+                ),
+            },
+            None => {
+                let body = state.series_index_json();
+                respond(&mut stream, 200, "OK", "application/json", &body);
+            }
+        },
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain",
+            "unknown path\n",
+        ),
+    }
+}
+
+/// A minimal blocking HTTP GET against `addr` for tests and smoke drivers:
+/// returns `(status, body)`.
+///
+/// # Errors
+/// Propagates connect/read errors; malformed responses yield
+/// `ErrorKind::InvalidData`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: obs\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(bad)?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(bad)?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_param_and_percent_decode() {
+        assert_eq!(query_param("/series", "name"), ("/series", None));
+        assert_eq!(
+            query_param("/series?name=fedsim.loss", "name"),
+            ("/series", Some("fedsim.loss".to_owned()))
+        );
+        assert_eq!(
+            query_param("/series?a=1&name=x%2Fy+z", "name"),
+            ("/series", Some("x/y z".to_owned()))
+        );
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

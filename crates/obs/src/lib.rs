@@ -1,0 +1,37 @@
+//! **`apf-obs`** — zero-dependency live telemetry for APF runs.
+//!
+//! The workspace is hermetic (no registry crates), so this crate implements
+//! the whole observability path on `std` alone:
+//!
+//! * [`ObsServer`] — a minimal HTTP/1.1 server on `std::net::TcpListener`
+//!   with a bounded worker pool (sized from the `apf-par` configuration),
+//!   per-connection timeouts, and graceful shutdown. Endpoints: `/healthz`,
+//!   `/metrics` (Prometheus text exposition of the `apf-trace` registry),
+//!   `/snapshot` (JSON run state), `/series?name=...` (ring-buffered
+//!   history).
+//! * [`SeriesStore`] — the in-memory time-series store: fixed-capacity ring
+//!   buffers keyed by metric name, bounded in both points-per-series and
+//!   series count.
+//! * [`ObsState`] — the shared state the server reads and the fedsim runner
+//!   writes (run metadata, latest round sample, per-layer freeze ratios).
+//! * [`SeriesSink`] — an `apf-trace` sink tee that folds counter/gauge
+//!   events into the store.
+//! * [`prometheus`] — the exposition renderer plus a validating parser the
+//!   integration tests use to prove scrapes are well-formed.
+//!
+//! Serving is strictly opt-in: nothing in this crate binds a socket unless
+//! [`ObsServer::bind`] is called (the fedsim runner gates that behind
+//! `APF_OBS_ADDR` / `FlRunnerBuilder::serve`). With no server, the rest of
+//! the workspace pays nothing.
+
+pub mod prometheus;
+
+mod http;
+mod sink;
+mod state;
+mod store;
+
+pub use http::{http_get, ObsServer};
+pub use sink::SeriesSink;
+pub use state::{ObsState, RunInfo};
+pub use store::SeriesStore;

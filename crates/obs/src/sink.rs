@@ -1,0 +1,129 @@
+//! [`SeriesSink`] — an `apf-trace` sink tee that feeds the time-series
+//! store.
+//!
+//! The sink forwards every line to an optional inner sink (so installing it
+//! does not cost the JSONL trace) and additionally scans `target:"metrics"`
+//! counter/gauge events — the lines `apf_trace::metrics::emit()` produces —
+//! extracting `name`/`value` into the [`SeriesStore`] with a per-series
+//! sample index as the x coordinate. Anything that is not a metrics event
+//! passes through untouched; a malformed line is forwarded but ignored by
+//! the scanner (never a panic).
+
+use std::sync::Arc;
+
+use apf_trace::TraceSink;
+
+use crate::state::ObsState;
+
+/// A [`TraceSink`] that tees lines to `inner` and folds metric events into
+/// an [`ObsState`]'s series store.
+pub struct SeriesSink {
+    state: Arc<ObsState>,
+    inner: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for SeriesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesSink")
+            .field("tees", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl SeriesSink {
+    /// Wraps `state`; lines are also forwarded to `inner` when given.
+    pub fn new(state: Arc<ObsState>, inner: Option<Arc<dyn TraceSink>>) -> SeriesSink {
+        SeriesSink { state, inner }
+    }
+}
+
+/// Extracts the JSON string value following `"<key>":"` in `line`.
+/// Only handles escape-free values — metric names by construction contain
+/// none — and returns `None` on anything else.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    let value = &rest[..end];
+    if value.contains('\\') {
+        return None;
+    }
+    Some(value)
+}
+
+/// Extracts the JSON number following `"<key>":` in `line`.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+impl TraceSink for SeriesSink {
+    fn write_line(&self, line: &str) {
+        if let Some(inner) = &self.inner {
+            inner.write_line(line);
+        }
+        if !line.contains("\"target\":\"metrics\"") {
+            return;
+        }
+        let scalar = line.contains("\"msg\":\"counter\"") || line.contains("\"msg\":\"gauge\"");
+        if !scalar {
+            return;
+        }
+        if let (Some(name), Some(value)) = (str_field(line, "name"), num_field(line, "value")) {
+            self.state.store().push(name, value);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apf_trace::MemorySink;
+
+    fn metric_line(msg: &str, name: &str, value: &str) -> String {
+        format!(
+            "{{\"t\":\"event\",\"ts_us\":1,\"lvl\":\"info\",\"target\":\"metrics\",\
+             \"msg\":\"{msg}\",\"span\":0,\"thread\":1,\
+             \"fields\":{{\"name\":\"{name}\",\"value\":{value}}}}}"
+        )
+    }
+
+    #[test]
+    fn metric_events_land_in_the_store_and_tee() {
+        let state = ObsState::new();
+        let mem = Arc::new(MemorySink::new());
+        let sink = SeriesSink::new(Arc::clone(&state), Some(mem.clone()));
+        sink.write_line(&metric_line("counter", "fedsim.bytes_up", "42"));
+        sink.write_line(&metric_line("gauge", "fedsim.frozen_ratio", "0.25"));
+        sink.write_line("{\"t\":\"event\",\"target\":\"fedsim\",\"msg\":\"round\"}");
+        assert_eq!(
+            state.store().series("fedsim.bytes_up").unwrap(),
+            vec![(0.0, 42.0)]
+        );
+        assert_eq!(
+            state.store().series("fedsim.frozen_ratio").unwrap(),
+            vec![(0.0, 0.25)]
+        );
+        assert_eq!(mem.len(), 3, "every line tees through");
+    }
+
+    #[test]
+    fn malformed_metric_lines_are_ignored() {
+        let state = ObsState::new();
+        let sink = SeriesSink::new(Arc::clone(&state), None);
+        sink.write_line("\"target\":\"metrics\"\"msg\":\"counter\" garbage");
+        sink.write_line(&metric_line("counter", "x", "notanumber"));
+        sink.write_line(&metric_line("histogram", "h", "1"));
+        assert!(state.store().names().is_empty());
+    }
+}

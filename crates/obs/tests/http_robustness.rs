@@ -1,0 +1,126 @@
+//! Malformed-request robustness: the server must answer hostile or broken
+//! clients with a 4xx (or just close) and keep serving afterwards — never
+//! panic, never wedge a worker.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use apf_obs::{http_get, ObsServer, ObsState};
+
+fn server() -> ObsServer {
+    ObsServer::bind("127.0.0.1:0", ObsState::new()).expect("bind ephemeral port")
+}
+
+fn raw_request(server: &ObsServer, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(payload).unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn well_formed_routes_respond() {
+    let srv = server();
+    srv.state().configure_run(apf_obs::RunInfo {
+        name: "t".into(),
+        model: "mlp".into(),
+        strategy: "full".into(),
+        rounds_total: 1,
+        threads: 1,
+        host_parallelism: 1,
+    });
+    let (status, body) = http_get(srv.addr(), "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, body) = http_get(srv.addr(), "/snapshot").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"model\":\"mlp\""), "{body}");
+    let (status, _) = http_get(srv.addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let (status, body) = http_get(srv.addr(), "/series").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"series\":["), "{body}");
+}
+
+#[test]
+fn unknown_path_and_series_are_404() {
+    let srv = server();
+    assert_eq!(http_get(srv.addr(), "/nope").unwrap().0, 404);
+    assert_eq!(http_get(srv.addr(), "/series?name=ghost").unwrap().0, 404);
+}
+
+#[test]
+fn non_get_methods_are_405() {
+    let srv = server();
+    for method in ["POST", "PUT", "DELETE", "HEAD"] {
+        let resp = raw_request(
+            &srv,
+            format!("{method} /metrics HTTP/1.1\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status_of(&resp), Some(405), "{method}: {resp}");
+    }
+}
+
+#[test]
+fn garbage_request_line_is_400() {
+    let srv = server();
+    for payload in [&b"\r\n\r\n"[..], b"GARBAGE\r\n\r\n", b"GET /x\r\n\r\n"] {
+        let resp = raw_request(&srv, payload);
+        assert_eq!(status_of(&resp), Some(400), "{payload:?}: {resp}");
+    }
+}
+
+#[test]
+fn oversized_request_line_is_414() {
+    let srv = server();
+    let long_path = "a".repeat(16 * 1024);
+    let resp = raw_request(
+        &srv,
+        format!("GET /{long_path} HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&resp), Some(414), "{resp}");
+}
+
+#[test]
+fn early_disconnect_does_not_wedge_the_server() {
+    let srv = server();
+    for _ in 0..8 {
+        // Connect, send half a request line, slam the connection shut.
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        stream.write_all(b"GET /metr").unwrap();
+        drop(stream);
+    }
+    // Workers must all still be alive and serving.
+    for _ in 0..4 {
+        assert_eq!(http_get(srv.addr(), "/healthz").unwrap().0, 200);
+    }
+}
+
+#[test]
+fn shutdown_is_graceful_and_idempotent() {
+    let mut srv = server();
+    let addr = srv.addr();
+    assert_eq!(http_get(addr, "/healthz").unwrap().0, 200);
+    srv.shutdown();
+    srv.shutdown();
+    // The listener is gone: either refused outright or accepted by a raced
+    // backlog entry that is never served.
+    let alive = TcpStream::connect(addr)
+        .map(|mut s| {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out.contains("200")
+        })
+        .unwrap_or(false);
+    assert!(!alive, "server answered after shutdown");
+}

@@ -1,7 +1,7 @@
 //! Record construction: field values, JSON string building, event emission.
 
 use crate::span::{current_span_id, thread_ordinal};
-use crate::{now_us, with_sink, Level};
+use crate::{now_us, write_line, Level};
 
 /// A structured field value.
 ///
@@ -155,7 +155,7 @@ pub fn emit_event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldV
     line.push_str(&thread_ordinal().to_string());
     push_fields(&mut line, fields);
     line.push('}');
-    with_sink(|s| s.write_line(&line));
+    write_line(&line);
 }
 
 #[cfg(test)]

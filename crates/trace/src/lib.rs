@@ -15,9 +15,11 @@
 //!   on the monotonic clock and records it with its parent span on drop,
 //!   so a trace reconstructs the full span tree per thread.
 //! * **Sinks** — stderr, append-to-file, or in-memory (for tests); see
-//!   [`sink`].
-//! * **A metrics registry** — named monotonic counters and fixed-bucket
-//!   histograms; see [`metrics`].
+//!   [`sink`]. Records emitted while a level is enabled but no sink is
+//!   installed yet are held in a bounded buffer and flushed into the first
+//!   installed sink, so early events in long runs are not lost.
+//! * **A metrics registry** — named monotonic counters, gauges, and
+//!   fixed-bucket histograms (with quantile estimation); see [`metrics`].
 //!
 //! # Configuration
 //!
@@ -55,8 +57,8 @@ pub use emit::{emit_event, FieldValue};
 pub use sink::{FileSink, MemorySink, StderrSink, TraceSink};
 pub use span::Span;
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Verbosity levels, ordered from most to least severe.
@@ -109,6 +111,16 @@ static CONFIGURED: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
+/// Records produced while a level is enabled but no sink is installed yet
+/// (e.g. `set_level` before `set_sink`, or early library code racing env
+/// init) are held here and flushed — in order, ahead of new records — into
+/// the first sink that gets installed. The buffer is bounded; once full,
+/// further pre-init records are counted in [`PREINIT_DROPPED`] and
+/// discarded, and the drop count is reported as a `warn` event on install.
+const PREINIT_CAP: usize = 4096;
+static PREINIT: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static PREINIT_DROPPED: AtomicU64 = AtomicU64::new(0);
+
 /// Whether records at `level` are currently recorded.
 ///
 /// This is the fast path instrumented code checks before building any
@@ -131,17 +143,65 @@ pub(crate) fn with_sink(f: impl FnOnce(&dyn TraceSink)) {
     }
 }
 
+/// Delivers one complete record line: to the sink when one is installed,
+/// otherwise into the bounded pre-init buffer (see [`PREINIT`]).
+///
+/// The buffer push happens while the `SINK` read lock is held, so it cannot
+/// race [`install_sink`] (which drains the buffer under the write lock):
+/// every record lands either in the buffer before the drain or in the sink.
+pub(crate) fn write_line(line: &str) {
+    if let Ok(guard) = SINK.read() {
+        match guard.as_deref() {
+            Some(s) => s.write_line(line),
+            None => {
+                if let Ok(mut buf) = PREINIT.lock() {
+                    if buf.len() < PREINIT_CAP {
+                        buf.push(line.to_owned());
+                    } else {
+                        PREINIT_DROPPED.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Installs `sink`, first flushing any buffered pre-init records into it in
+/// emission order. Returns the number of records that overflowed the buffer
+/// and were lost (reported by the caller as a `warn` event).
+fn install_sink(sink: Arc<dyn TraceSink>) -> u64 {
+    EPOCH.get_or_init(Instant::now);
+    let Ok(mut guard) = SINK.write() else {
+        return 0;
+    };
+    let buffered = PREINIT
+        .lock()
+        .map(|mut b| std::mem::take(&mut *b))
+        .unwrap_or_default();
+    for line in &buffered {
+        sink.write_line(line);
+    }
+    *guard = Some(sink);
+    PREINIT_DROPPED.swap(0, Ordering::Relaxed)
+}
+
+/// Emits the post-install overflow notice, if any records were lost.
+fn report_preinit_dropped(dropped: u64) {
+    if dropped > 0 {
+        event!(Level::Warn, target: "apf_trace", "preinit_overflow",
+            dropped = dropped);
+    }
+}
+
 /// Enables tracing at `level`, writing to `sink`.
 ///
 /// May be called repeatedly (tests swap in fresh [`MemorySink`]s); the
 /// latest call wins.
 pub fn init(level: Level, sink: Arc<dyn TraceSink>) {
-    EPOCH.get_or_init(Instant::now);
-    if let Ok(mut guard) = SINK.write() {
-        *guard = Some(sink);
-    }
+    let dropped = install_sink(sink);
     MAX_LEVEL.store(level as u8, Ordering::Relaxed);
     CONFIGURED.store(true, Ordering::Relaxed);
+    report_preinit_dropped(dropped);
 }
 
 /// Disables tracing and drops the sink (flushing it first).
@@ -161,12 +221,11 @@ pub fn set_level(level: Option<Level>) {
     CONFIGURED.store(true, Ordering::Relaxed);
 }
 
-/// Replaces the sink without touching the level.
+/// Replaces the sink without touching the level. Any records buffered while
+/// no sink was installed are flushed into the new sink first.
 pub fn set_sink(sink: Arc<dyn TraceSink>) {
-    EPOCH.get_or_init(Instant::now);
-    if let Ok(mut guard) = SINK.write() {
-        *guard = Some(sink);
-    }
+    let dropped = install_sink(sink);
+    report_preinit_dropped(dropped);
 }
 
 /// Flushes the current sink (e.g. before process exit).
@@ -203,11 +262,9 @@ pub fn init_from_env() {
         },
         _ => Arc::new(StderrSink),
     };
-    EPOCH.get_or_init(Instant::now);
-    if let Ok(mut guard) = SINK.write() {
-        *guard = Some(sink);
-    }
+    let dropped = install_sink(sink);
     MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    report_preinit_dropped(dropped);
 }
 
 /// Records a structured event.

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::emit::{push_fields, push_json_str, FieldValue};
-use crate::{enabled, now_us, with_sink, Level};
+use crate::{enabled, now_us, write_line, Level};
 
 /// Monotonically increasing span id source (0 is reserved for "no span").
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -157,7 +157,7 @@ impl Drop for Span {
         line.push_str(&thread_ordinal().to_string());
         push_fields(&mut line, &a.fields);
         line.push('}');
-        with_sink(|s| s.write_line(&line));
+        write_line(&line);
     }
 }
 

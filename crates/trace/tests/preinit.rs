@@ -1,0 +1,72 @@
+//! Pre-init buffering: records emitted while a level is enabled but no sink
+//! is installed yet must reach the first installed sink, in order, ahead of
+//! records emitted after installation.
+//!
+//! Own test binary: the trace level and sink are process-global, and this
+//! test deliberately passes through the "enabled, sinkless" state that other
+//! test binaries never enter. The scenarios share one `#[test]` so they
+//! cannot interleave.
+
+use std::sync::Arc;
+
+use apf_trace::{event, Level, MemorySink};
+
+#[test]
+fn preinit_records_flush_into_first_sink_in_order() {
+    // Phase 1: level enabled, no sink — records must be buffered, not lost.
+    apf_trace::set_level(Some(Level::Info));
+    event!(Level::Info, target: "preinit", "early", seq = 1u64);
+    event!(Level::Info, target: "preinit", "early", seq = 2u64);
+
+    let sink = Arc::new(MemorySink::new());
+    apf_trace::init(Level::Info, Arc::clone(&sink) as Arc<_>);
+    event!(Level::Info, target: "preinit", "late", seq = 3u64);
+
+    let lines = sink.lines();
+    let seqs: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.contains("\"target\":\"preinit\""))
+        .map(|l| {
+            if l.contains("\"seq\":1") {
+                "early1"
+            } else if l.contains("\"seq\":2") {
+                "early2"
+            } else {
+                "late"
+            }
+        })
+        .collect();
+    assert_eq!(
+        seqs,
+        vec!["early1", "early2", "late"],
+        "buffered records must precede post-install records: {lines:#?}"
+    );
+
+    // Phase 2: the buffer is bounded. Remove the sink state by shutting
+    // down, re-enable without a sink, overflow the buffer, and check that a
+    // fresh sink receives at most the cap plus one overflow notice.
+    apf_trace::shutdown();
+    apf_trace::set_level(Some(Level::Info));
+    for i in 0..5000u64 {
+        event!(Level::Info, target: "preinit.flood", "tick", i = i);
+    }
+    let sink2 = Arc::new(MemorySink::new());
+    apf_trace::set_sink(Arc::clone(&sink2) as Arc<_>);
+    let lines2 = sink2.lines();
+    let flood = lines2
+        .iter()
+        .filter(|l| l.contains("\"target\":\"preinit.flood\""))
+        .count();
+    assert!(
+        flood <= 4096,
+        "pre-init buffer must be bounded (kept {flood} records)"
+    );
+    assert!(flood >= 4000, "bounded buffer dropped too much: {flood}");
+    assert!(
+        lines2.iter().any(|l| l.contains("preinit_overflow")),
+        "overflow must be reported: {:?}",
+        lines2.last()
+    );
+
+    apf_trace::shutdown();
+}

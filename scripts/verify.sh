@@ -41,6 +41,23 @@ if [ -n "$offenders" ]; then
 fi
 echo "OK: no stray prints in library code"
 
+echo "== live telemetry smoke (obs server + ledger regression gate) =="
+# Two identical 2-round runs with the HTTP server on an ephemeral port:
+# obs-smoke scrapes /healthz, /metrics (validated by the in-repo Prometheus
+# parser), /snapshot, and /series in-process, and appends each run to a
+# throwaway ledger; the second run must then pass `ledger-report check`
+# (identical re-runs are within tolerance by construction).
+smoke_ledger=$(mktemp /tmp/apf_smoke_ledger.XXXXXX.jsonl)
+rm -f "$smoke_ledger"
+for i in 1 2; do
+  APF_OBS_ADDR=127.0.0.1:0 APF_LEDGER_FILE="$smoke_ledger" \
+    cargo run -q --release --offline -p apf-bench --bin obs-smoke
+done
+cargo run -q --release --offline -p apf-bench --bin ledger-report -- \
+  check --ledger "$smoke_ledger"
+rm -f "$smoke_ledger"
+echo "OK: telemetry endpoints healthy, identical re-run passes the gate"
+
 echo "== dependency hermeticity =="
 # Every node in the dependency graph must live inside this repository.
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
