@@ -6,6 +6,12 @@
 //! parallelism is recorded alongside, so numbers from a single-core CI
 //! host (where extra threads cannot speed anything up) are interpretable.
 //!
+//! Two single-shot diagnostics ride along: `matmul_naive_gflops` times the
+//! reference triple loop once (quantifying the packed-GEMM speedup on this
+//! host), and `scratch_misses_steady` counts scratch-pool buffer
+//! allocations over warmed-up matmul iterations — it must be 0, the
+//! zero-alloc steady-state contract of the training hot path.
+//!
 //! Each invocation also appends a `LedgerRecord` (model `"kernels"`,
 //! strategy `"bench"`, per-thread throughputs in `metrics`) to the run
 //! ledger at `APF_LEDGER_FILE` (default `results/ledger.jsonl`) unless
@@ -27,7 +33,7 @@ use apf_bench::harness::{black_box, BenchGroup};
 use apf_bench::setups::{standard_builder, ModelKind, Scale};
 use apf_data::iid_partition;
 use apf_fedsim::{fnv1a64, FullSync, LedgerRecord};
-use apf_tensor::{conv2d_forward, normal_init, seeded_rng, ConvSpec, Tensor};
+use apf_tensor::{conv2d_forward_fused, normal_init, scratch, seeded_rng, ConvSpec, Tensor};
 
 /// Square matmul side for the throughput probe.
 const MM_N: usize = 192;
@@ -46,10 +52,44 @@ fn bench_matmul(g: &mut BenchGroup, threads: usize) -> f64 {
     let a = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
     let b = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
     let m = g.bench(&format!("matmul{MM_N}_t{threads}"), || {
-        black_box(a.matmul(&b));
+        black_box(a.matmul(&b)).recycle();
     });
     let flops = 2.0 * (MM_N as f64).powi(3);
     flops / m.median.as_secs_f64() / 1e9
+}
+
+/// Times the naive reference matmul once (it is serial, so thread count is
+/// irrelevant); the packed/naive ratio is the host's GEMM speedup.
+fn bench_matmul_naive(g: &mut BenchGroup) -> f64 {
+    let mut rng = seeded_rng(7);
+    let a = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+    let b = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+    let m = g.bench(&format!("matmul{MM_N}_naive"), || {
+        black_box(a.matmul_reference(&b)).recycle();
+    });
+    let flops = 2.0 * (MM_N as f64).powi(3);
+    flops / m.median.as_secs_f64() / 1e9
+}
+
+/// Counts scratch-pool buffer allocations (`misses`) over warmed-up matmul
+/// iterations on one thread. Zero means the steady-state hot path is fully
+/// served by recycled buffers.
+fn measure_scratch_misses_steady() -> u64 {
+    apf_par::with_threads(1, || {
+        let mut rng = seeded_rng(7);
+        let a = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+        let b = normal_init(&[MM_N, MM_N], 0.0, 1.0, &mut rng);
+        for _ in 0..2 {
+            a.matmul(&b).recycle();
+        }
+        scratch::reset_stats();
+        for _ in 0..4 {
+            a.matmul(&b).recycle();
+        }
+        let misses = scratch::stats().misses;
+        println!("  scratch_misses_steady   count  {misses:>9}");
+        misses
+    })
 }
 
 fn bench_conv2d(g: &mut BenchGroup, threads: usize) -> f64 {
@@ -75,7 +115,7 @@ fn bench_conv2d(g: &mut BenchGroup, threads: usize) -> f64 {
     );
     let bias = Tensor::zeros(&[spec.out_channels]);
     let m = g.bench(&format!("conv2d_t{threads}"), || {
-        black_box(conv2d_forward(&input, &weight, &bias, &spec));
+        black_box(conv2d_forward_fused(&input, &weight, &bias, &spec)).recycle();
     });
     let (oh, ow) = spec.out_size(h, w);
     let flops = 2.0
@@ -108,12 +148,23 @@ fn bench_round() -> f64 {
     ms
 }
 
-fn json_escape_free(results: &[ThreadResult], host_parallelism: usize) -> String {
+fn json_escape_free(
+    results: &[ThreadResult],
+    host_parallelism: usize,
+    matmul_naive_gflops: f64,
+    scratch_misses_steady: u64,
+) -> String {
     // All content is numeric or fixed ASCII — no escaping needed.
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
     out.push_str(&format!("  \"matmul_n\": {MM_N},\n"));
+    out.push_str(&format!(
+        "  \"matmul_naive_gflops\": {matmul_naive_gflops:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"scratch_misses_steady\": {scratch_misses_steady},\n"
+    ));
     out.push_str(
         "  \"note\": \"GFLOP/s medians and mean round wall time per APF_PAR_THREADS; speedups above 1 thread require host_parallelism > 1\",\n",
     );
@@ -138,6 +189,8 @@ fn ledger_record(
     results: &[ThreadResult],
     host_parallelism: usize,
     wall_secs: f64,
+    matmul_naive_gflops: f64,
+    scratch_misses_steady: u64,
 ) -> LedgerRecord {
     let quick = std::env::var("APF_BENCH_QUICK").is_ok();
     let digest = fnv1a64(
@@ -165,6 +218,13 @@ fn ledger_record(
             .insert(format!("conv2d_gflops_t{t}"), r.conv2d_gflops);
         record.metrics.insert(format!("round_ms_t{t}"), r.round_ms);
     }
+    record
+        .metrics
+        .insert("matmul_naive_gflops".to_owned(), matmul_naive_gflops);
+    record.metrics.insert(
+        "scratch_misses_steady".to_owned(),
+        scratch_misses_steady as f64,
+    );
     record
 }
 
@@ -195,8 +255,15 @@ fn main() {
         });
     }
     apf_par::set_threads(1);
+    let matmul_naive_gflops = bench_matmul_naive(&mut g);
+    let scratch_misses_steady = measure_scratch_misses_steady();
     let wall_secs = t0.elapsed().as_secs_f64();
-    let json = json_escape_free(&results, host_parallelism);
+    let json = json_escape_free(
+        &results,
+        host_parallelism,
+        matmul_naive_gflops,
+        scratch_misses_steady,
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("\nwrote {out_path}:\n{json}");
     if !no_ledger {
@@ -204,7 +271,13 @@ fn main() {
             .ok()
             .filter(|s| !s.is_empty())
             .unwrap_or_else(|| "results/ledger.jsonl".to_owned());
-        let record = ledger_record(&results, host_parallelism, wall_secs);
+        let record = ledger_record(
+            &results,
+            host_parallelism,
+            wall_secs,
+            matmul_naive_gflops,
+            scratch_misses_steady,
+        );
         match record.append_to(&ledger_path) {
             Ok(()) => println!("appended kernel record to {ledger_path}"),
             Err(e) => println!("warning: could not append to {ledger_path}: {e}"),

@@ -44,14 +44,18 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
 
 impl Layer for Activation {
     fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
-        let out = match self.kind {
-            ActivationKind::Relu => x.map(|v| v.max(0.0)),
-            ActivationKind::Tanh => x.map(f32::tanh),
-            ActivationKind::Sigmoid => x.map(sigmoid),
-        };
+        let mut out = x;
+        match self.kind {
+            ActivationKind::Relu => out.map_in_place(|v| v.max(0.0)),
+            ActivationKind::Tanh => out.map_in_place(f32::tanh),
+            ActivationKind::Sigmoid => out.map_in_place(sigmoid),
+        }
         // All three derivatives are expressible from the *output*, so caching
-        // the output alone suffices.
-        self.cached_output = Some(out.clone());
+        // the output alone suffices; replace-and-recycle keeps eval-only
+        // loops allocation-free.
+        if let Some(old) = self.cached_output.replace(out.scratch_copy()) {
+            old.recycle();
+        }
         out
     }
 
@@ -60,11 +64,14 @@ impl Layer for Activation {
             .cached_output
             .take()
             .expect("activation backward before forward");
+        let mut g = grad;
         match self.kind {
-            ActivationKind::Relu => grad.zip_map(&y, |g, o| if o > 0.0 { g } else { 0.0 }),
-            ActivationKind::Tanh => grad.zip_map(&y, |g, o| g * (1.0 - o * o)),
-            ActivationKind::Sigmoid => grad.zip_map(&y, |g, o| g * o * (1.0 - o)),
+            ActivationKind::Relu => g.zip_with(&y, |g, o| if o > 0.0 { g } else { 0.0 }),
+            ActivationKind::Tanh => g.zip_with(&y, |g, o| g * (1.0 - o * o)),
+            ActivationKind::Sigmoid => g.zip_with(&y, |g, o| g * o * (1.0 - o)),
         }
+        y.recycle();
+        g
     }
 
     fn kind(&self) -> &'static str {

@@ -1,7 +1,7 @@
-//! Convolutional layer wrapping the im2col kernels of `apf-tensor`.
+//! Convolutional layer wrapping the fused im2col kernels of `apf-tensor`.
 
 use apf_tensor::Rng;
-use apf_tensor::{conv2d_backward, conv2d_forward, kaiming_uniform, ConvSpec, Tensor};
+use apf_tensor::{conv2d_backward_fused, conv2d_forward_fused, kaiming_uniform, ConvSpec, Tensor};
 
 use crate::layer::{Layer, Mode};
 
@@ -18,13 +18,9 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cache: Option<ConvCache>,
-}
-
-#[derive(Debug)]
-struct ConvCache {
-    cols: Tensor,
-    input_hw: (usize, usize),
+    // The forward input, kept for the fused backward pass (which re-derives
+    // im2col entries from it instead of caching the much larger `cols`).
+    cached_input: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -38,7 +34,7 @@ impl Conv2d {
             bias: Tensor::zeros(&[spec.out_channels]),
             grad_weight: Tensor::zeros(&[spec.out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[spec.out_channels]),
-            cache: None,
+            cached_input: None,
         }
     }
 
@@ -50,19 +46,28 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
-        let s = x.shape();
-        assert_eq!(s.len(), 4, "conv2d expects [N,C,H,W]");
-        let input_hw = (s[2], s[3]);
-        let (out, cols) = conv2d_forward(&x, &self.weight, &self.bias, &self.spec);
-        self.cache = Some(ConvCache { cols, input_hw });
+        assert_eq!(x.shape().len(), 4, "conv2d expects [N,C,H,W]");
+        let out = conv2d_forward_fused(&x, &self.weight, &self.bias, &self.spec);
+        // Replace-and-recycle so eval-only loops return the stale cached
+        // input to the scratch pool instead of dropping it every batch.
+        if let Some(old) = self.cached_input.replace(x) {
+            old.recycle();
+        }
         out
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
-        let cache = self.cache.take().expect("conv2d backward before forward");
-        let grads = conv2d_backward(&grad, &cache.cols, &self.weight, &self.spec, cache.input_hw);
+        let x = self
+            .cached_input
+            .take()
+            .expect("conv2d backward before forward");
+        let grads = conv2d_backward_fused(&grad, &x, &self.weight, &self.spec);
         self.grad_weight.axpy(1.0, &grads.weight);
         self.grad_bias.axpy(1.0, &grads.bias);
+        grads.weight.recycle();
+        grads.bias.recycle();
+        grad.recycle();
+        x.recycle();
         grads.input
     }
 

@@ -54,7 +54,12 @@ impl Layer for Linear {
         );
         let mut out = x.matmul_nt(&self.weight);
         out.add_row_in_place(&self.bias);
-        self.cached_input = Some(x);
+        // Replace (not just overwrite) the cache so an eval-only loop, which
+        // never runs backward, still returns the previous input's buffer to
+        // the scratch pool instead of dropping it every batch.
+        if let Some(old) = self.cached_input.replace(x) {
+            old.recycle();
+        }
         out
     }
 
@@ -66,8 +71,14 @@ impl Layer for Linear {
         // dW = grad^T x; db = column sums; dx = grad W.
         let dw = grad.matmul_tn(&x);
         self.grad_weight.axpy(1.0, &dw);
-        self.grad_bias.axpy(1.0, &grad.sum_rows());
-        grad.matmul(&self.weight)
+        dw.recycle();
+        let db = grad.sum_rows();
+        self.grad_bias.axpy(1.0, &db);
+        db.recycle();
+        x.recycle();
+        let dx = grad.matmul(&self.weight);
+        grad.recycle();
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, bool, &mut Tensor, &mut Tensor)) {

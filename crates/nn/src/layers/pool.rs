@@ -26,13 +26,16 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, x: Tensor, _mode: Mode, _rng: &mut Rng) -> Tensor {
         let shape = x.shape().to_vec();
         let (out, arg) = maxpool2d_forward(&x, &self.spec);
+        x.recycle();
         self.cache = Some((arg, shape));
         out
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
         let (arg, shape) = self.cache.take().expect("maxpool backward before forward");
-        maxpool2d_backward(&grad, &arg, &shape)
+        let gi = maxpool2d_backward(&grad, &arg, &shape);
+        grad.recycle();
+        gi
     }
 
     fn kind(&self) -> &'static str {
@@ -59,14 +62,13 @@ impl Layer for GlobalAvgPool {
         assert_eq!(s.len(), 4, "global avg pool expects [N,C,H,W]");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let inv = 1.0 / (h * w) as f32;
-        let out: Vec<f32> = x
-            .data()
-            .chunks_exact(h * w)
-            .map(|plane| plane.iter().sum::<f32>() * inv)
-            .collect();
-        debug_assert_eq!(out.len(), n * c);
+        let mut out = Tensor::scratch(&[n, c]);
+        for (o, plane) in out.data_mut().iter_mut().zip(x.data().chunks_exact(h * w)) {
+            *o = plane.iter().sum::<f32>() * inv;
+        }
+        x.recycle();
         self.cached_shape = Some(s);
-        Tensor::from_vec(out, &[n, c])
+        out
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
@@ -76,12 +78,13 @@ impl Layer for GlobalAvgPool {
             .expect("global avg pool backward before forward");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let inv = 1.0 / (h * w) as f32;
-        let mut out = vec![0.0f32; n * c * h * w];
+        let mut out = Tensor::scratch(&s);
         for nc in 0..n * c {
             let g = grad.data()[nc] * inv;
-            out[nc * h * w..(nc + 1) * h * w].fill(g);
+            out.data_mut()[nc * h * w..(nc + 1) * h * w].fill(g);
         }
-        Tensor::from_vec(out, &s)
+        grad.recycle();
+        out
     }
 
     fn kind(&self) -> &'static str {

@@ -43,7 +43,7 @@ pub use layers::{
     Activation, ActivationKind, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, LastStep,
     Linear, LstmLayer, MaxPool2d, ResidualBlock,
 };
-pub use loss::{accuracy, softmax, softmax_cross_entropy};
+pub use loss::{accuracy, softmax, softmax_cross_entropy, softmax_in_place};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
 pub use sequential::Sequential;
 pub use train::{evaluate, train_batch, Trainer};

@@ -7,10 +7,19 @@ use apf_tensor::Tensor;
 /// # Panics
 /// Panics if `logits` is not rank 2.
 pub fn softmax(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.shape().len(), 2, "softmax expects [N, C]");
-    let c = logits.shape()[1];
-    let mut out = logits.clone();
-    for row in out.data_mut().chunks_mut(c) {
+    let mut out = logits.scratch_copy();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place row-wise numerically stable softmax of a `[N, C]` matrix.
+///
+/// # Panics
+/// Panics if `x` is not rank 2.
+pub fn softmax_in_place(x: &mut Tensor) {
+    assert_eq!(x.shape().len(), 2, "softmax expects [N, C]");
+    let c = x.shape()[1];
+    for row in x.data_mut().chunks_mut(c) {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -21,7 +30,6 @@ pub fn softmax(logits: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Mean softmax cross-entropy over a batch, plus the gradient w.r.t. logits.
@@ -36,13 +44,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(logits.shape().len(), 2, "loss expects [N, C]");
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), n, "label count mismatch");
-    let probs = softmax(logits);
+    // One scratch copy serves as both the probabilities and the gradient:
+    // read each row's target probability for the loss, then turn the row
+    // into the gradient in place.
+    let mut grad = softmax(logits);
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
     let inv_n = 1.0 / n as f32;
     for (i, &label) in labels.iter().enumerate() {
         assert!(label < c, "label {label} out of range for {c} classes");
-        let p = probs.data()[i * c + label].max(1e-12);
+        let p = grad.data()[i * c + label].max(1e-12);
         loss -= p.ln();
         grad.data_mut()[i * c + label] -= 1.0;
     }

@@ -29,12 +29,13 @@ pub fn train_batch(
     model.zero_grads();
     let logits = {
         let _s = span!(Level::Debug, target: "nn.train", "forward", batch = labels.len());
-        model.forward(x.clone(), Mode::Train)
+        model.forward(x.scratch_copy(), Mode::Train)
     };
     let (loss, grad) = softmax_cross_entropy(&logits, labels);
+    logits.recycle();
     {
         let _s = span!(Level::Debug, target: "nn.train", "backward");
-        model.backward(grad);
+        model.backward(grad).recycle();
     }
     let _s = span!(Level::Debug, target: "nn.train", "optimizer");
     let mut params = model.flat_params();
@@ -54,6 +55,8 @@ pub fn train_batch(
     }
     optimizer.step(&mut params, &grads, trainable);
     model.load_flat(&params);
+    apf_tensor::scratch::give(params);
+    apf_tensor::scratch::give(grads);
     loss
 }
 
@@ -76,9 +79,10 @@ pub fn evaluate(model: &mut Sequential, x: &Tensor, labels: &[usize], batch_size
         let end = (start + batch_size).min(n);
         let mut shape = x.shape().to_vec();
         shape[0] = end - start;
-        let batch = Tensor::from_vec(x.data()[start * row..end * row].to_vec(), &shape);
+        let batch = Tensor::scratch_from(&x.data()[start * row..end * row], &shape);
         let logits = model.forward(batch, Mode::Eval);
         correct += (accuracy(&logits, &labels[start..end]) * (end - start) as f32).round() as usize;
+        logits.recycle();
         start = end;
     }
     correct as f32 / n as f32

@@ -15,6 +15,8 @@
 //!   its own scope helps drain the shared queue instead of blocking, so the
 //!   pool cannot deadlock on nesting).
 //! * **[`parallel_for`]** — chunked iteration over an index range.
+//! * **[`parallel_for_each`]** — one task per index, for caller-sized work
+//!   units (the packed GEMM's cache panels).
 //! * **[`par_chunks_mut`]** — disjoint `&mut` chunks of a slice dispatched
 //!   across the pool (the backbone of the row-blocked tensor kernels).
 //! * **[`map_reduce`]** — chunked map-reduce whose chunk boundaries depend
@@ -62,7 +64,7 @@
 mod ops;
 mod pool;
 
-pub use ops::{map_reduce, par_chunks_mut, parallel_for};
+pub use ops::{map_reduce, par_chunks_mut, parallel_for, parallel_for_each};
 pub use pool::{scope, set_threads, threads, with_threads, Scope};
 
 /// A reasonable per-task chunk length for `len` items of roughly uniform

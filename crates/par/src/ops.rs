@@ -67,6 +67,36 @@ where
     });
 }
 
+/// Runs `f(i)` for every `i in 0..count`, one pool task per index.
+///
+/// This is the panel-granularity primitive used by the packed GEMM: each
+/// index is one fixed-size panel of work whose boundaries are chosen by the
+/// *caller* (from cache-blocking constants), so the work decomposition is
+/// identical at any thread count — only where each panel executes varies.
+/// With parallelism 1 (or a single panel) the panels run inline in ascending
+/// index order, the exact serial fallback.
+///
+/// Prefer [`parallel_for`] when per-index work is small and a grain should
+/// merge indices into chunks; use this when each index is already a
+/// substantial, deliberately-sized block.
+pub fn parallel_for_each<F>(count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads() <= 1 || count <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    scope(|s| {
+        let f = &f;
+        for i in 0..count {
+            s.spawn(move || f(i));
+        }
+    });
+}
+
 /// Deterministic chunked map-reduce over an index range.
 ///
 /// The range is cut into `ceil(len / grain)` chunks whose boundaries depend
@@ -127,6 +157,20 @@ mod tests {
     #[test]
     fn parallel_for_empty_range_is_noop() {
         parallel_for(5..5, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_for_each_runs_every_index_once() {
+        for t in [1usize, 2, 7] {
+            with_threads(t, || {
+                let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for_each(hits.len(), |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+        parallel_for_each(0, |_| panic!("must not be called"));
     }
 
     #[test]

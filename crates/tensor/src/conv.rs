@@ -5,11 +5,23 @@
 //! `[C * kh * kw, N * out_h * out_w]` so that the forward pass is a single
 //! matrix product `weight x cols`.
 //!
+//! The hot path is the **fused** pair [`conv2d_forward_fused`] /
+//! [`conv2d_backward_fused`]: instead of materializing the full im2col
+//! matrix they generate its entries *directly into the packed GEMM panels*
+//! (the B-operand packing closure of [`crate::gemm`]), so the column matrix
+//! never exists in memory and the working set per task is one KC×NR panel.
+//! The unfused [`im2col`]/[`conv2d_forward`]/[`conv2d_backward`] entry
+//! points are kept — they are the reference the fused path is tested
+//! against, and some callers want the explicit matrix.
+//!
 //! The im2col/col2im transforms and the layout-shuffling assembly loops are
 //! parallelized over contiguous row or plane blocks; within each block the
 //! per-element operation order matches the serial code, so outputs are
-//! bitwise identical at any `APF_PAR_THREADS`.
+//! bitwise identical at any `APF_PAR_THREADS`. The fused path reuses the
+//! GEMM's ascending-`k` accumulation, so its outputs are bitwise identical
+//! to the unfused `matmul`-based path too.
 
+use crate::gemm;
 use crate::tensor::{rows_per_block, Tensor, PAR_OPS_MIN};
 
 /// Geometry of a 2-D convolution.
@@ -104,14 +116,14 @@ pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
     let (oh, ow) = spec.out_size(h, w);
     let cols_w = n * oh * ow;
     let rows = c * k * k;
-    let mut cols = vec![0.0f32; rows * cols_w];
+    let mut cols_t = Tensor::scratch(&[rows, cols_w]);
     let data = input.data();
     let pad = spec.padding as isize;
     // Row-outer so each parallel chunk is a contiguous block of complete
     // matrix rows; every element is written at most once (pure gather), so
     // the result is independent of chunking.
     let rows_per = rows_per_block(rows, cols_w.max(1));
-    apf_par::par_chunks_mut(&mut cols, rows_per * cols_w, |bi, block| {
+    apf_par::par_chunks_mut(cols_t.data_mut(), rows_per * cols_w, |bi, block| {
         for (ri, cols_row) in block.chunks_mut(cols_w).enumerate() {
             let row = bi * rows_per + ri;
             let ci = row / (k * k);
@@ -138,7 +150,7 @@ pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(cols, &[rows, cols_w])
+    cols_t
 }
 
 /// Folds an im2col-layout gradient back into an input-shaped tensor
@@ -153,7 +165,7 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
     let (oh, ow) = spec.out_size(h, w);
     let cols_w = n * oh * ow;
     assert_eq!(cols.shape(), &[c * k * k, cols_w], "col2im layout mismatch");
-    let mut out = vec![0.0f32; n * c * h * w];
+    let mut out = Tensor::scratch(&[n, c, h, w]);
     let data = cols.data();
     let pad = spec.padding as isize;
     // Parallel over contiguous `[h, w]` planes. Overlapping windows only
@@ -162,7 +174,7 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
     // every float association identical.
     let hw = h * w;
     let planes_per = rows_per_block(n * c, k * k * oh * ow);
-    apf_par::par_chunks_mut(&mut out, planes_per * hw, |bi, block| {
+    apf_par::par_chunks_mut(out.data_mut(), planes_per * hw, |bi, block| {
         for (pi, plane) in block.chunks_mut(hw).enumerate() {
             let nc = bi * planes_per + pi;
             let (ni, ci) = (nc / c, nc % c);
@@ -189,7 +201,7 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
             }
         }
     });
-    Tensor::from_vec(out, &[n, c, h, w])
+    out
 }
 
 /// 2-D convolution forward pass.
@@ -222,13 +234,18 @@ pub fn conv2d_forward(
     let out_mat = weight.matmul(&cols);
     let o = spec.out_channels;
     let hw = oh * ow;
-    let mut out = vec![0.0f32; n * o * hw];
-    let om = out_mat.data();
-    let b = bias.data();
-    // Assemble [O, N*oh*ow] -> [N, O, oh, ow] plane by plane; each output
-    // plane is written exactly once (pure scatter + bias add).
+    let mut out = Tensor::scratch(&[n, o, oh, ow]);
+    assemble_output(out.data_mut(), out_mat.data(), bias.data(), n, o, hw);
+    out_mat.recycle();
+    (out, cols)
+}
+
+/// Assembles the GEMM output `[O, N*oh*ow]` into `[N, O, oh, ow]`, adding
+/// the per-channel bias. Each output plane is written exactly once (pure
+/// scatter + bias add), so parallel chunking cannot change the result.
+fn assemble_output(out: &mut [f32], om: &[f32], b: &[f32], n: usize, o: usize, hw: usize) {
     let planes_per = rows_per_block(n * o, hw.max(1));
-    apf_par::par_chunks_mut(&mut out, planes_per * hw, |bi, block| {
+    apf_par::par_chunks_mut(out, planes_per * hw, |bi, block| {
         for (pi, dst) in block.chunks_mut(hw).enumerate() {
             let pl = bi * planes_per + pi;
             let (ni, oi) = (pl / o, pl % o);
@@ -238,7 +255,6 @@ pub fn conv2d_forward(
             }
         }
     });
-    (Tensor::from_vec(out, &[n, o, oh, ow]), cols)
 }
 
 /// 2-D convolution backward pass.
@@ -260,12 +276,28 @@ pub fn conv2d_backward(
     let (n, o, oh, ow) = (s[0], s[1], s[2], s[3]);
     assert_eq!(o, spec.out_channels);
     let hw = oh * ow;
-    // Rearrange grad_out [N,O,oh,ow] into [O, N*oh*ow] to mirror the
-    // forward; each destination plane is a disjoint copy.
-    let mut gm = vec![0.0f32; o * n * hw];
+    let grad_mat = rearrange_grad(grad_out, n, o, hw);
+    let grad_weight = grad_mat.matmul_nt(cols); // [O, CKK]
+    let grad_bias = bias_sums(&grad_mat, n, o, hw);
+    let grad_cols = weight.matmul_tn(&grad_mat); // [CKK, N*oh*ow]
+    let (h, w) = input_hw;
+    let grad_input = col2im(&grad_cols, spec, n, h, w);
+    grad_cols.recycle();
+    grad_mat.recycle();
+    Conv2dGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    }
+}
+
+/// Rearranges `grad_out` `[N,O,oh,ow]` into `[O, N*oh*ow]` (mirroring the
+/// forward layout); each destination plane is a disjoint copy.
+fn rearrange_grad(grad_out: &Tensor, n: usize, o: usize, hw: usize) -> Tensor {
+    let mut gm = Tensor::scratch(&[o, n * hw]);
     let g = grad_out.data();
     let planes_per = rows_per_block(o * n, hw.max(1));
-    apf_par::par_chunks_mut(&mut gm, planes_per * hw, |bi, block| {
+    apf_par::par_chunks_mut(gm.data_mut(), planes_per * hw, |bi, block| {
         for (pi, dst) in block.chunks_mut(hw).enumerate() {
             let pl = bi * planes_per + pi;
             let (oi, ni) = (pl / n, pl % n);
@@ -273,18 +305,313 @@ pub fn conv2d_backward(
             dst.copy_from_slice(src);
         }
     });
-    let grad_mat = Tensor::from_vec(gm, &[o, n * hw]);
-    let grad_weight = grad_mat.matmul_nt(cols); // [O, CKK]
-    let grad_bias = {
-        let mut b = vec![0.0f32; o];
-        for (oi, bo) in b.iter_mut().enumerate() {
-            *bo = grad_mat.data()[oi * n * hw..(oi + 1) * n * hw].iter().sum();
+    gm
+}
+
+/// Per-output-channel sums of `grad_mat` `[O, N*oh*ow]` (the bias gradient).
+fn bias_sums(grad_mat: &Tensor, n: usize, o: usize, hw: usize) -> Tensor {
+    let mut b = Tensor::scratch(&[o]);
+    let gm = grad_mat.data();
+    for (oi, bo) in b.data_mut().iter_mut().enumerate() {
+        *bo = gm[oi * n * hw..(oi + 1) * n * hw].iter().sum();
+    }
+    b
+}
+
+/// Convolution geometry prepared for generating im2col entries on the fly.
+///
+/// The fused GEMM path never materializes the `[C*k*k, N*oh*ow]` column
+/// matrix; instead the B-operand packing closures ask this struct for spans
+/// of it, computed straight from the input tensor. Entry `(row, col)` of the
+/// virtual matrix is `input[ni, ci, iy, ix]` with
+/// `row = ci*k*k + ky*k + kx`, `col = ni*oh*ow + oy*ow + ox`,
+/// `iy = oy*stride + ky - pad`, `ix = ox*stride + kx - pad` (0.0 when the
+/// sample falls in the zero padding) — exactly what [`im2col`] writes, so
+/// the fused and unfused paths feed the GEMM bitwise-identical panels.
+struct ColsGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: isize,
+    oh: usize,
+    ow: usize,
+}
+
+impl ColsGeom {
+    fn new(spec: &ConvSpec, h: usize, w: usize) -> Self {
+        let (oh, ow) = spec.out_size(h, w);
+        ColsGeom {
+            c: spec.in_channels,
+            h,
+            w,
+            k: spec.kernel,
+            stride: spec.stride,
+            pad: spec.padding as isize,
+            oh,
+            ow,
         }
-        Tensor::from_vec(b, &[o])
-    };
+    }
+
+    /// Decomposes a virtual-matrix row index into `(ci, ky, kx)`.
+    #[inline]
+    fn row_parts(&self, row: usize) -> (usize, usize, usize) {
+        (
+            row / (self.k * self.k),
+            (row / self.k) % self.k,
+            row % self.k,
+        )
+    }
+
+    /// Fills `dst[j] = cols[row][col0 + j]`, walking output-row runs so the
+    /// inner loop stays within one input row.
+    fn fill_row_span(&self, data: &[f32], row: usize, col0: usize, dst: &mut [f32]) {
+        let (ci, ky, kx) = self.row_parts(row);
+        let ohw = self.oh * self.ow;
+        let mut j = 0;
+        while j < dst.len() {
+            let col = col0 + j;
+            let ni = col / ohw;
+            let rem = col % ohw;
+            let (oy, ox0) = (rem / self.ow, rem % self.ow);
+            let run = (self.ow - ox0).min(dst.len() - j);
+            let iy = (oy * self.stride) as isize + ky as isize - self.pad;
+            if iy < 0 || iy >= self.h as isize {
+                dst[j..j + run].fill(0.0);
+            } else {
+                let in_row =
+                    &data[((ni * self.c + ci) * self.h + iy as usize) * self.w..][..self.w];
+                for (t, d) in dst[j..j + run].iter_mut().enumerate() {
+                    let ix = ((ox0 + t) * self.stride) as isize + kx as isize - self.pad;
+                    *d = if ix < 0 || ix >= self.w as isize {
+                        0.0
+                    } else {
+                        in_row[ix as usize]
+                    };
+                }
+            }
+            j += run;
+        }
+    }
+
+    /// B-packing closure body for the forward GEMM: NR-column panels of
+    /// `cols` at depth `pc..pc+kc_eff`, columns `jc..jc+nc_eff`.
+    fn pack_cols_panels(
+        &self,
+        data: &[f32],
+        dst: &mut [f32],
+        pc: usize,
+        kc_eff: usize,
+        jc: usize,
+        nc_eff: usize,
+    ) {
+        for (jr, panel) in dst.chunks_exact_mut(kc_eff * gemm::NR).enumerate() {
+            let cols_n = gemm::NR.min(nc_eff - jr * gemm::NR);
+            let col0 = jc + jr * gemm::NR;
+            for p in 0..kc_eff {
+                let out = &mut panel[p * gemm::NR..(p + 1) * gemm::NR];
+                self.fill_row_span(data, pc + p, col0, &mut out[..cols_n]);
+                out[cols_n..].fill(0.0);
+            }
+        }
+    }
+
+    /// B-packing closure body for the grad-weight GEMM, whose B operand is
+    /// the *transpose* `colsᵀ [N*oh*ow, C*k*k]`: panel entry `(p, j)` is
+    /// `cols[jc + j][pc + p]`. Row decompositions are hoisted per panel.
+    fn pack_cols_t_panels(
+        &self,
+        data: &[f32],
+        dst: &mut [f32],
+        pc: usize,
+        kc_eff: usize,
+        jc: usize,
+        nc_eff: usize,
+    ) {
+        let ohw = self.oh * self.ow;
+        for (jr, panel) in dst.chunks_exact_mut(kc_eff * gemm::NR).enumerate() {
+            let cols_n = gemm::NR.min(nc_eff - jr * gemm::NR);
+            let mut rows = [(0usize, 0usize, 0usize); gemm::NR];
+            for (j, r) in rows.iter_mut().enumerate().take(cols_n) {
+                *r = self.row_parts(jc + jr * gemm::NR + j);
+            }
+            for p in 0..kc_eff {
+                let col = pc + p;
+                let ni = col / ohw;
+                let rem = col % ohw;
+                let (oy, ox) = (rem / self.ow, rem % self.ow);
+                let out = &mut panel[p * gemm::NR..(p + 1) * gemm::NR];
+                for (o, &(ci, ky, kx)) in out.iter_mut().zip(&rows).take(cols_n) {
+                    let iy = (oy * self.stride) as isize + ky as isize - self.pad;
+                    let ix = (ox * self.stride) as isize + kx as isize - self.pad;
+                    *o = if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
+                        0.0
+                    } else {
+                        data[((ni * self.c + ci) * self.h + iy as usize) * self.w + ix as usize]
+                    };
+                }
+                out[cols_n..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Fused 2-D convolution forward pass: im2col directly into the packed GEMM
+/// panels, so the column matrix never exists in memory.
+///
+/// Takes the same operands as [`conv2d_forward`] and produces a bitwise
+/// identical output tensor (asserted in debug builds for small problems);
+/// it just skips materializing (and returning) `cols`. Pair it with
+/// [`conv2d_backward_fused`], which re-derives the column entries from the
+/// input instead of consuming a cached `cols`.
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn conv2d_forward_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.len(), 4, "conv2d expects [N,C,H,W]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let k = spec.kernel;
+    assert_eq!(
+        weight.shape(),
+        &[spec.out_channels, spec.in_channels * k * k],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.numel(), spec.out_channels, "bias shape mismatch");
+    let (oh, ow) = spec.out_size(h, w);
+    let o = spec.out_channels;
+    let ckk = c * k * k;
+    let cols_w = n * oh * ow;
+    let ops = o * ckk * cols_w;
+    if ops < gemm::PACK_OPS_MIN {
+        // Tiny problem: the unfused path already uses the naive reference
+        // matmul here, and packing traffic would dominate.
+        let (out, cols) = conv2d_forward(input, weight, bias, spec);
+        cols.recycle();
+        return out;
+    }
+    let geom = ColsGeom::new(spec, h, w);
+    let wdata = weight.data();
+    let idata = input.data();
+    let mut out_mat = Tensor::scratch(&[o, cols_w]);
+    gemm::gemm_packed(
+        o,
+        ckk,
+        cols_w,
+        &|dst: &mut [f32], ic, mc_eff, pc, kc_eff| {
+            gemm::pack_a_rowmajor(dst, wdata, ckk, ic, mc_eff, pc, kc_eff)
+        },
+        &|dst: &mut [f32], pc, kc_eff, jc, nc_eff| {
+            geom.pack_cols_panels(idata, dst, pc, kc_eff, jc, nc_eff)
+        },
+        out_mat.data_mut(),
+    );
+    let hw = oh * ow;
+    let mut out = Tensor::scratch(&[n, o, oh, ow]);
+    assemble_output(out.data_mut(), out_mat.data(), bias.data(), n, o, hw);
+    out_mat.recycle();
+    #[cfg(debug_assertions)]
+    if ops <= gemm::REF_CHECK_OPS_MAX {
+        let (want, cols) = conv2d_forward(input, weight, bias, spec);
+        cols.recycle();
+        for (i, (g, r)) in out.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                r.to_bits(),
+                "fused conv2d forward diverged from unfused at {i}: {g} vs {r}"
+            );
+        }
+        want.recycle();
+    }
+    out
+}
+
+/// Fused 2-D convolution backward pass.
+///
+/// Unlike [`conv2d_backward`] it takes the forward `input` instead of the
+/// cached im2col matrix: the grad-weight GEMM regenerates the column entries
+/// (transposed) directly into its packed B panels. Gradients are bitwise
+/// identical to the unfused path (asserted in debug builds for small
+/// problems).
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn conv2d_backward_fused(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &ConvSpec,
+) -> Conv2dGrads {
+    let s = grad_out.shape();
+    assert_eq!(s.len(), 4, "grad_out must be [N,O,oh,ow]");
+    let (n, o, oh, ow) = (s[0], s[1], s[2], s[3]);
+    assert_eq!(o, spec.out_channels);
+    let si = input.shape();
+    assert_eq!(si.len(), 4, "input must be [N,C,H,W]");
+    let (c, h, w) = (si[1], si[2], si[3]);
+    assert_eq!(si[0], n, "batch mismatch");
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    assert_eq!(spec.out_size(h, w), (oh, ow), "conv geometry mismatch");
+    let k = spec.kernel;
+    let ckk = c * k * k;
+    let hw = oh * ow;
+    let cols_w = n * hw;
+    let ops = o * cols_w * ckk;
+    if ops < gemm::PACK_OPS_MIN {
+        let cols = im2col(input, spec);
+        let grads = conv2d_backward(grad_out, &cols, weight, spec, (h, w));
+        cols.recycle();
+        return grads;
+    }
+    let grad_mat = rearrange_grad(grad_out, n, o, hw);
+    let geom = ColsGeom::new(spec, h, w);
+    let gm = grad_mat.data();
+    let idata = input.data();
+    // grad_weight [O, CKK] = grad_mat [O, N*hw] · colsᵀ [N*hw, CKK].
+    let mut grad_weight = Tensor::scratch(&[o, ckk]);
+    gemm::gemm_packed(
+        o,
+        cols_w,
+        ckk,
+        &|dst: &mut [f32], ic, mc_eff, pc, kc_eff| {
+            gemm::pack_a_rowmajor(dst, gm, cols_w, ic, mc_eff, pc, kc_eff)
+        },
+        &|dst: &mut [f32], pc, kc_eff, jc, nc_eff| {
+            geom.pack_cols_t_panels(idata, dst, pc, kc_eff, jc, nc_eff)
+        },
+        grad_weight.data_mut(),
+    );
+    let grad_bias = bias_sums(&grad_mat, n, o, hw);
     let grad_cols = weight.matmul_tn(&grad_mat); // [CKK, N*oh*ow]
-    let (h, w) = input_hw;
     let grad_input = col2im(&grad_cols, spec, n, h, w);
+    grad_cols.recycle();
+    grad_mat.recycle();
+    #[cfg(debug_assertions)]
+    if ops <= gemm::REF_CHECK_OPS_MAX {
+        let cols = im2col(input, spec);
+        let want = conv2d_backward(grad_out, &cols, weight, spec, (h, w));
+        cols.recycle();
+        for (what, got_t, want_t) in [
+            ("input", &grad_input, &want.input),
+            ("weight", &grad_weight, &want.weight),
+            ("bias", &grad_bias, &want.bias),
+        ] {
+            for (i, (g, r)) in got_t.data().iter().zip(want_t.data()).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    r.to_bits(),
+                    "fused conv2d backward grad_{what} diverged at {i}: {g} vs {r}"
+                );
+            }
+        }
+    }
     Conv2dGrads {
         input: grad_input,
         weight: grad_weight,
@@ -304,7 +631,7 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let (oh, ow) = spec.out_size(h, w);
     let ohw = oh * ow;
-    let mut out = vec![0.0f32; n * c * ohw];
+    let mut out = Tensor::scratch(&[n, c, oh, ow]);
     let mut arg = vec![0usize; n * c * ohw];
     let data = input.data();
     // Each `[oh, ow]` plane of (out, arg) depends on one input plane only;
@@ -332,7 +659,11 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
         }
     };
     let cost = ohw * spec.kernel * spec.kernel;
-    let planes = out.chunks_mut(ohw).zip(arg.chunks_mut(ohw)).enumerate();
+    let planes = out
+        .data_mut()
+        .chunks_mut(ohw)
+        .zip(arg.chunks_mut(ohw))
+        .enumerate();
     if apf_par::threads() <= 1 || (n * c).saturating_mul(cost) < PAR_OPS_MIN {
         for (nc, (op, ap)) in planes {
             pool_plane(nc, op, ap);
@@ -345,7 +676,7 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
             }
         });
     }
-    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+    (out, arg)
 }
 
 /// Max-pooling backward: scatters `grad_out` to the argmax positions.
@@ -354,7 +685,7 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>
 /// Panics if `argmax` length differs from `grad_out`'s element count.
 pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(grad_out.numel(), argmax.len(), "argmax length mismatch");
-    let mut grad_in = Tensor::zeros(input_shape);
+    let mut grad_in = Tensor::scratch(input_shape);
     let gi = grad_in.data_mut();
     for (&idx, &g) in argmax.iter().zip(grad_out.data()) {
         gi[idx] += g;
@@ -372,7 +703,8 @@ pub fn avgpool2d_forward(input: &Tensor, spec: &PoolSpec) -> Tensor {
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let (oh, ow) = spec.out_size(h, w);
     let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut out_t = Tensor::scratch(&[n, c, oh, ow]);
+    let out = out_t.data_mut();
     let data = input.data();
     for nc in 0..n * c {
         let plane_base = nc * h * w;
@@ -390,7 +722,7 @@ pub fn avgpool2d_forward(input: &Tensor, spec: &PoolSpec) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, oh, ow])
+    out_t
 }
 
 /// Average-pooling backward: spreads each output gradient uniformly over its
@@ -405,7 +737,7 @@ pub fn avgpool2d_backward(grad_out: &Tensor, spec: &PoolSpec, input_shape: &[usi
     let (h, w) = (input_shape[2], input_shape[3]);
     assert_eq!(spec.out_size(h, w), (oh, ow), "pool geometry mismatch");
     let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
-    let mut grad_in = Tensor::zeros(input_shape);
+    let mut grad_in = Tensor::scratch(input_shape);
     let gi = grad_in.data_mut();
     let g = grad_out.data();
     for nc in 0..n * c {
@@ -656,6 +988,119 @@ mod tests {
         let grad_in = avgpool2d_backward(&grad_out, &spec, &[2, 3, 4, 4]);
         // Each input position receives 1/4 from exactly one window.
         assert!(grad_in.data().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fused_forward_is_bitwise_identical_to_unfused() {
+        // Covers padded/strided geometry and a batch large enough that the
+        // GEMM takes the packed path (ops >= PACK_OPS_MIN), across thread
+        // counts. The debug-build parity assert inside the fused functions
+        // double-checks every case too.
+        for (spec, shape) in [
+            (
+                ConvSpec {
+                    in_channels: 3,
+                    out_channels: 5,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                [4usize, 3, 9, 9],
+            ),
+            (
+                ConvSpec {
+                    in_channels: 2,
+                    out_channels: 4,
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                },
+                [3, 2, 8, 8],
+            ),
+        ] {
+            let input = det_input(&shape);
+            let weight = det_input(&[
+                spec.out_channels,
+                spec.in_channels * spec.kernel * spec.kernel,
+            ]);
+            let bias = det_input(&[spec.out_channels]);
+            let (want, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+            cols.recycle();
+            for t in [1usize, 2, 7] {
+                let got = apf_par::with_threads(t, || {
+                    conv2d_forward_fused(&input, &weight, &bias, &spec)
+                });
+                assert_eq!(got.shape(), want.shape());
+                for (g, r) in got.data().iter().zip(want.data()) {
+                    assert_eq!(g.to_bits(), r.to_bits(), "threads={t}: {g} vs {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backward_is_bitwise_identical_to_unfused() {
+        let spec = ConvSpec {
+            in_channels: 3,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let input = det_input(&[3, 3, 8, 8]);
+        let weight = det_input(&[4, 3 * 9]);
+        let bias = det_input(&[4]);
+        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = det_input(out.shape());
+        let want = conv2d_backward(&grad_out, &cols, &weight, &spec, (8, 8));
+        cols.recycle();
+        for t in [1usize, 2, 7] {
+            let got = apf_par::with_threads(t, || {
+                conv2d_backward_fused(&grad_out, &input, &weight, &spec)
+            });
+            for (what, g_t, w_t) in [
+                ("input", &got.input, &want.input),
+                ("weight", &got.weight, &want.weight),
+                ("bias", &got.bias, &want.bias),
+            ] {
+                assert_eq!(g_t.shape(), w_t.shape(), "threads={t} grad_{what}");
+                for (g, r) in g_t.data().iter().zip(w_t.data()) {
+                    assert_eq!(
+                        g.to_bits(),
+                        r.to_bits(),
+                        "threads={t} grad_{what}: {g} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tiny_problem_takes_reference_path() {
+        // Below PACK_OPS_MIN the fused entry points fall back to the unfused
+        // implementation; results must still agree exactly.
+        let spec = ConvSpec {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            padding: 0,
+        };
+        let input = det_input(&[1, 1, 3, 3]);
+        let weight = det_input(&[1, 4]);
+        let bias = det_input(&[1]);
+        let (want, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let got = conv2d_forward_fused(&input, &weight, &bias, &spec);
+        for (g, r) in got.data().iter().zip(want.data()) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+        let grad_out = det_input(want.shape());
+        let wantb = conv2d_backward(&grad_out, &cols, &weight, &spec, (3, 3));
+        let gotb = conv2d_backward_fused(&grad_out, &input, &weight, &spec);
+        for (g, r) in gotb.weight.data().iter().zip(wantb.weight.data()) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+        cols.recycle();
     }
 
     #[test]

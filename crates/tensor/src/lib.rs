@@ -5,10 +5,12 @@
 //! im2col-based convolution and pooling kernels, parameter initializers,
 //! deterministic seeded RNG helpers, and small statistics utilities.
 //!
-//! Everything is implemented from scratch (no BLAS, no ndarray): the paper's
-//! models are small enough that straightforward loop kernels in release mode
-//! are more than fast enough, and having the kernels in-tree keeps the whole
-//! reproduction self-contained and auditable.
+//! Everything is implemented from scratch (no BLAS, no ndarray): the matmul
+//! family runs on an in-tree packed, register-tiled GEMM (see `gemm.rs` and
+//! the "Kernel design" section of EXPERIMENTS.md), convolution im2cols
+//! straight into the packed panels, and hot-path buffers come from the
+//! thread-local [`scratch`] pool, keeping the whole reproduction
+//! self-contained, auditable, and allocation-free at steady state.
 //!
 //! # Example
 //!
@@ -22,16 +24,20 @@
 //! ```
 
 mod conv;
+mod gemm;
 mod init;
 mod rng;
+pub mod scratch;
 mod stats;
 mod tensor;
 
 pub use conv::{
-    avgpool2d_backward, avgpool2d_forward, col2im, conv2d_backward, conv2d_forward, im2col,
-    maxpool2d_backward, maxpool2d_forward, Conv2dGrads, ConvSpec, PoolSpec,
+    avgpool2d_backward, avgpool2d_forward, col2im, conv2d_backward, conv2d_backward_fused,
+    conv2d_forward, conv2d_forward_fused, im2col, maxpool2d_backward, maxpool2d_forward,
+    Conv2dGrads, ConvSpec, PoolSpec,
 };
 pub use init::{kaiming_uniform, normal_init, sample_normal, uniform_init, xavier_uniform};
 pub use rng::{derive_seed, seeded_rng, splitmix64, Rng, Sample, SampleRange, SliceRandom};
+pub use scratch::ScratchStats;
 pub use stats::{l1_norm, l2_norm, mean, percentile, variance};
 pub use tensor::Tensor;

@@ -1,34 +1,53 @@
 //! The owned, row-major dense tensor type.
 //!
-//! The heavy kernels (the `matmul` family, large elementwise ops, and the
-//! reductions) are parallelized over the `apf-par` pool above fixed size
-//! thresholds. Parallel and serial paths compute every output element with
-//! the same per-element operation order, so results are bitwise identical
-//! at any `APF_PAR_THREADS` value; reductions additionally use
-//! [`apf_par::map_reduce`], whose chunking is thread-count independent.
+//! The `matmul` family dispatches to the packed, register-tiled GEMM in
+//! [`crate::gemm`] (parallelized over a fixed cache-block grid); other heavy
+//! kernels (large elementwise ops and the reductions) are parallelized over
+//! the `apf-par` pool above fixed size thresholds. Parallel and serial paths
+//! compute every output element with the same per-element operation order,
+//! so results are bitwise identical at any `APF_PAR_THREADS` value;
+//! reductions additionally use [`apf_par::map_reduce`], whose chunking is
+//! thread-count independent. Matmul outputs are drawn from the thread-local
+//! [`crate::scratch`] pool; callers on the training hot path hand buffers
+//! back via [`Tensor::recycle`] so steady-state rounds allocate nothing.
 
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+
+use crate::gemm;
+use crate::scratch;
 
 /// Minimum elements before an elementwise op is dispatched to the pool.
 const PAR_ELEM_MIN: usize = 1 << 15;
 /// Minimum multiply-adds before a matrix kernel is dispatched to the pool.
 pub(crate) const PAR_OPS_MIN: usize = 1 << 16;
+/// Minimum operations a parallel row block should amortize: blocks are never
+/// cut smaller than this much work, so small kernels (e.g. per-plane conv
+/// assembly) don't shatter into per-task overhead that exceeds the task.
+pub(crate) const PAR_BLOCK_MIN_OPS: usize = 1 << 15;
 /// Fixed reduction grain: chunk boundaries for `sum`/`norm_sq` depend only
 /// on this constant, never on the thread count, keeping reductions bitwise
 /// reproducible. Inputs at or below one grain reduce exactly like a plain
 /// serial fold.
 const REDUCE_GRAIN: usize = 1 << 16;
+/// Lhs density above which [`Tensor::matmul_sparse_lhs`] falls back to the
+/// packed dense kernel: with this many nonzeros the zero-skip branch costs
+/// more than the multiplies it saves.
+pub(crate) const SPARSE_LHS_MAX_DENSITY: f32 = 0.4;
 
 /// Row-block size for dispatching a `rows`-row kernel whose per-row cost is
 /// `row_cost` operations: all rows in one block (serial) below the
-/// threshold, else ~4 blocks per pool thread.
+/// threshold, else ~4 blocks per pool thread — but never blocks smaller
+/// than [`PAR_BLOCK_MIN_OPS`] of work, so cheap rows are grouped instead of
+/// paying per-task dispatch that dwarfs the row itself.
 pub(crate) fn rows_per_block(rows: usize, row_cost: usize) -> usize {
     let t = apf_par::threads();
     if t <= 1 || rows.saturating_mul(row_cost) < PAR_OPS_MIN {
         rows.max(1)
     } else {
-        rows.div_ceil(4 * t).max(1)
+        let by_threads = rows.div_ceil(4 * t);
+        let by_cost = PAR_BLOCK_MIN_OPS.div_ceil(row_cost.max(1));
+        by_threads.max(by_cost).clamp(1, rows.max(1))
     }
 }
 
@@ -63,6 +82,39 @@ fn mm_block_sparse(a: &[f32], b: &[f32], out_block: &mut [f32], i0: usize, k: us
             }
         }
     }
+}
+
+/// Debug-build check that a packed result is bitwise identical to the naive
+/// reference, capped at small problem sizes so debug test runs stay fast
+/// (larger shapes are covered explicitly by the property tests).
+#[cfg(debug_assertions)]
+fn debug_assert_matches_reference(
+    got: &Tensor,
+    reference: impl FnOnce() -> Tensor,
+    ops: usize,
+    what: &str,
+) {
+    if ops > gemm::REF_CHECK_OPS_MAX {
+        return;
+    }
+    let want = reference();
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: packed kernel diverged from reference at element {i}: {g} vs {w}"
+        );
+    }
+    want.recycle();
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_assert_matches_reference(
+    _got: &Tensor,
+    _reference: impl FnOnce() -> Tensor,
+    _ops: usize,
+    _what: &str,
+) {
 }
 
 /// An owned, row-major, dense `f32` tensor of arbitrary rank.
@@ -134,6 +186,50 @@ impl Tensor {
             t.data[i * n + i] = 1.0;
         }
         t
+    }
+
+    /// Creates a zero-filled tensor backed by the thread-local
+    /// [`crate::scratch`] pool — indistinguishable from [`Tensor::zeros`]
+    /// except that a recycled buffer is reused when one fits.
+    ///
+    /// Pair with [`Tensor::recycle`] on the training hot path so
+    /// steady-state rounds stop allocating.
+    pub fn scratch(shape: &[usize]) -> Self {
+        let numel = shape.iter().try_fold(1usize, |a, &d| a.checked_mul(d));
+        let numel = numel.expect("shape product overflows usize");
+        Tensor {
+            data: scratch::take(numel),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Copies this tensor into a scratch-pool-backed tensor (no zero-fill
+    /// pass; the pool buffer is overwritten directly).
+    pub fn scratch_copy(&self) -> Self {
+        Tensor {
+            data: scratch::take_copy(&self.data),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Builds a tensor holding a copy of `data` in a scratch-pool buffer
+    /// (single copy, no zero-fill pass).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub fn scratch_from(data: &[f32], shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, data.len(), "data length does not match shape");
+        Tensor {
+            data: scratch::take_copy(data),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Consumes the tensor, returning its buffer to the thread-local scratch
+    /// pool for reuse by the next [`Tensor::scratch`]/matmul/conv call.
+    pub fn recycle(self) {
+        scratch::give(self.data);
     }
 
     /// Creates a tensor from raw data and a shape.
@@ -307,6 +403,29 @@ impl Tensor {
         }
     }
 
+    /// Combines elementwise with `other` in place: `self[i] = f(self[i],
+    /// other[i])`. The allocation-free counterpart of
+    /// [`zip_map`](Tensor::zip_map).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_with(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
+        assert_eq!(self.shape, other.shape, "zip_with shape mismatch");
+        if self.data.len() < PAR_ELEM_MIN || apf_par::threads() <= 1 {
+            for (a, &b) in self.data.iter_mut().zip(&other.data) {
+                *a = f(*a, b);
+            }
+            return;
+        }
+        let chunk = apf_par::chunk_len(self.data.len());
+        apf_par::par_chunks_mut(&mut self.data, chunk, |i, c| {
+            let src = &other.data[i * chunk..i * chunk + c.len()];
+            for (a, &b) in c.iter_mut().zip(src) {
+                *a = f(*a, b);
+            }
+        });
+    }
+
     /// `self += alpha * other`, elementwise.
     ///
     /// # Panics
@@ -375,6 +494,13 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
+    /// Dispatches to the packed, register-tiled GEMM above a small size
+    /// threshold; tiny products use the naive reference kernel (the packing
+    /// traffic would dominate). Both paths accumulate every output element
+    /// ascending in `k` from 0.0, so they are bitwise identical to each
+    /// other — and, in debug builds, small packed calls are asserted against
+    /// the reference.
+    ///
     /// # Panics
     /// Panics if either tensor is not rank 2 or inner dimensions mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -383,30 +509,44 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order inside each row block: streams over contiguous rows
-        // of `other` and `out`. Dense path — no zero-skip branch (a
-        // data-dependent branch mispredicts on dense activations; use
-        // `matmul_sparse_lhs` when the lhs really is sparse).
+        if m * k * n < gemm::PACK_OPS_MIN {
+            return self.matmul_reference(other);
+        }
+        let mut out = Tensor::scratch(&[m, n]);
+        gemm::gemm_nn(&self.data, &other.data, m, k, n, &mut out.data);
+        debug_assert_matches_reference(&out, || self.matmul_reference(other), m * k * n, "matmul");
+        out
+    }
+
+    /// Naive triple-loop `[m,k] x [k,n]` — the reference kernel the packed
+    /// GEMM is asserted against (serial, ikj loop order, ascending-`k`
+    /// accumulation from 0.0).
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or inner dimensions mismatch.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::scratch(&[m, n]);
         if n > 0 {
-            let rows_per = rows_per_block(m, k * n);
-            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
-                mm_block(&self.data, &other.data, block, ci * rows_per, k, n);
-            });
+            mm_block(&self.data, &other.data, &mut out.data, 0, k, n);
         }
-        Tensor {
-            data: out,
-            shape: vec![m, n],
-        }
+        out
     }
 
     /// Like [`matmul`](Tensor::matmul), but skips zero entries of `self`.
     ///
     /// Use this when the lhs is genuinely sparse — e.g. gradient updates
     /// masked by frozen-parameter bitmaps, where APF zeroes whole rows. The
-    /// result is bitwise identical to `matmul` whenever every lhs zero is a
-    /// positive zero and the rhs is finite (skipping `0.0 * b` only differs
-    /// for `-0.0` outputs or non-finite `b`).
+    /// lhs density is measured first: above
+    /// [`SPARSE_LHS_MAX_DENSITY`] nonzeros the zero-skip branch mispredicts
+    /// its way past any savings, so the call falls back to the packed dense
+    /// kernel. The result is bitwise identical to `matmul` whenever every
+    /// lhs zero is a positive zero and the rhs is finite (skipping `0.0 * b`
+    /// only differs for `-0.0` outputs or non-finite `b`).
     ///
     /// # Panics
     /// Panics if either tensor is not rank 2 or inner dimensions mismatch.
@@ -416,21 +556,34 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_sparse_lhs inner dimension mismatch");
-        let mut out = vec![0.0f32; m * n];
+        if self.density() > SPARSE_LHS_MAX_DENSITY {
+            return self.matmul(other);
+        }
+        let mut out = Tensor::scratch(&[m, n]);
         if n > 0 {
             let rows_per = rows_per_block(m, k * n);
-            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
+            apf_par::par_chunks_mut(&mut out.data, rows_per * n, |ci, block| {
                 mm_block_sparse(&self.data, &other.data, block, ci * rows_per, k, n);
             });
         }
-        Tensor {
-            data: out,
-            shape: vec![m, n],
+        out
+    }
+
+    /// Fraction of elements that are nonzero (1.0 for an empty tensor, so
+    /// degenerate shapes take the trivial dense path).
+    pub(crate) fn density(&self) -> f32 {
+        if self.data.is_empty() {
+            return 1.0;
         }
+        let nz = self.data.iter().filter(|&&x| x != 0.0).count();
+        nz as f32 / self.data.len() as f32
     }
 
     /// `self^T x other`: `[k,m]^T x [k,n] -> [m,n]`, without materializing the
     /// transpose.
+    ///
+    /// Packed above the size threshold (the packing step absorbs the strided
+    /// column reads), naive reference below; bitwise identical either way.
     ///
     /// # Panics
     /// Panics if either tensor is not rank 2 or the shared dimension differs.
@@ -440,36 +593,54 @@ impl Tensor {
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
-        let mut out = vec![0.0f32; m * n];
-        // Row blocks of the output; each block reads a strided column of
-        // `self`. Accumulation stays ascending in `p` for every output
-        // element, matching the serial order exactly.
-        if n > 0 {
-            let rows_per = rows_per_block(m, k * n);
-            let a = &self.data;
-            let b = &other.data;
-            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
-                let i0 = ci * rows_per;
-                for (ri, o_row) in block.chunks_mut(n).enumerate() {
-                    let i = i0 + ri;
-                    for p in 0..k {
-                        let av = a[p * m + i];
-                        let b_row = &b[p * n..(p + 1) * n];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
-                    }
+        if m * k * n < gemm::PACK_OPS_MIN {
+            return self.matmul_tn_reference(other);
+        }
+        let mut out = Tensor::scratch(&[m, n]);
+        gemm::gemm_tn(&self.data, &other.data, m, k, n, &mut out.data);
+        debug_assert_matches_reference(
+            &out,
+            || self.matmul_tn_reference(other),
+            m * k * n,
+            "matmul_tn",
+        );
+        out
+    }
+
+    /// Naive reference for [`matmul_tn`](Tensor::matmul_tn): strided column
+    /// reads, ascending-`k` accumulation from 0.0.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or the shared dimension differs.
+    pub fn matmul_tn_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
+        let mut out = Tensor::scratch(&[m, n]);
+        if n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        for (i, o_row) in out.data.chunks_mut(n).enumerate() {
+            for p in 0..k {
+                let av = a[p * m + i];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
                 }
-            });
+            }
         }
-        Tensor {
-            data: out,
-            shape: vec![m, n],
-        }
+        out
     }
 
     /// `self x other^T`: `[m,k] x [n,k]^T -> [m,n]`, without materializing the
     /// transpose.
+    ///
+    /// Packed above the size threshold, naive dot-product reference below;
+    /// bitwise identical either way.
     ///
     /// # Panics
     /// Panics if either tensor is not rank 2 or the shared dimension differs.
@@ -479,33 +650,49 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
-        let mut out = vec![0.0f32; m * n];
-        // Dot-product kernel over row blocks; each output element is an
-        // independent ascending-`p` dot product, so blocking cannot change
-        // its value.
-        if n > 0 {
-            let a = &self.data;
-            let b = &other.data;
-            let rows_per = rows_per_block(m, k * n);
-            apf_par::par_chunks_mut(&mut out, rows_per * n, |ci, block| {
-                let i0 = ci * rows_per;
-                for (ri, o_row) in block.chunks_mut(n).enumerate() {
-                    let a_row = &a[(i0 + ri) * k..(i0 + ri + 1) * k];
-                    for (j, o) in o_row.iter_mut().enumerate() {
-                        let b_row = &b[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in a_row.iter().zip(b_row) {
-                            acc += av * bv;
-                        }
-                        *o = acc;
-                    }
+        if m * k * n < gemm::PACK_OPS_MIN {
+            return self.matmul_nt_reference(other);
+        }
+        let mut out = Tensor::scratch(&[m, n]);
+        gemm::gemm_nt(&self.data, &other.data, m, k, n, &mut out.data);
+        debug_assert_matches_reference(
+            &out,
+            || self.matmul_nt_reference(other),
+            m * k * n,
+            "matmul_nt",
+        );
+        out
+    }
+
+    /// Naive reference for [`matmul_nt`](Tensor::matmul_nt): independent
+    /// ascending-`k` dot products.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank 2 or the shared dimension differs.
+    pub fn matmul_nt_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
+        let mut out = Tensor::scratch(&[m, n]);
+        if n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+        for (i, o_row) in out.data.chunks_mut(n).enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
                 }
-            });
+                *o = acc;
+            }
         }
-        Tensor {
-            data: out,
-            shape: vec![m, n],
-        }
+        out
     }
 
     /// Transpose of a rank-2 tensor.
@@ -549,16 +736,13 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "sum_rows requires rank 2");
         let n = self.shape[1];
-        let mut out = vec![0.0f32; n];
+        let mut out = Tensor::scratch(&[n]);
         for chunk in self.data.chunks(n) {
-            for (o, &c) in out.iter_mut().zip(chunk) {
+            for (o, &c) in out.data.iter_mut().zip(chunk) {
                 *o += c;
             }
         }
-        Tensor {
-            data: out,
-            shape: vec![n],
-        }
+        out
     }
 
     /// Index of the maximum element within each row of an `[m,n]` matrix.
@@ -790,6 +974,40 @@ mod tests {
         let sparse = a.matmul_sparse_lhs(&b);
         for (d, s) in dense.data().iter().zip(sparse.data()) {
             assert_eq!(d.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_sparse_lhs_takes_both_density_branches() {
+        let b = pseudo(&[16, 8], 2);
+        // Mostly-dense lhs: above SPARSE_LHS_MAX_DENSITY, so the call falls
+        // back to the packed dense kernel.
+        let mut dense_lhs = pseudo(&[8, 16], 1);
+        for j in 0..16 {
+            dense_lhs.set2(2, j, 0.0);
+        }
+        assert!(dense_lhs.density() > SPARSE_LHS_MAX_DENSITY);
+        let want = dense_lhs.matmul(&b);
+        let got = dense_lhs.matmul_sparse_lhs(&b);
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert_eq!(w.to_bits(), g.to_bits(), "dense fallback branch");
+        }
+        // Genuinely sparse lhs (2 of 8 rows nonzero): the zero-skip kernel
+        // runs and must still match the dense product bitwise (all zeros are
+        // +0.0 and the rhs is finite).
+        let mut sparse_lhs = pseudo(&[8, 16], 3);
+        for i in 0..8 {
+            if i != 1 && i != 6 {
+                for j in 0..16 {
+                    sparse_lhs.set2(i, j, 0.0);
+                }
+            }
+        }
+        assert!(sparse_lhs.density() <= SPARSE_LHS_MAX_DENSITY);
+        let want = sparse_lhs.matmul(&b);
+        let got = sparse_lhs.matmul_sparse_lhs(&b);
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert_eq!(w.to_bits(), g.to_bits(), "sparse zero-skip branch");
         }
     }
 

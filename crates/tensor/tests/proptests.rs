@@ -202,6 +202,79 @@ property! {
         }
     }
 
+    // -- Packed GEMM vs the naive reference kernels: bitwise, on random
+    // -- shapes (including K=0 and M=1 edges), at several thread counts.
+
+    fn packed_gemm_bitwise_matches_reference(
+        m in usizes(1..100),
+        k in usizes(0..60),
+        n in usizes(1..100),
+        seed in u64s(0..1000),
+    ) {
+        // The drawn shape plus forced edge cases: M=1 and K=0.
+        for (m, k, n) in [(m, k, n), (1, k.max(1), n), (m, 0, n)] {
+            let a = matrix(m, k, seed);
+            let b = matrix(k, n, seed ^ 0xB);
+            let bt = b.transpose2();
+            let at = a.transpose2();
+            let want = (
+                a.matmul_reference(&b),
+                a.matmul_nt_reference(&bt),
+                at.matmul_tn_reference(&b),
+            );
+            for t in [1usize, 2, 7] {
+                let got = apf_par::with_threads(t, || {
+                    (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b))
+                });
+                for (which, (g, w)) in [
+                    ("matmul", (&got.0, &want.0)),
+                    ("matmul_nt", (&got.1, &want.1)),
+                    ("matmul_tn", (&got.2, &want.2)),
+                ] {
+                    for (gv, wv) in g.data().iter().zip(w.data()) {
+                        prop_assert!(
+                            gv.to_bits() == wv.to_bits(),
+                            "{which} {m}x{k}x{n} threads={t}: {gv} vs {wv}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn fused_conv_bitwise_matches_unfused(
+        c in usizes(1..4),
+        o in usizes(1..5),
+        hw in usizes(4..10),
+        seed in u64s(0..200),
+    ) {
+        let spec = ConvSpec { in_channels: c, out_channels: o, kernel: 3, stride: 1, padding: 1 };
+        let n = 2;
+        let input = Tensor::from_vec(
+            (0..n * c * hw * hw)
+                .map(|i| ((apf_tensor::splitmix64(seed ^ i as u64) % 200) as f32 / 100.0) - 1.0)
+                .collect(),
+            &[n, c, hw, hw],
+        );
+        let weight = matrix(o, c * 9, seed ^ 0x17);
+        let bias = matrix(1, o, seed ^ 0x29).reshape(&[o]);
+        let (want_out, cols) = apf_tensor::conv2d_forward(&input, &weight, &bias, &spec);
+        let grad_out = want_out.map(|x| x * 0.25);
+        let want = apf_tensor::conv2d_backward(&grad_out, &cols, &weight, &spec, (hw, hw));
+        for t in [1usize, 2, 7] {
+            let (out, grads) = apf_par::with_threads(t, || {
+                (
+                    apf_tensor::conv2d_forward_fused(&input, &weight, &bias, &spec),
+                    apf_tensor::conv2d_backward_fused(&grad_out, &input, &weight, &spec),
+                )
+            });
+            prop_assert!(out == want_out, "fused forward differs at threads={t}");
+            prop_assert!(grads.input == want.input, "fused grad input differs at threads={t}");
+            prop_assert!(grads.weight == want.weight, "fused grad weight differs at threads={t}");
+            prop_assert!(grads.bias == want.bias, "fused grad bias differs at threads={t}");
+        }
+    }
+
     fn parallel_reduce_bitwise_matches_serial(
         len in usizes(1..100_000),
         seed in u64s(0..1000),

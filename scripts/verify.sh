@@ -58,6 +58,17 @@ cargo run -q --release --offline -p apf-bench --bin ledger-report -- \
 rm -f "$smoke_ledger"
 echo "OK: telemetry endpoints healthy, identical re-run passes the gate"
 
+echo "== zero-alloc steady state (scratch pool, APF_PAR_THREADS=1) =="
+# The GEMM/conv training hot path must be fully served by the scratch pool
+# after warm-up: the alloc tests assert zero buffer allocations per step.
+APF_PAR_THREADS=1 cargo test -q --offline -p apf-nn --test alloc
+
+echo "== kernel bench regression vs committed baseline =="
+# Quick bench-kernels run diffed against BENCH_kernels.json: hard fail on
+# >20% regression when host parallelism matches the baseline's, warn-only
+# otherwise (absolute kernel numbers are not comparable across machines).
+scripts/bench_check.sh
+
 echo "== dependency hermeticity =="
 # Every node in the dependency graph must live inside this repository.
 external=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
