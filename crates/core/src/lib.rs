@@ -41,6 +41,7 @@ mod config;
 mod controller;
 mod error;
 mod manager;
+mod mask;
 mod perturbation;
 mod state;
 
@@ -48,5 +49,6 @@ pub use config::{ApfConfig, ApfVariant, ThresholdDecay};
 pub use controller::{Aimd, FixedPeriod, FreezeController, PureAdditive, PureMultiplicative};
 pub use error::ApfError;
 pub use manager::{ApfManager, SyncReport};
+pub use mask::{mask_bytes, masked_transfer_bytes, pack_mask, unpack_mask};
 pub use perturbation::{EmaPerturbation, WindowedPerturbation};
 pub use state::{mask_update_bytes, ApfState};

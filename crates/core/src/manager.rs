@@ -18,9 +18,10 @@ pub struct SyncReport {
     pub total: usize,
     /// Scalars frozen during this round (excluded from sync).
     pub frozen: usize,
-    /// Bytes pushed to the server this round.
+    /// Bytes pushed to the server this round: the bit-packed freeze bitmap
+    /// plus the packed unfrozen values ([`crate::masked_transfer_bytes`]).
     pub bytes_up: u64,
-    /// Bytes pulled from the server this round.
+    /// Bytes pulled from the server this round (same encoding as up).
     pub bytes_down: u64,
     /// Whether a stability check ran at the end of this round.
     pub checked: bool,
@@ -250,12 +251,17 @@ impl ApfManager {
             self.stability_check(params, round);
         }
         self.random_freeze(round);
+        let wire_bytes = crate::mask::masked_transfer_bytes(
+            self.n,
+            unfrozen_now as usize,
+            self.cfg.bytes_per_scalar,
+        );
         let report = SyncReport {
             round,
             total: self.n,
             frozen: frozen_now,
-            bytes_up: unfrozen_now * self.cfg.bytes_per_scalar,
-            bytes_down: unfrozen_now * self.cfg.bytes_per_scalar,
+            bytes_up: wire_bytes,
+            bytes_down: wire_bytes,
             checked,
             threshold: self.threshold,
         };
@@ -574,7 +580,8 @@ mod tests {
         let rep = mgr.sync(&mut params, r, |up| up.to_vec());
         assert_eq!(params[0], pinned, "frozen scalar not rolled back");
         assert_eq!(rep.frozen, 1);
-        assert_eq!(rep.bytes_up, 4, "only one f32 should go up");
+        // One f32 plus the 1-byte freeze bitmap over 2 scalars.
+        assert_eq!(rep.bytes_up, 4 + 1, "only one f32 + bitmap should go up");
     }
 
     #[test]
@@ -583,8 +590,9 @@ mod tests {
         let mut mgr = ApfManager::new(&params, cfg_every(5), Box::new(Aimd::default())).unwrap();
         let mut p = params.clone();
         let rep = mgr.sync(&mut p, 0, |up| up.to_vec());
-        assert_eq!(rep.bytes_up, 40);
-        assert_eq!(rep.bytes_down, 40);
+        // 10 f32 values + the 2-byte bitmap over 10 scalars, each direction.
+        assert_eq!(rep.bytes_up, 40 + 2);
+        assert_eq!(rep.bytes_down, 40 + 2);
         assert_eq!(rep.frozen_ratio(), 0.0);
     }
 

@@ -1,0 +1,98 @@
+//! Bit-packed freezing masks and the wire cost of masked transfers.
+//!
+//! §6.2 lets every client derive the freezing mask locally, so no mask ever
+//! *needs* to cross the wire — but a self-describing masked frame (as sent
+//! by `apf-net`) still carries the bitmap as a consistency check, and honest
+//! byte accounting must include it. The canonical encoding of a masked
+//! transfer is therefore:
+//!
+//! ```text
+//! ceil(total / 8) bitmap bytes  +  unfrozen * bytes_per_scalar value bytes
+//! ```
+//!
+//! [`masked_transfer_bytes`] is that formula; [`ApfManager::finish_round`]
+//! reports it, and the `apf-net` wire codec is regression-tested to produce
+//! payloads of exactly this size.
+//!
+//! [`ApfManager::finish_round`]: crate::ApfManager::finish_round
+
+/// Bytes of a bit-packed mask over `n` scalars: `ceil(n / 8)`.
+pub fn mask_bytes(n: usize) -> usize {
+    n.div_ceil(8)
+}
+
+/// Packs a boolean mask into bytes, LSB-first within each byte (bit `j % 8`
+/// of byte `j / 8` holds `mask[j]`). Trailing bits of the last byte are zero.
+pub fn pack_mask(mask: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; mask_bytes(mask.len())];
+    for (j, &m) in mask.iter().enumerate() {
+        if m {
+            out[j / 8] |= 1 << (j % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks a bit-packed mask over `n` scalars.
+///
+/// Returns `None` when `packed` has the wrong length for `n` or any trailing
+/// bit beyond `n` is set (a corrupt or hostile frame, never a valid mask).
+pub fn unpack_mask(packed: &[u8], n: usize) -> Option<Vec<bool>> {
+    if packed.len() != mask_bytes(n) {
+        return None;
+    }
+    if !n.is_multiple_of(8) {
+        // The encoder zeroes trailing bits; anything else is corruption.
+        if packed[packed.len() - 1] >> (n % 8) != 0 {
+            return None;
+        }
+    }
+    Some(
+        (0..n)
+            .map(|j| (packed[j / 8] >> (j % 8)) & 1 == 1)
+            .collect(),
+    )
+}
+
+/// Wire bytes of one masked transfer over `total` scalars of which
+/// `unfrozen` are shipped at `bytes_per_scalar` bytes each: the bit-packed
+/// freeze bitmap plus the packed values.
+pub fn masked_transfer_bytes(total: usize, unfrozen: usize, bytes_per_scalar: u64) -> u64 {
+    mask_bytes(total) as u64 + unfrozen as u64 * bytes_per_scalar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let mask: Vec<bool> = (0..n).map(|j| j % 3 == 0).collect();
+            let packed = pack_mask(&mask);
+            assert_eq!(packed.len(), mask_bytes(n));
+            assert_eq!(unpack_mask(&packed, n).as_deref(), Some(&mask[..]));
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_bad_length_and_trailing_bits() {
+        assert!(unpack_mask(&[0], 9).is_none(), "too short");
+        assert!(unpack_mask(&[0; 3], 9).is_none(), "too long");
+        // 9 scalars use 2 bytes; bit 1 of byte 1 (scalar index 9) is beyond n.
+        assert!(unpack_mask(&[0xFF, 0x01], 9).is_some());
+        assert!(unpack_mask(&[0xFF, 0x02], 9).is_none(), "trailing bit set");
+        assert!(unpack_mask(&[], 0).is_some());
+    }
+
+    #[test]
+    fn transfer_bytes_formula() {
+        // 10 scalars, 3 unfrozen, f32: 2 bitmap bytes + 12 value bytes.
+        assert_eq!(masked_transfer_bytes(10, 3, 4), 14);
+        // f16 halves only the value part.
+        assert_eq!(masked_transfer_bytes(10, 3, 2), 8);
+        // Fully frozen still ships the bitmap.
+        assert_eq!(masked_transfer_bytes(16, 0, 4), 2);
+        assert_eq!(masked_transfer_bytes(0, 0, 4), 0);
+    }
+}

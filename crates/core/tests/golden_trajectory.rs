@@ -53,7 +53,7 @@ struct Row {
     frozen: usize,
     /// Whether a stability check ran at the end of this round.
     checked: bool,
-    /// Upload bytes this round (4 per unfrozen scalar).
+    /// Upload bytes this round: 1 bitmap byte + 4 per unfrozen scalar.
     bytes_up: u64,
     /// Effective perturbation (EMA) of each scalar after this round.
     perturbation: [f32; N],
@@ -103,7 +103,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 0,
         frozen: 0,
         checked: false,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 1.0, 1.0],
         period: [0, 0, 0, 0],
         next_mask: [false, false, false, false],
@@ -112,7 +112,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 1,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [0.0, 1.0, 0.0, 0.0],
         period: [1, 0, 1, 1],
         next_mask: [true, false, true, true],
@@ -121,7 +121,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 2,
         frozen: 3,
         checked: false,
-        bytes_up: 4,
+        bytes_up: 5,
         perturbation: [0.0, 1.0, 0.0, 0.0],
         period: [1, 0, 1, 1],
         next_mask: [false, false, false, false],
@@ -130,7 +130,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 3,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 2],
         next_mask: [false, false, false, true],
@@ -139,7 +139,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 4,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 2],
         next_mask: [false, false, false, true],
@@ -148,7 +148,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 5,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 2],
         next_mask: [false, false, false, false],
@@ -157,7 +157,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 6,
         frozen: 0,
         checked: false,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 2],
         next_mask: [false, false, false, false],
@@ -166,7 +166,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 7,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 3],
         next_mask: [false, false, false, true],
@@ -175,7 +175,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 8,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 3],
         next_mask: [false, false, false, true],
@@ -184,7 +184,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 9,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 3],
         next_mask: [false, false, false, true],
@@ -193,7 +193,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 10,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 3],
         next_mask: [false, false, false, false],
@@ -202,7 +202,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 11,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, true],
@@ -211,7 +211,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 12,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 1.0, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, true],
@@ -220,7 +220,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 13,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.8372668, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, true],
@@ -229,7 +229,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 14,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.8372668, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, true],
@@ -238,7 +238,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 15,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.91946703, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, false],
@@ -247,7 +247,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 16,
         frozen: 0,
         checked: false,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 0.91946703, 0.0],
         period: [0, 0, 0, 4],
         next_mask: [false, false, false, false],
@@ -256,7 +256,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 17,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 0.94841754, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, true],
@@ -265,7 +265,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 18,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.94841754, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, true],
@@ -274,7 +274,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 19,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.96314037, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, true],
@@ -283,7 +283,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 20,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.96314037, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, true],
@@ -292,7 +292,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 21,
         frozen: 1,
         checked: true,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.9720154, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, true],
@@ -301,7 +301,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 22,
         frozen: 1,
         checked: false,
-        bytes_up: 12,
+        bytes_up: 13,
         perturbation: [1.0, 1.0, 0.9720154, 0.0],
         period: [0, 0, 0, 5],
         next_mask: [false, false, false, false],
@@ -310,7 +310,7 @@ const GOLDEN: [Row; ROUNDS as usize] = [
         round: 23,
         frozen: 0,
         checked: true,
-        bytes_up: 16,
+        bytes_up: 17,
         perturbation: [1.0, 1.0, 0.97792196, 0.0],
         period: [0, 0, 0, 6],
         next_mask: [false, false, false, true],
@@ -361,9 +361,10 @@ fn trajectory_semantics_hold() {
         .collect();
     assert!(drift.windows(2).all(|w| w[0] < w[1]), "{drift:?}");
     assert!(drift[0] > 0.5 && *drift.last().unwrap() < 1.0);
-    // Byte accounting: 4 bytes per unfrozen scalar, every round.
+    // Byte accounting: the 1-byte freeze bitmap plus 4 bytes per unfrozen
+    // scalar, every round (the real masked-frame encoding).
     for r in &rows {
-        assert_eq!(r.bytes_up, 4 * (N - r.frozen) as u64);
+        assert_eq!(r.bytes_up, 1 + 4 * (N - r.frozen) as u64);
     }
     // Check cadence 2: checks land on odd rounds only.
     for r in &rows {

@@ -71,7 +71,8 @@ property! {
             mgr.apply_aggregate(&mut p, &down, r);
             let rep = mgr.finish_round(&p, r);
             prop_assert_eq!(rep.frozen, frozen);
-            prop_assert_eq!(rep.bytes_up, (n - frozen) as u64 * 4);
+            // Wire cost: 2 bitmap bytes (n = 16) + 4 per unfrozen scalar.
+            prop_assert_eq!(rep.bytes_up, 2 + (n - frozen) as u64 * 4);
         }
     }
 

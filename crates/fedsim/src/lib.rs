@@ -42,7 +42,9 @@ pub mod ledger;
 mod metrics;
 mod network;
 mod runner;
+mod spec;
 mod strategy;
+mod trajectory;
 
 pub use client::Client;
 pub use extra::{DpGaussian, LayerFreeze, TopK};
@@ -50,4 +52,6 @@ pub use ledger::{fnv1a64, load_ledger, LedgerRecord};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;
 pub use runner::{FlConfig, FlRunner, FlRunnerBuilder, OptimizerKind};
+pub use spec::{EvalSetup, PartitionKind, RunSpec, SpecError, SpecStrategy};
 pub use strategy::{ApfStrategy, Cmfl, FullSync, Gaia, PartialSync, RoundComm, SyncStrategy};
+pub use trajectory::{Trajectory, TrajectoryRound};

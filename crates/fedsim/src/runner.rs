@@ -376,7 +376,12 @@ impl FlRunnerBuilder {
 
 /// Canonical configuration string the ledger digest is computed over. Field
 /// order is fixed; changing any run-relevant knob changes the digest.
-fn config_canonical(cfg: &FlConfig, model: &str, strategy: &str, clients: usize) -> String {
+pub(crate) fn config_canonical(
+    cfg: &FlConfig,
+    model: &str,
+    strategy: &str,
+    clients: usize,
+) -> String {
     format!(
         "model={model};strategy={strategy};clients={clients};local_iters={};rounds={};\
          batch_size={};eval_every={};eval_batch={};seed={};prox_mu={:?};\

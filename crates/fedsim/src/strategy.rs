@@ -229,8 +229,9 @@ impl SyncStrategy for PartialSync {
             }
             self.check_ref.copy_from_slice(global);
         }
-        let synced = self.excluded.iter().filter(|&&e| !e).count() as u64;
-        let per_client = synced * self.bytes_per_scalar;
+        let synced = self.excluded.iter().filter(|&&e| !e).count();
+        // Same masked-frame encoding as APF: exclusion bitmap + packed values.
+        let per_client = apf::masked_transfer_bytes(n, synced, self.bytes_per_scalar);
         RoundComm {
             bytes_up: per_client * locals.len() as u64,
             bytes_down: per_client * locals.len() as u64,
@@ -784,7 +785,10 @@ mod tests {
         let mut l2 = locals(2, 100, |_, _| 0.5);
         let c1 = plain.sync_round(0, &mut l1, &[1.0, 1.0], &mut g1);
         let c2 = quant.sync_round(0, &mut l2, &[1.0, 1.0], &mut g2);
-        assert_eq!(c2.bytes_up * 2, c1.bytes_up);
+        // f16 halves the packed-value bytes; the freeze bitmap (13 bytes for
+        // 100 scalars) is unchanged.
+        assert_eq!(c1.bytes_up, 2 * (13 + 100 * 4));
+        assert_eq!(c2.bytes_up, 2 * (13 + 100 * 2));
         assert!(quant.name().ends_with("+q"));
     }
 

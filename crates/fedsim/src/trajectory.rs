@@ -1,0 +1,213 @@
+//! Bit-exact run trajectories: the parity currency between the in-process
+//! simulator and the `apf-net` networked runtime.
+//!
+//! A [`Trajectory`] is the per-round sequence of the *deterministic* metrics
+//! of a run — loss, frozen ratio, accuracy (as raw f32 bit patterns, so no
+//! formatting round-off can hide a divergence) plus the logical wire bytes.
+//! Both execution paths extract one from their [`ExperimentLog`], serialize
+//! it with [`Trajectory::encode`], and the multi-process harness compares the
+//! files byte-for-byte; [`Trajectory::diff`] pinpoints the first divergent
+//! round when they don't match.
+
+use crate::metrics::ExperimentLog;
+
+/// The deterministic metrics of one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryRound {
+    /// Round index.
+    pub round: u64,
+    /// Mean local loss, as f32 bits.
+    pub loss_bits: u32,
+    /// Frozen ratio, as f32 bits.
+    pub frozen_bits: u32,
+    /// Test accuracy as f32 bits; `None` on rounds that skip evaluation.
+    pub accuracy_bits: Option<u32>,
+    /// Logical upload bytes (all clients).
+    pub bytes_up: u64,
+    /// Logical download bytes (all clients).
+    pub bytes_down: u64,
+}
+
+/// A whole run's deterministic trajectory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trajectory {
+    /// One entry per round, in order.
+    pub rounds: Vec<TrajectoryRound>,
+}
+
+impl Trajectory {
+    /// Extracts the trajectory from a finished run's log.
+    pub fn from_log(log: &ExperimentLog) -> Trajectory {
+        Trajectory {
+            rounds: log
+                .records
+                .iter()
+                .map(|r| TrajectoryRound {
+                    round: r.round,
+                    loss_bits: r.loss.to_bits(),
+                    frozen_bits: r.frozen_ratio.to_bits(),
+                    accuracy_bits: r.accuracy.map(f32::to_bits),
+                    bytes_up: r.bytes_up,
+                    bytes_down: r.bytes_down,
+                })
+                .collect(),
+        }
+    }
+
+    /// Text encoding: a version header, then one
+    /// `round loss frozen accuracy bytes_up bytes_down` line per round with
+    /// the f32 fields in hex bits (`-` for a skipped evaluation). Lines
+    /// starting with `#` are comments and ignored by [`Trajectory::decode`].
+    pub fn encode(&self) -> String {
+        let mut out = String::from("apf-trajectory-v1\n");
+        for r in &self.rounds {
+            let acc = r
+                .accuracy_bits
+                .map_or("-".to_owned(), |a| format!("{a:08x}"));
+            out.push_str(&format!(
+                "{} {:08x} {:08x} {} {} {}\n",
+                r.round, r.loss_bits, r.frozen_bits, acc, r.bytes_up, r.bytes_down
+            ));
+        }
+        out
+    }
+
+    /// Parses a trajectory previously produced by [`Trajectory::encode`].
+    ///
+    /// # Errors
+    /// Returns a line-numbered message on a bad header or malformed row.
+    pub fn decode(text: &str) -> Result<Trajectory, String> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "apf-trajectory-v1")) => {}
+            other => return Err(format!("bad header: {:?}", other.map(|(_, l)| l))),
+        }
+        let mut rounds = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let err = |what: &str| format!("line {}: bad {what}: {line:?}", i + 1);
+            let [round, loss, frozen, acc, up, down] = fields.as_slice() else {
+                return Err(err("field count"));
+            };
+            rounds.push(TrajectoryRound {
+                round: round.parse().map_err(|_| err("round"))?,
+                loss_bits: u32::from_str_radix(loss, 16).map_err(|_| err("loss bits"))?,
+                frozen_bits: u32::from_str_radix(frozen, 16).map_err(|_| err("frozen bits"))?,
+                accuracy_bits: if *acc == "-" {
+                    None
+                } else {
+                    Some(u32::from_str_radix(acc, 16).map_err(|_| err("accuracy bits"))?)
+                },
+                bytes_up: up.parse().map_err(|_| err("bytes_up"))?,
+                bytes_down: down.parse().map_err(|_| err("bytes_down"))?,
+            });
+        }
+        Ok(Trajectory { rounds })
+    }
+
+    /// `None` when the trajectories are identical; otherwise a human-readable
+    /// description of the first divergence (length mismatch or first
+    /// differing round and field).
+    pub fn diff(&self, other: &Trajectory) -> Option<String> {
+        if self.rounds.len() != other.rounds.len() {
+            return Some(format!(
+                "round counts differ: {} vs {}",
+                self.rounds.len(),
+                other.rounds.len()
+            ));
+        }
+        for (a, b) in self.rounds.iter().zip(&other.rounds) {
+            if a == b {
+                continue;
+            }
+            let field = if a.round != b.round {
+                "round index"
+            } else if a.loss_bits != b.loss_bits {
+                "loss"
+            } else if a.frozen_bits != b.frozen_bits {
+                "frozen_ratio"
+            } else if a.accuracy_bits != b.accuracy_bits {
+                "accuracy"
+            } else if a.bytes_up != b.bytes_up {
+                "bytes_up"
+            } else {
+                "bytes_down"
+            };
+            return Some(format!(
+                "first divergence at round {}: {field} ({a:?} vs {b:?})",
+                a.round
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundRecord;
+
+    fn log() -> ExperimentLog {
+        let mut log = ExperimentLog::new("t");
+        for round in 0..3u64 {
+            log.push(RoundRecord {
+                round,
+                loss: 1.5 / (round + 1) as f32,
+                accuracy: (round % 2 == 0).then_some(0.25 * (round + 1) as f32),
+                best_accuracy: 0.5,
+                frozen_ratio: 0.125 * round as f32,
+                bytes_up: 100 + round,
+                bytes_down: 200 + round,
+                cum_bytes: 0,
+                compute_secs: 0.1,
+                comm_secs: 0.2,
+                cum_secs: 0.3,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Trajectory::from_log(&log());
+        let back = Trajectory::decode(&t.encode()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn decode_ignores_comments_and_blank_lines() {
+        let t = Trajectory::from_log(&log());
+        let mut text = t.encode();
+        text.push_str("# wire_bytes=12345\n\n");
+        assert_eq!(Trajectory::decode(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(Trajectory::decode("").is_err());
+        assert!(Trajectory::decode("apf-trajectory-v9\n").is_err());
+        assert!(Trajectory::decode("apf-trajectory-v1\n0 xx yy - 1 2\n").is_err());
+        assert!(Trajectory::decode("apf-trajectory-v1\n0 00000000\n").is_err());
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = Trajectory::from_log(&log());
+        assert_eq!(a.diff(&a), None);
+        let mut b = a.clone();
+        b.rounds[1].loss_bits ^= 1;
+        let msg = a.diff(&b).unwrap();
+        assert!(msg.contains("round 1") && msg.contains("loss"), "{msg}");
+        let mut c = a.clone();
+        c.rounds.pop();
+        assert!(
+            a.diff(&c).unwrap().contains("round counts"),
+            "{}",
+            a.diff(&c).unwrap()
+        );
+    }
+}

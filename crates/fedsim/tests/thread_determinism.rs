@@ -3,82 +3,33 @@
 //! `APF_PAR_THREADS`. This is the end-to-end check behind the apf-par
 //! determinism contract; the per-kernel checks live in apf-tensor and
 //! apf-nn.
+//!
+//! The fixture itself is [`RunSpec::golden`], recorded through the shared
+//! `apf-testkit` golden helper — the same spec+helper pair the `apf-net`
+//! parity harness replays against a live parameter server.
 
-use apf::ApfConfig;
-use apf_data::{iid_partition, synth_images_split, Dataset};
-use apf_fedsim::{ApfStrategy, FlConfig, FlRunner, OptimizerKind};
-use apf_nn::models;
+use apf_fedsim::RunSpec;
+use apf_testkit::golden::{run_recorded, GoldenOutcome};
 
-const ROUNDS: usize = 4;
-
-fn flat_images(n: usize, split: u64) -> Dataset {
-    let ds = synth_images_split(n, 1, split);
-    Dataset::new(
-        ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]),
-        ds.labels().to_vec(),
-        10,
-    )
-}
-
-/// One complete run; returns the final global model (as bits) plus the
-/// per-round losses and accuracies.
-fn trajectory() -> (Vec<u32>, Vec<u32>, Vec<Option<u32>>) {
-    let train = flat_images(96, 0);
-    let test = flat_images(48, 1);
-    let parts = iid_partition(train.len(), 3, 7);
-    let strategy = ApfStrategy::new(ApfConfig {
-        check_every_rounds: 1,
-        stability_threshold: 0.1,
-        ema_alpha: 0.9,
-        seed: 7,
-        ..ApfConfig::default()
-    })
-    .unwrap();
-    let mut runner = FlRunner::builder(
-        |seed| models::mlp("m", &[3 * 16 * 16, 12, 10], seed),
-        FlConfig {
-            local_iters: 2,
-            rounds: ROUNDS,
-            batch_size: 16,
-            eval_every: 1,
-            seed: 7,
-            parallel: true,
-            ..FlConfig::default()
-        },
-    )
-    .optimizer(OptimizerKind::Sgd {
-        lr: 0.05,
-        momentum: 0.9,
-        weight_decay: 1e-4,
-    })
-    .clients_from_partition(&train, &parts)
-    .test_set(test)
-    .strategy(Box::new(strategy))
-    .build();
-    let log = runner.run();
-    let losses: Vec<u32> = log.records.iter().map(|r| r.loss.to_bits()).collect();
-    let accs: Vec<Option<u32>> = log
-        .records
-        .iter()
-        .map(|r| r.accuracy.map(f32::to_bits))
-        .collect();
-    let bits = runner.global().iter().map(|v| v.to_bits()).collect();
-    (bits, losses, accs)
+fn trajectory() -> GoldenOutcome {
+    run_recorded(&RunSpec::golden())
 }
 
 #[test]
 fn golden_trajectory_identical_across_thread_counts() {
     let golden = apf_par::with_threads(1, trajectory);
+    assert_eq!(golden.log.records.len(), RunSpec::golden().rounds);
     for t in [2usize, 7] {
         let got = apf_par::with_threads(t, trajectory);
         assert_eq!(
-            golden.0, got.0,
+            golden.global_bits(),
+            got.global_bits(),
             "final global model diverged at {t} threads"
         );
-        assert_eq!(golden.1, got.1, "loss trajectory diverged at {t} threads");
         assert_eq!(
-            golden.2, got.2,
-            "accuracy trajectory diverged at {t} threads"
+            golden.trajectory(),
+            got.trajectory(),
+            "metric trajectory diverged at {t} threads"
         );
     }
 }

@@ -1,0 +1,119 @@
+//! `apf-client`: one networked APF edge client.
+//!
+//! ```text
+//! apf-client --id N (--server HOST:PORT | --addr-file PATH)
+//!            [--connect-timeout-secs N] [--io-timeout-secs N]
+//!            [--fail-before-push ROUND]
+//! ```
+//!
+//! Joins the server, receives the run spec in the Welcome frame, and runs
+//! local training + masked push/pull until the run completes. With
+//! `--addr-file` the client polls for the file the server writes (so
+//! scripts can launch both sides without knowing the ephemeral port).
+//! `--fail-before-push` injects a mid-round crash for fault-path testing:
+//! the process exits, dropping its connection, right before pushing that
+//! round's update.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use apf_net::{run_client, ClientOpts};
+
+fn usage() -> &'static str {
+    "usage: apf-client --id N (--server HOST:PORT | --addr-file PATH) \
+     [--connect-timeout-secs N] [--io-timeout-secs N] [--fail-before-push ROUND]"
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no addresses"))
+}
+
+/// Polls for the server's addr file until it appears (bounded by the
+/// connect budget) and parses the address inside.
+fn addr_from_file(path: &str, budget: Duration) -> Result<SocketAddr, String> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) if !text.trim().is_empty() => return resolve(text.trim()),
+            _ if Instant::now() >= deadline => {
+                return Err(format!("{path}: no server address within {budget:?}"))
+            }
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut id: Option<u32> = None;
+    let mut server: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut io_timeout = Duration::from_secs(30);
+    let mut fail_before_push: Option<u64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--id" => id = Some(value()?.parse().map_err(|_| "bad --id")?),
+            "--server" => server = Some(value()?),
+            "--addr-file" => addr_file = Some(value()?),
+            "--connect-timeout-secs" => {
+                connect_timeout = Duration::from_secs(
+                    value()?.parse().map_err(|_| "bad --connect-timeout-secs")?,
+                );
+            }
+            "--io-timeout-secs" => {
+                io_timeout =
+                    Duration::from_secs(value()?.parse().map_err(|_| "bad --io-timeout-secs")?);
+            }
+            "--fail-before-push" => {
+                fail_before_push = Some(value()?.parse().map_err(|_| "bad --fail-before-push")?);
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    let id = id.ok_or_else(|| format!("--id is required\n{}", usage()))?;
+    let addr = match (server, addr_file) {
+        (Some(addr), None) => resolve(&addr)?,
+        (None, Some(path)) => addr_from_file(&path, connect_timeout)?,
+        _ => {
+            return Err(format!(
+                "need exactly one of --server/--addr-file\n{}",
+                usage()
+            ))
+        }
+    };
+    let outcome = run_client(&ClientOpts {
+        server: addr,
+        id,
+        connect_timeout,
+        io_timeout,
+        fail_before_push_round: fail_before_push,
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "client {id}: {} rounds, {} wire bytes{}",
+        outcome.rounds_done,
+        outcome.wire_bytes,
+        if outcome.injected_fault {
+            " (injected fault)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("apf-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! `apf-server`: the networked APF parameter server.
+//!
+//! ```text
+//! apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL]
+//!            [--trajectory-out PATH] [--ledger PATH]
+//!            [--join-timeout-secs N] [--io-timeout-secs N] [--sim]
+//! ```
+//!
+//! Serves one federated run described by `--spec` (a `RunSpec` canonical
+//! string; defaults to the golden fixture) and exits. With `--addr-file`
+//! the actually-bound address is written there so scripts can bind port 0
+//! and still point clients at the server. `--trajectory-out` writes the
+//! bit-exact run trajectory; `--ledger` appends a run-ledger record with
+//! the same config digest a simulator run of the spec gets, so
+//! `ledger-report diff` pairs the two.
+//!
+//! `--sim` runs the spec through the in-process simulator instead of
+//! serving — same outputs, no sockets — which is how the verify harness
+//! produces the baseline a networked run must match byte for byte.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use apf_fedsim::{ExperimentLog, LedgerRecord, RunSpec, Trajectory};
+use apf_net::{NetServer, ServerOpts};
+
+struct Args {
+    addr: String,
+    addr_file: Option<String>,
+    spec: RunSpec,
+    trajectory_out: Option<String>,
+    ledger: Option<String>,
+    join_timeout: Duration,
+    io_timeout: Duration,
+    sim: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL] \
+     [--trajectory-out PATH] [--ledger PATH] [--join-timeout-secs N] \
+     [--io-timeout-secs N] [--sim]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_owned(),
+        addr_file: None,
+        spec: RunSpec::golden(),
+        trajectory_out: None,
+        ledger: None,
+        join_timeout: Duration::from_secs(30),
+        io_timeout: Duration::from_secs(10),
+        sim: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value()?,
+            "--addr-file" => args.addr_file = Some(value()?),
+            "--spec" => {
+                args.spec = RunSpec::parse(&value()?).map_err(|e| e.to_string())?;
+            }
+            "--trajectory-out" => args.trajectory_out = Some(value()?),
+            "--ledger" => args.ledger = Some(value()?),
+            "--join-timeout-secs" => {
+                args.join_timeout =
+                    Duration::from_secs(value()?.parse().map_err(|_| "bad --join-timeout-secs")?);
+            }
+            "--io-timeout-secs" => {
+                args.io_timeout =
+                    Duration::from_secs(value()?.parse().map_err(|_| "bad --io-timeout-secs")?);
+            }
+            "--sim" => args.sim = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn write_outputs(
+    args: &Args,
+    log: &ExperimentLog,
+    wire_bytes: Option<u64>,
+    wall_secs: f64,
+) -> Result<(), String> {
+    if let Some(path) = &args.trajectory_out {
+        let mut text = Trajectory::from_log(log).encode();
+        if let Some(bytes) = wire_bytes {
+            // Real framing bytes ride along as a comment: informative, but
+            // invisible to the byte-for-byte trajectory comparison.
+            text.push_str(&format!("# wire_bytes={bytes}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &args.ledger {
+        let record = LedgerRecord::from_log(
+            log,
+            "m",
+            &args.spec.strategy_name(),
+            args.spec.config_digest(),
+            wall_secs,
+        );
+        record.append_to(path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let t0 = Instant::now();
+    if args.sim {
+        let mut runner = args.spec.build_runner();
+        runner.run();
+        let log = runner.log().clone();
+        write_outputs(&args, &log, None, t0.elapsed().as_secs_f64())?;
+        eprintln!(
+            "sim run complete: {} rounds, best accuracy {:.4}, {} bytes",
+            log.records.len(),
+            log.best_accuracy(),
+            log.total_bytes()
+        );
+        return Ok(());
+    }
+    let server = NetServer::bind(ServerOpts {
+        addr: args.addr.clone(),
+        spec: args.spec.clone(),
+        join_timeout: args.join_timeout,
+        io_timeout: args.io_timeout,
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    if let Some(path) = &args.addr_file {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("serving {} clients on {addr}", args.spec.clients);
+    let outcome = server.serve().map_err(|e| e.to_string())?;
+    write_outputs(
+        &args,
+        &outcome.log,
+        Some(outcome.wire_bytes),
+        t0.elapsed().as_secs_f64(),
+    )?;
+    eprintln!(
+        "run complete: {} rounds, best accuracy {:.4}, {} logical bytes, {} wire bytes, {} client(s) lost",
+        outcome.log.records.len(),
+        outcome.log.best_accuracy(),
+        outcome.log.total_bytes(),
+        outcome.wire_bytes,
+        outcome.lost_clients.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("apf-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The APF edge client: joins a parameter server, trains locally from the
+//! shared [`RunSpec`], and exchanges bitmap-compressed masked deltas.
+//!
+//! The client reconstructs everything deterministic — dataset shard, model
+//! init, optimizer, its own [`ApfManager`] — from the spec string the
+//! server's Welcome frame carries, so the only state on the wire is the
+//! masked parameter traffic itself. Because freezing decisions are pure
+//! functions of the synchronized model (§6.2), the client's manager and the
+//! server's replica never disagree about which scalars a round transfers.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use apf::{Aimd, ApfManager};
+use apf_fedsim::RunSpec;
+
+use crate::server::NetError;
+use crate::wire::{read_frame, write_frame, Frame, MaskedPayload};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientOpts {
+    /// The server to join.
+    pub server: SocketAddr,
+    /// This client's slot (must be `< spec.clients` and unique).
+    pub id: u32,
+    /// Total budget for the connect-retry loop.
+    pub connect_timeout: Duration,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Fault injection for tests: exit (dropping the connection) right
+    /// before pushing this round's update.
+    pub fail_before_push_round: Option<u64>,
+}
+
+impl ClientOpts {
+    /// Standard options for joining `server` as client `id`.
+    pub fn new(server: SocketAddr, id: u32) -> ClientOpts {
+        ClientOpts {
+            server,
+            id,
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+            fail_before_push_round: None,
+        }
+    }
+}
+
+/// What a client run produced.
+#[derive(Debug)]
+pub struct ClientOutcome {
+    /// Rounds fully completed (push + pull applied).
+    pub rounds_done: u64,
+    /// Actual bytes moved on the wire, both directions, including framing.
+    pub wire_bytes: u64,
+    /// Set when the run ended early on purpose (injected fault).
+    pub injected_fault: bool,
+}
+
+/// Connects with retries until `connect_timeout` elapses — the server may
+/// still be binding (or its addr file may just have appeared) when the
+/// client process starts.
+fn connect_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetError> {
+    let deadline = Instant::now() + budget;
+    loop {
+        let left = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| {
+                NetError::Io(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("could not connect to {addr} within {budget:?}"),
+                ))
+            })?;
+        let attempt = left.min(Duration::from_millis(500));
+        match TcpStream::connect_timeout(&addr, attempt) {
+            Ok(stream) => return Ok(stream),
+            Err(_) => std::thread::sleep(Duration::from_millis(25).min(left)),
+        }
+    }
+}
+
+/// Joins the server and runs the client side of the full round loop.
+///
+/// # Errors
+/// Propagates connect/wire failures, a server [`Frame::Abort`] as
+/// [`NetError::Protocol`], and a malformed Welcome spec as
+/// [`NetError::Spec`].
+pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
+    let mut stream = connect_retry(opts.server, opts.connect_timeout)?;
+    stream.set_read_timeout(Some(opts.io_timeout))?;
+    stream.set_write_timeout(Some(opts.io_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut wire_bytes = 0u64;
+
+    wire_bytes += write_frame(&mut stream, &Frame::Join { client_id: opts.id })?;
+    let (welcome, k) = read_frame(&mut stream)?;
+    wire_bytes += k;
+    let (spec_text, init) = match welcome {
+        Frame::Welcome { spec, init } => (spec, init),
+        Frame::Abort { reason } => return Err(NetError::Protocol(format!("rejected: {reason}"))),
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+    let spec = RunSpec::parse(&spec_text).map_err(|e| NetError::Spec(e.to_string()))?;
+    if opts.id as usize >= spec.clients {
+        return Err(NetError::Spec(format!(
+            "client id {} out of range for {} clients",
+            opts.id, spec.clients
+        )));
+    }
+    let cfg = spec
+        .apf_config()
+        .ok_or_else(|| NetError::Unsupported("spec strategy has no masked wire form".to_owned()))?;
+    if init.len() != spec.init_params().len() {
+        return Err(NetError::Protocol(format!(
+            "initial model has {} scalars, spec implies {}",
+            init.len(),
+            spec.init_params().len()
+        )));
+    }
+    let mut client = spec.make_client(opts.id as usize);
+    client.load_flat(&init);
+    let mut manager = ApfManager::new(&init, cfg, Box::new(Aimd::default()))
+        .map_err(|e| NetError::Spec(e.to_string()))?;
+    let wire_f16 = spec.wire_f16();
+
+    for round in 0..spec.rounds as u64 {
+        // Local training with the per-iteration rollback hook (Alg. 1
+        // line 2) — identical to the simulator's post_local_iteration.
+        let mgr = &manager;
+        let hook = move |p: &mut [f32]| mgr.rollback(p, round);
+        let loss = client.local_round(spec.local_iters, &hook);
+
+        let mut l = client.flat_params();
+        manager.rollback(&mut l, round);
+        let up = manager.select_unfrozen(&l, round);
+        let mask = manager.frozen_mask(round);
+
+        if opts.fail_before_push_round == Some(round) {
+            // Injected fault: vanish mid-round, connection and all.
+            return Ok(ClientOutcome {
+                rounds_done: round,
+                wire_bytes,
+                injected_fault: true,
+            });
+        }
+        wire_bytes += write_frame(
+            &mut stream,
+            &Frame::Push {
+                round,
+                client_id: opts.id,
+                loss_bits: loss.to_bits(),
+                payload: MaskedPayload::new(mask.clone(), up, wire_f16)?,
+            },
+        )?;
+
+        let (frame, k) = read_frame(&mut stream)?;
+        wire_bytes += k;
+        let agg = match frame {
+            Frame::Pull { round: r, payload } if r == round && payload.mask == mask => {
+                payload.values
+            }
+            Frame::Abort { reason } => {
+                return Err(NetError::Protocol(format!("server aborted: {reason}")))
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected Pull for round {round}, got {other:?}"
+                )))
+            }
+        };
+        manager.apply_aggregate(&mut l, &agg, round);
+        manager.finish_round(&l, round);
+        client.load_flat(&l);
+    }
+
+    // The server's Done is a courtesy; the round count already told us the
+    // run is over, so a missing/failed Done is not an error.
+    if let Ok((Frame::Done, k)) = read_frame(&mut stream) {
+        wire_bytes += k;
+    }
+    Ok(ClientOutcome {
+        rounds_done: spec.rounds as u64,
+        wire_bytes,
+        injected_fault: false,
+    })
+}

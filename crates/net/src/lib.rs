@@ -1,0 +1,28 @@
+//! `apf-net`: APF over TCP — a parameter server, an edge client, and the
+//! length-prefixed masked-delta wire protocol between them.
+//!
+//! The crate turns the in-process simulator's synchronization round into a
+//! real client/server exchange while keeping one invariant absolute: a
+//! networked run of a [`RunSpec`] is **bitwise identical** to
+//! `RunSpec::build_runner()` on the same spec — same loss, frozen-ratio,
+//! and accuracy bit patterns, same logical byte accounting, same final
+//! global model. `crates/net/tests/parity.rs` enforces this in-process and
+//! `scripts/verify.sh` re-proves it across OS processes with the
+//! `apf-server` / `apf-client` binaries.
+//!
+//! Module map:
+//! - [`wire`] — frames, the masked payload encoding, typed [`WireError`]s;
+//! - [`server`] — [`NetServer`]: join phase, deterministic round loop,
+//!   graceful degradation when clients die;
+//! - [`client`] — [`run_client`]: spec-driven local training against a live
+//!   server.
+//!
+//! [`RunSpec`]: apf_fedsim::RunSpec
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{run_client, ClientOpts, ClientOutcome};
+pub use server::{NetError, NetServer, ServerOpts, ServerOutcome};
+pub use wire::{read_frame, write_frame, Frame, MaskedPayload, WireError, MAX_FRAME};

@@ -1,0 +1,428 @@
+//! The APF parameter server: owns the global model and the per-scalar
+//! freeze state, aggregates masked client deltas, and replays the exact
+//! arithmetic of the in-process simulator so a networked run is bitwise
+//! identical to `RunSpec::build_runner()` on the same spec.
+//!
+//! Determinism notes (each mirrors a line of `ApfStrategy::sync_round` /
+//! `FlRunner::run_round`):
+//! - Pushes are consumed in client-id order, so the weighted mean sums
+//!   uploads in exactly the simulator's client-index order.
+//! - Under f16, uploads arrive as binary16 bit patterns and are widened on
+//!   decode, which equals the simulator's `f16_decode(f16_encode(..))`
+//!   roundtrip; the aggregate is narrowed the same way before it is applied
+//!   anywhere.
+//! - The server keeps one [`ApfManager`] replica; because APF freezing
+//!   decisions are pure functions of the synchronized parameters (§6.2),
+//!   this replica stays in lockstep with every client's manager.
+//!
+//! Fault handling: a client that disconnects, times out, or violates the
+//! protocol is dropped from the round (aggregation weight 0) and all later
+//! rounds; the run continues with the survivors and only fails with
+//! [`NetError::AllClientsLost`] when nobody is left.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use apf::{Aimd, ApfManager};
+use apf_fedsim::{ExperimentLog, RoundRecord, RunSpec};
+use apf_obs::Acceptor;
+use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
+
+use crate::wire::{read_frame, write_frame, Frame, MaskedPayload, WireError};
+
+/// Parameter-server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// The run to serve. Must be an APF spec (the wire protocol transfers
+    /// masked deltas; FedAvg has no mask to speak of).
+    pub spec: RunSpec,
+    /// How long to wait for all clients to join before giving up.
+    pub join_timeout: Duration,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            addr: "127.0.0.1:0".to_owned(),
+            spec: RunSpec::golden(),
+            join_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a completed (possibly degraded) networked run produced.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    /// The per-round metric log, same semantics as the simulator's.
+    pub log: ExperimentLog,
+    /// The final global flat model.
+    pub global: Vec<f32>,
+    /// Actual bytes moved on the wire, both directions, including framing.
+    pub wire_bytes: u64,
+    /// Clients dropped mid-run (id order).
+    pub lost_clients: Vec<u32>,
+}
+
+/// A networked-runtime failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Wire-level failure on a connection the run could not survive losing.
+    Wire(WireError),
+    /// Listener/transport failure.
+    Io(std::io::Error),
+    /// Not all clients joined within the join timeout.
+    JoinTimeout {
+        /// Clients that did join.
+        joined: usize,
+        /// Clients the spec requires.
+        expected: usize,
+    },
+    /// Every client was lost before the run completed.
+    AllClientsLost {
+        /// The round during which the last client died.
+        round: u64,
+    },
+    /// The spec cannot run over this protocol (e.g. FedAvg).
+    Unsupported(String),
+    /// A peer violated the protocol state machine.
+    Protocol(String),
+    /// The run spec failed to parse or validate.
+    Spec(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::JoinTimeout { joined, expected } => {
+                write!(f, "join timeout: {joined}/{expected} clients joined")
+            }
+            NetError::AllClientsLost { round } => {
+                write!(f, "all clients lost by round {round}")
+            }
+            NetError::Unsupported(why) => write!(f, "unsupported spec: {why}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Spec(why) => write!(f, "bad spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+/// Weighted elementwise mean, operation-for-operation identical to the
+/// simulator's aggregation (sum `w * x` in index order, then divide by the
+/// weight total) so the result is bitwise equal.
+fn weighted_mean(vecs: &[Vec<f32>], weights: &[f32]) -> Option<Vec<f32>> {
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 || vecs.is_empty() {
+        return None;
+    }
+    let n = vecs[0].len();
+    let mut out = vec![0.0f32; n];
+    for (v, &w) in vecs.iter().zip(weights) {
+        if w == 0.0 {
+            continue;
+        }
+        debug_assert_eq!(v.len(), n);
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o += w * x;
+        }
+    }
+    for o in &mut out {
+        *o /= total;
+    }
+    Some(out)
+}
+
+fn f16_roundtrip(xs: &mut [f32]) {
+    for x in xs {
+        *x = f16_bits_to_f32(f32_to_f16_bits(*x));
+    }
+}
+
+/// A bound, not-yet-serving parameter server. Two-phase so callers can learn
+/// the ephemeral port (and e.g. write an addr file) before blocking in
+/// [`NetServer::serve`].
+pub struct NetServer {
+    opts: ServerOpts,
+    acceptor: Acceptor,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.acceptor.addr())
+            .finish()
+    }
+}
+
+impl NetServer {
+    /// Binds the listen address and validates the spec.
+    ///
+    /// # Errors
+    /// [`NetError::Unsupported`] for a non-APF spec, [`NetError::Io`] on
+    /// bind failure.
+    pub fn bind(opts: ServerOpts) -> Result<NetServer, NetError> {
+        if opts.spec.apf_config().is_none() {
+            return Err(NetError::Unsupported(
+                "the wire protocol carries masked APF deltas; use an apf strategy".to_owned(),
+            ));
+        }
+        let acceptor = Acceptor::bind(opts.addr.as_str(), opts.io_timeout, 64)?;
+        Ok(NetServer { opts, acceptor })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.acceptor.addr()
+    }
+
+    /// Runs the join phase and the full round loop to completion.
+    ///
+    /// # Errors
+    /// [`NetError::JoinTimeout`] when the fleet never assembles,
+    /// [`NetError::AllClientsLost`] when every client dies mid-run.
+    pub fn serve(mut self) -> Result<ServerOutcome, NetError> {
+        let spec = self.opts.spec.clone();
+        let n = spec.clients;
+        let mut wire_bytes = 0u64;
+        let mut streams = self.join_phase(n, &mut wire_bytes)?;
+
+        let init = spec.init_params();
+        let cfg = spec.apf_config().expect("validated at bind");
+        let mut manager = ApfManager::new(&init, cfg, Box::new(Aimd::default()))
+            .map_err(|e| NetError::Spec(e.to_string()))?;
+        let wire_f16 = spec.wire_f16();
+
+        // Initial model distribution.
+        let welcome = Frame::Welcome {
+            spec: spec.canonical(),
+            init: init.clone(),
+        };
+        for slot in streams.iter_mut() {
+            let Some(stream) = slot else { continue };
+            match write_frame(stream, &welcome) {
+                Ok(k) => wire_bytes += k,
+                Err(_) => *slot = None,
+            }
+        }
+
+        let mut g = init.clone();
+        let mut eval = spec.eval_setup();
+        let mut log = ExperimentLog::new(&spec.run_name());
+        let model_bytes = init.len() as u64 * 4;
+        let mut cum_bytes = 0u64;
+        let mut best_accuracy = 0.0f32;
+        let mut lost_clients: Vec<u32> = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        for round in 0..spec.rounds as u64 {
+            if round == 0 {
+                // Same accounting as the simulator: round 0 charges the
+                // initial broadcast for the whole fleet.
+                cum_bytes += model_bytes * n as u64;
+            }
+            let mask = manager.frozen_mask(round);
+            let unfrozen = mask.iter().filter(|&&f| !f).count();
+
+            // Collect pushes in client-id order (the aggregation order the
+            // simulator uses). A client that fails here is dropped for good.
+            let mut uploads: Vec<Vec<f32>> = vec![vec![0.0; unfrozen]; n];
+            let mut weights = vec![0.0f32; n];
+            let mut losses = vec![0.0f32; n];
+            for i in 0..n {
+                let Some(stream) = &mut streams[i] else {
+                    continue;
+                };
+                match read_frame(stream) {
+                    Ok((
+                        Frame::Push {
+                            round: r,
+                            client_id,
+                            loss_bits,
+                            payload,
+                        },
+                        k,
+                    )) if r == round
+                        && client_id as usize == i
+                        && payload.f16 == wire_f16
+                        && payload.mask == mask =>
+                    {
+                        wire_bytes += k;
+                        uploads[i] = payload.values;
+                        weights[i] = 1.0;
+                        losses[i] = f32::from_bits(loss_bits);
+                    }
+                    _ => {
+                        streams[i] = None;
+                        lost_clients.push(i as u32);
+                    }
+                }
+            }
+            let alive = weights.iter().filter(|&&w| w > 0.0).count();
+            if alive == 0 {
+                self.abort_all(&mut streams, "all peers lost");
+                return Err(NetError::AllClientsLost { round });
+            }
+
+            let mut agg = weighted_mean(&uploads, &weights).expect("alive > 0");
+            if wire_f16 {
+                // Matches the simulator's narrowing of the aggregate before
+                // it is applied or re-broadcast.
+                f16_roundtrip(&mut agg);
+            }
+
+            // Broadcast the aggregate; send failures drop the client.
+            let pull = Frame::Pull {
+                round,
+                payload: MaskedPayload::new(mask.clone(), agg.clone(), wire_f16)?,
+            };
+            for (i, slot) in streams.iter_mut().enumerate() {
+                let Some(stream) = slot else {
+                    continue;
+                };
+                match write_frame(stream, &pull) {
+                    Ok(k) => wire_bytes += k,
+                    Err(_) => {
+                        *slot = None;
+                        lost_clients.push(i as u32);
+                    }
+                }
+            }
+
+            // Advance the server replica exactly as every client does.
+            manager.apply_aggregate(&mut g, &agg, round);
+            let rep = manager.finish_round(&g, round);
+
+            let accuracy = if spec.evaluates_at(round) {
+                let acc = eval.accuracy(&g);
+                best_accuracy = best_accuracy.max(acc);
+                Some(acc)
+            } else {
+                None
+            };
+            // Logical (ledger) bytes: one masked transfer per surviving
+            // client each way — identical to the simulator when nobody died.
+            let bytes_up = alive as u64 * rep.bytes_up;
+            let bytes_down = alive as u64 * rep.bytes_down;
+            cum_bytes += bytes_up + bytes_down;
+            log.push(RoundRecord {
+                round,
+                loss: losses.iter().sum::<f32>() / alive as f32,
+                accuracy,
+                best_accuracy,
+                frozen_ratio: rep.frozen_ratio(),
+                bytes_up,
+                bytes_down,
+                cum_bytes,
+                compute_secs: 0.0,
+                comm_secs: 0.0,
+                cum_secs: 0.0,
+            });
+        }
+
+        for stream in streams.iter_mut().flatten() {
+            if let Ok(k) = write_frame(stream, &Frame::Done) {
+                wire_bytes += k;
+            }
+            let _ = stream.flush();
+        }
+        self.acceptor.shutdown();
+        lost_clients.sort_unstable();
+        lost_clients.dedup();
+        Ok(ServerOutcome {
+            log,
+            global: g,
+            wire_bytes,
+            lost_clients,
+        })
+    }
+
+    /// Accepts connections until every client slot has joined or the join
+    /// timeout elapses. Connections that fail the handshake (bad frame,
+    /// duplicate or out-of-range id) are rejected and do not consume a slot.
+    fn join_phase(
+        &mut self,
+        n: usize,
+        wire_bytes: &mut u64,
+    ) -> Result<Vec<Option<TcpStream>>, NetError> {
+        let deadline = Instant::now() + self.opts.join_timeout;
+        let queue = self.acceptor.queue();
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut joined = 0usize;
+        while joined < n {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let Some(mut stream) = queue.pop_timeout(left) else {
+                break;
+            };
+            match read_frame(&mut stream) {
+                Ok((Frame::Join { client_id }, k)) => {
+                    *wire_bytes += k;
+                    let id = client_id as usize;
+                    if id >= n || streams[id].is_some() {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Frame::Abort {
+                                reason: format!("client id {client_id} invalid or taken"),
+                            },
+                        );
+                        continue;
+                    }
+                    streams[id] = Some(stream);
+                    joined += 1;
+                }
+                // Garbage or truncated handshake: drop the connection and
+                // keep waiting for real clients.
+                _ => drop(stream),
+            }
+        }
+        if joined < n {
+            self.abort_all(&mut streams, "join phase incomplete");
+            return Err(NetError::JoinTimeout {
+                joined,
+                expected: n,
+            });
+        }
+        Ok(streams)
+    }
+
+    fn abort_all(&mut self, streams: &mut [Option<TcpStream>], reason: &str) {
+        for slot in streams.iter_mut() {
+            if let Some(stream) = slot {
+                let _ = write_frame(
+                    stream,
+                    &Frame::Abort {
+                        reason: reason.to_owned(),
+                    },
+                );
+            }
+            *slot = None;
+        }
+        self.acceptor.shutdown();
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the wire format: random frames round-trip exactly,
+//! the encoded size of a masked transfer is pinned to the ledger accounting
+//! formula, and truncated/corrupted/oversized input always produces a typed
+//! [`WireError`] — never a panic, never an allocation driven by a hostile
+//! length prefix.
+
+use apf::masked_transfer_bytes;
+use apf_net::{read_frame, Frame, MaskedPayload, WireError, MAX_FRAME};
+use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
+use apf_testkit::{f32s, prop_assert, prop_assert_eq, property, u32s, u64s, u8s, usizes, vecs};
+
+/// Builds a random-but-valid masked payload from raw generator output.
+fn payload_from(mask_bits: &[u8], raw_values: &[f32], f16: bool) -> MaskedPayload {
+    let mask: Vec<bool> = mask_bits.iter().map(|&b| b & 1 == 1).collect();
+    let unfrozen = mask.iter().filter(|&&m| !m).count();
+    let mut values: Vec<f32> = raw_values.iter().cycle().take(unfrozen).copied().collect();
+    if f16 {
+        // Pre-narrow so wire narrowing is lossless and round-trips compare
+        // equal (the protocol itself narrows exactly once, server-side).
+        for v in &mut values {
+            *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+        }
+    }
+    MaskedPayload::new(mask, values, f16).expect("consistent by construction")
+}
+
+property! {
+    fn push_frames_roundtrip(
+        round in u64s(0..1_000_000),
+        client_id in u32s(0..64),
+        mask_bits in vecs(u8s(0..2), 1..96),
+        raw in vecs(f32s(-100.0..100.0), 1..8),
+        f16_flag in u8s(0..2),
+        loss in f32s(0.0..10.0)
+    ) {
+        let payload = payload_from(&mask_bits, &raw, f16_flag == 1);
+        let frame = Frame::Push { round, client_id, loss_bits: loss.to_bits(), payload };
+        let bytes = frame.encode().unwrap();
+        let (back, n) = read_frame(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(n as usize, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    fn pull_frames_roundtrip(
+        round in u64s(0..1_000_000),
+        mask_bits in vecs(u8s(0..2), 1..96),
+        raw in vecs(f32s(-5.0..5.0), 1..8)
+    ) {
+        let frame = Frame::Pull { round, payload: payload_from(&mask_bits, &raw, false) };
+        let bytes = frame.encode().unwrap();
+        let (back, _) = read_frame(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    // Satellite regression: the ledger's masked-transfer byte formula IS the
+    // wire encoding's size — bitmap bytes + packed unfrozen values — so the
+    // run ledger charges exactly what a real frame would carry.
+    fn encoded_size_matches_ledger_accounting(
+        mask_bits in vecs(u8s(0..2), 1..256),
+        f16_flag in u8s(0..2)
+    ) {
+        let payload = payload_from(&mask_bits, &[0.25], f16_flag == 1);
+        let total = payload.mask.len();
+        let unfrozen = payload.values.len();
+        let bps = payload.bytes_per_scalar();
+        prop_assert_eq!(
+            payload.encoded_len(),
+            5 + masked_transfer_bytes(total, unfrozen, bps)
+        );
+        // And the full Pull frame is exactly header + round + payload.
+        let frame = Frame::Pull { round: 1, payload };
+        prop_assert_eq!(
+            frame.encode().unwrap().len() as u64,
+            10 + 8 + 5 + masked_transfer_bytes(total, unfrozen, bps)
+        );
+    }
+
+    // Every strict prefix of a valid frame is a typed error, not a panic.
+    fn truncation_always_yields_typed_errors(
+        mask_bits in vecs(u8s(0..2), 1..64),
+        cut_seed in usizes(0..10_000)
+    ) {
+        let frame = Frame::Push {
+            round: 9,
+            client_id: 3,
+            loss_bits: 0x3f80_0000,
+            payload: payload_from(&mask_bits, &[1.5, -2.0], false),
+        };
+        let bytes = frame.encode().unwrap();
+        let cut = cut_seed % bytes.len();
+        let result = read_frame(&mut &bytes[..cut]);
+        prop_assert!(
+            matches!(result, Err(WireError::Truncated { .. })),
+            "prefix of {cut} bytes gave {result:?}"
+        );
+    }
+
+    // Flipping any single byte of a valid frame either still decodes (the
+    // flip landed in a value) or fails with a typed error — never a panic.
+    fn corruption_never_panics(
+        mask_bits in vecs(u8s(0..2), 1..48),
+        pos_seed in usizes(0..10_000),
+        flip in u8s(1..255)
+    ) {
+        let frame = Frame::Push {
+            round: 2,
+            client_id: 0,
+            loss_bits: 0,
+            payload: payload_from(&mask_bits, &[0.5], false),
+        };
+        let mut bytes = frame.encode().unwrap();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        let _ = read_frame(&mut bytes.as_slice()); // must not panic
+    }
+
+    // A hostile declared length is rejected before any payload allocation;
+    // an under-cap lie larger than the actual body reads as truncation.
+    fn hostile_length_prefixes_are_bounded(declared in u32s(0..u32::MAX)) {
+        let mut bytes = Frame::Done.encode().unwrap();
+        bytes[6..10].copy_from_slice(&declared.to_le_bytes());
+        match read_frame(&mut bytes.as_slice()) {
+            Ok((Frame::Done, _)) => prop_assert_eq!(declared, 0),
+            Err(WireError::Oversized { len }) => {
+                prop_assert!(len > MAX_FRAME, "cap misfired at {len}");
+            }
+            Err(WireError::Truncated { got, .. }) => {
+                // Bounded: nothing was buffered beyond the actual body.
+                prop_assert!(declared <= MAX_FRAME && got == 0);
+            }
+            other => prop_assert!(false, "unexpected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_frames_refuse_to_encode() {
+    let frame = Frame::Welcome {
+        spec: String::new(),
+        init: vec![0.0; (MAX_FRAME as usize) / 4 + 8],
+    };
+    assert!(matches!(frame.encode(), Err(WireError::Oversized { .. })));
+}

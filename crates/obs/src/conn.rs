@@ -1,0 +1,240 @@
+//! Reusable TCP connection machinery: a bounded handoff queue plus a
+//! nonblocking accept loop with per-connection IO timeouts.
+//!
+//! Extracted from the `/metrics` HTTP server so other `std::net` servers in
+//! the workspace (notably the `apf-net` parameter server) inherit the same
+//! proven accept discipline: a background acceptor thread polls a
+//! nonblocking listener, stamps read/write timeouts and `TCP_NODELAY` on
+//! every accepted stream, and hands it to a bounded [`ConnQueue`] that
+//! consumers drain — blocking, or with a deadline via
+//! [`ConnQueue::pop_timeout`].
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// A bounded multi-producer multi-consumer queue of accepted connections.
+///
+/// `push` refuses (returning `false`) when the queue is full or closed —
+/// backpressure is "drop the connection and let the peer retry", the right
+/// call for both scrapers and protocol clients with connect-retry loops.
+pub struct ConnQueue {
+    conns: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl std::fmt::Debug for ConnQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnQueue").field("cap", &self.cap).finish()
+    }
+}
+
+impl ConnQueue {
+    /// Creates an open queue holding at most `cap` pending connections.
+    pub fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            conns: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues a connection; `false` when full or closed (caller drops it).
+    pub fn push(&self, stream: TcpStream) -> bool {
+        let Ok(mut guard) = self.conns.lock() else {
+            return false;
+        };
+        if guard.1 || guard.0.len() >= self.cap {
+            return false;
+        }
+        guard.0.push_back(stream);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until a connection is available or the queue is closed.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.conns.lock().ok()?;
+        loop {
+            if let Some(s) = guard.0.pop_front() {
+                return Some(s);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).ok()?;
+        }
+    }
+
+    /// Like [`ConnQueue::pop`], but gives up after `timeout` — the join-phase
+    /// primitive that keeps a server from hanging on absent clients.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.conns.lock().ok()?;
+        loop {
+            if let Some(s) = guard.0.pop_front() {
+                return Some(s);
+            }
+            if guard.1 {
+                return None;
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (g, wait) = self.ready.wait_timeout(guard, left).ok()?;
+            guard = g;
+            if wait.timed_out() && guard.0.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the queue: pending pops drain what is queued, then get `None`.
+    pub fn close(&self) {
+        if let Ok(mut guard) = self.conns.lock() {
+            guard.1 = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// A background accept loop feeding a [`ConnQueue`]; dropping it stops the
+/// loop and closes the queue.
+pub struct Acceptor {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Acceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Acceptor")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Acceptor {
+    /// Binds `addr` (`:0` for an ephemeral port) and starts accepting.
+    /// Every accepted stream gets `io_timeout` read/write timeouts and
+    /// `TCP_NODELAY` before entering the queue (capacity `queue_cap`).
+    ///
+    /// # Errors
+    /// Propagates bind/spawn errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        io_timeout: Duration,
+        queue_cap: usize,
+    ) -> std::io::Result<Acceptor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(queue_cap));
+        let accept_stop = Arc::clone(&stop);
+        let accept_queue = Arc::clone(&queue);
+        let handle = std::thread::Builder::new()
+            .name("apf-acceptor".to_owned())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_read_timeout(Some(io_timeout));
+                            let _ = stream.set_write_timeout(Some(io_timeout));
+                            let _ = stream.set_nodelay(true);
+                            // Queue full or closing: drop the connection
+                            // (the peer retries).
+                            let _ = accept_queue.push(stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?;
+        Ok(Acceptor {
+            addr,
+            stop,
+            queue,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The queue accepted connections land in.
+    pub fn queue(&self) -> Arc<ConnQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Stops the accept loop, closes the queue, joins the thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+    }
+}
+
+impl Drop for Acceptor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn accepts_and_hands_off_connections() {
+        let mut acc = Acceptor::bind("127.0.0.1:0", Duration::from_secs(2), 8).unwrap();
+        let addr = acc.addr();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut server_side = acc
+            .queue()
+            .pop_timeout(Duration::from_secs(5))
+            .expect("connection should arrive");
+        let mut buf = [0u8; 4];
+        server_side.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        acc.shutdown();
+        assert!(acc.queue().pop().is_none(), "queue closed after shutdown");
+    }
+
+    #[test]
+    fn pop_timeout_expires_without_traffic() {
+        let acc = Acceptor::bind("127.0.0.1:0", Duration::from_secs(2), 8).unwrap();
+        let t0 = Instant::now();
+        assert!(acc.queue().pop_timeout(Duration::from_millis(80)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(70));
+        assert!(t0.elapsed() < Duration::from_secs(2), "did not hang");
+    }
+
+    #[test]
+    fn queue_capacity_bounds_pending_connections() {
+        let q = ConnQueue::new(1);
+        let acc = Acceptor::bind("127.0.0.1:0", Duration::from_secs(1), 4).unwrap();
+        let a = TcpStream::connect(acc.addr()).unwrap();
+        let b = TcpStream::connect(acc.addr()).unwrap();
+        assert!(q.push(a));
+        assert!(!q.push(b), "over-capacity push must refuse");
+        q.close();
+        assert!(q.pop().is_some(), "close drains what was queued");
+        assert!(q.pop().is_none());
+    }
+}

@@ -18,16 +18,15 @@
 //! get a 4xx and the connection is closed; handler panics are confined to
 //! the worker thread and never take the process down.
 
-use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use apf_trace::{event, Level};
 
+use crate::conn::{Acceptor, ConnQueue};
 use crate::prometheus;
 use crate::state::ObsState;
 
@@ -37,65 +36,22 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 const MAX_HEAD: usize = 8 * 1024;
 /// Maximum accepted request-line length (bytes before the first CRLF).
 const MAX_REQUEST_LINE: usize = 4 * 1024;
-/// Accept-loop poll interval while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(15);
 /// Bounded pending-connection queue depth.
 const QUEUE_CAP: usize = 64;
-
-struct ConnQueue {
-    conns: Mutex<(VecDeque<TcpStream>, bool)>,
-    ready: Condvar,
-}
-
-impl ConnQueue {
-    fn push(&self, stream: TcpStream) -> bool {
-        let Ok(mut guard) = self.conns.lock() else {
-            return false;
-        };
-        if guard.1 || guard.0.len() >= QUEUE_CAP {
-            return false;
-        }
-        guard.0.push_back(stream);
-        self.ready.notify_one();
-        true
-    }
-
-    fn pop(&self) -> Option<TcpStream> {
-        let mut guard = self.conns.lock().ok()?;
-        loop {
-            if let Some(s) = guard.0.pop_front() {
-                return Some(s);
-            }
-            if guard.1 {
-                return None;
-            }
-            guard = self.ready.wait(guard).ok()?;
-        }
-    }
-
-    fn close(&self) {
-        if let Ok(mut guard) = self.conns.lock() {
-            guard.1 = true;
-        }
-        self.ready.notify_all();
-    }
-}
 
 /// A running telemetry server; dropping it shuts the server down
 /// gracefully (in-flight responses finish, then threads join).
 pub struct ObsServer {
-    addr: SocketAddr,
     state: Arc<ObsState>,
-    stop: Arc<AtomicBool>,
+    acceptor: Acceptor,
     queue: Arc<ConnQueue>,
-    accept_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ObsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsServer")
-            .field("addr", &self.addr)
+            .field("addr", &self.acceptor.addr())
             .field("workers", &self.workers.len())
             .finish()
     }
@@ -108,14 +64,8 @@ impl ObsServer {
     /// # Errors
     /// Propagates the bind error (address in use, permission, bad syntax).
     pub fn bind(addr: impl ToSocketAddrs, state: Arc<ObsState>) -> std::io::Result<ObsServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue {
-            conns: Mutex::new((VecDeque::new(), false)),
-            ready: Condvar::new(),
-        });
+        let acceptor = Acceptor::bind(addr, IO_TIMEOUT, QUEUE_CAP)?;
+        let queue = acceptor.queue();
         // Worker count rides on the apf-par pool configuration (capped: the
         // endpoints are cheap, scrapers are few).
         let n_workers = apf_par::threads().clamp(1, 4);
@@ -133,42 +83,19 @@ impl ObsServer {
                     })?,
             );
         }
-        let accept_stop = Arc::clone(&stop);
-        let accept_queue = Arc::clone(&queue);
-        let accept_handle = std::thread::Builder::new()
-            .name("apf-obs-accept".to_owned())
-            .spawn(move || {
-                while !accept_stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-                            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-                            let _ = stream.set_nodelay(true);
-                            // Queue full or closing: drop the connection (a
-                            // scraper will simply retry).
-                            let _ = accept_queue.push(stream);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => std::thread::sleep(ACCEPT_POLL),
-                    }
-                }
-            })?;
-        event!(Level::Info, target: "obs", "serving", addr = addr.to_string());
+        event!(Level::Info, target: "obs", "serving",
+            addr = acceptor.addr().to_string());
         Ok(ObsServer {
-            addr,
             state,
-            stop,
+            acceptor,
             queue,
-            accept_handle: Some(accept_handle),
             workers,
         })
     }
 
     /// The actually-bound address (resolves `:0` to the ephemeral port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.acceptor.addr()
     }
 
     /// The shared observable state this server reads from.
@@ -179,10 +106,7 @@ impl ObsServer {
     /// Stops accepting, drains queued connections, and joins all threads.
     /// Idempotent; also called on drop.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
+        self.acceptor.shutdown();
         self.queue.close();
         for h in self.workers.drain(..) {
             let _ = h.join();

@@ -26,11 +26,13 @@
 
 pub mod prometheus;
 
+mod conn;
 mod http;
 mod sink;
 mod state;
 mod store;
 
+pub use conn::{Acceptor, ConnQueue};
 pub use http::{http_get, ObsServer};
 pub use sink::SeriesSink;
 pub use state::{ObsState, RunInfo};

@@ -1,0 +1,67 @@
+//! The seeded run-and-record helper behind every golden-trajectory
+//! assertion in the workspace.
+//!
+//! Three suites need "run this exact federated experiment and hand me
+//! everything deterministic about it": the fedsim thread-determinism test,
+//! the workspace end-to-end tests, and the `apf-net` net-vs-sim parity
+//! harness. Each used to roll its own runner setup; this module is the one
+//! shared implementation, driven by an [`RunSpec`] so the *same* fixture
+//! can be replayed in-process, across thread counts, or against a live
+//! parameter server.
+//!
+//! [`RunSpec`]: apf_fedsim::RunSpec
+
+use apf_fedsim::{ExperimentLog, RunSpec, Trajectory};
+
+/// Everything deterministic a recorded run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenOutcome {
+    /// The full per-round metric log.
+    pub log: ExperimentLog,
+    /// The final global flat model.
+    pub global: Vec<f32>,
+}
+
+impl GoldenOutcome {
+    /// The final global model as f32 bit patterns (for exact comparison).
+    pub fn global_bits(&self) -> Vec<u32> {
+        self.global.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// The bit-exact trajectory of the run.
+    pub fn trajectory(&self) -> Trajectory {
+        Trajectory::from_log(&self.log)
+    }
+}
+
+/// Runs `spec` in-process to completion and records the outcome.
+///
+/// Two calls with the same spec must produce identical outcomes on any
+/// machine at any `APF_PAR_THREADS` — that is the determinism contract the
+/// golden tests pin.
+pub fn run_recorded(spec: &RunSpec) -> GoldenOutcome {
+    let mut runner = spec.build_runner();
+    runner.run();
+    GoldenOutcome {
+        log: runner.log().clone(),
+        global: runner.global().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_runs_are_reproducible() {
+        let spec = RunSpec {
+            rounds: 2,
+            ..RunSpec::golden()
+        };
+        let a = run_recorded(&spec);
+        let b = run_recorded(&spec);
+        assert_eq!(a.global_bits(), b.global_bits());
+        assert_eq!(a.trajectory(), b.trajectory());
+        assert_eq!(a.log.records.len(), 2);
+    }
+}

@@ -20,6 +20,10 @@
 //! [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
 //! [`prop_assume!`] work inside property bodies.
 //!
+//! Beyond the property harness, [`golden`] hosts the shared seeded
+//! run-and-record helper the golden-trajectory and net-vs-sim parity suites
+//! replay their fixtures with.
+//!
 //! ```
 //! apf_testkit::property! {
 //!     fn reverse_is_involutive(xs in apf_testkit::vecs(apf_testkit::u32s(0..100), 1..20)) {
@@ -30,6 +34,8 @@
 //!     }
 //! }
 //! ```
+
+pub mod golden;
 
 mod gen;
 mod rng;

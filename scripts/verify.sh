@@ -58,6 +58,62 @@ cargo run -q --release --offline -p apf-bench --bin ledger-report -- \
 rm -f "$smoke_ledger"
 echo "OK: telemetry endpoints healthy, identical re-run passes the gate"
 
+echo "== networked mode: multi-process bitwise parity vs simulator =="
+# One apf-server process plus three apf-client processes over localhost TCP
+# (ephemeral port handed off via --addr-file) must reproduce the in-process
+# simulator's golden trajectory byte for byte — same loss, frozen-ratio,
+# accuracy, and byte-count bit patterns every round. Everything runs under a
+# hard timeout so a protocol hang fails the gate instead of wedging CI.
+# (The in-process variant plus the wire-format property tests already ran
+# above under both APF_PAR_THREADS=1 and =4 as part of the workspace suite.)
+net_dir=$(mktemp -d /tmp/apf_net.XXXXXX)
+trap 'rm -rf "$net_dir"' EXIT
+server=target/release/apf-server
+client=target/release/apf-client
+
+timeout 120 "$server" --sim \
+  --trajectory-out "$net_dir/sim.traj" --ledger "$net_dir/ledger.jsonl"
+
+timeout 120 "$server" --addr 127.0.0.1:0 --addr-file "$net_dir/addr" \
+  --trajectory-out "$net_dir/net.traj" --ledger "$net_dir/ledger.jsonl" &
+net_pids=($!)
+for id in 0 1 2; do
+  timeout 120 "$client" --id "$id" --addr-file "$net_dir/addr" &
+  net_pids+=($!)
+done
+for pid in "${net_pids[@]}"; do wait "$pid"; done
+
+# The networked trajectory carries a `# wire_bytes=` comment the simulator
+# baseline lacks; comments are exempt from the byte-for-byte comparison.
+if ! diff <(grep -v '^#' "$net_dir/sim.traj") <(grep -v '^#' "$net_dir/net.traj"); then
+  echo "networked run diverges from the simulator baseline" >&2
+  exit 1
+fi
+echo "OK: networked trajectory is bitwise identical to the simulator"
+cargo run -q --release --offline -p apf-bench --bin ledger-report -- \
+  diff 0 1 --ledger "$net_dir/ledger.jsonl"
+
+echo "== networked mode: client killed mid-round degrades gracefully =="
+# Client 2 crashes right before its round-2 push; the server must still
+# finish every round with the survivors and write a complete trajectory.
+timeout 120 "$server" --addr 127.0.0.1:0 --addr-file "$net_dir/addr2" \
+  --trajectory-out "$net_dir/fault.traj" &
+net_pids=($!)
+for id in 0 1; do
+  timeout 120 "$client" --id "$id" --addr-file "$net_dir/addr2" &
+  net_pids+=($!)
+done
+timeout 120 "$client" --id 2 --addr-file "$net_dir/addr2" --fail-before-push 2 &
+net_pids+=($!)
+for pid in "${net_pids[@]}"; do wait "$pid"; done
+sim_rounds=$(grep -cv '^#\|^apf-trajectory' "$net_dir/sim.traj")
+fault_rounds=$(grep -cv '^#\|^apf-trajectory' "$net_dir/fault.traj")
+if [ "$fault_rounds" -ne "$sim_rounds" ]; then
+  echo "faulted run recorded $fault_rounds rounds, expected $sim_rounds" >&2
+  exit 1
+fi
+echo "OK: server completed all $fault_rounds rounds despite a mid-round client loss"
+
 echo "== zero-alloc steady state (scratch pool, APF_PAR_THREADS=1) =="
 # The GEMM/conv training hot path must be fully served by the scratch pool
 # after warm-up: the alloc tests assert zero buffer allocations per step.

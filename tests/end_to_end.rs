@@ -1,80 +1,64 @@
 //! Cross-crate integration tests: the full APF stack (data → nn → fedsim →
 //! apf) end to end on a small task.
+//!
+//! All runs go through [`RunSpec`] + the shared `apf-testkit` golden
+//! recorder, so the exact fixture here is replayable by name from any other
+//! suite (and over the wire by `apf-net`).
 
-use apf::ApfConfig;
-use apf_data::{dirichlet_partition, synth_images_split, with_label_noise, Dataset};
-use apf_fedsim::{ApfStrategy, FlConfig, FlRunner, FullSync};
-use apf_nn::models;
+use apf_fedsim::{ExperimentLog, PartitionKind, RunSpec, SpecStrategy};
+use apf_testkit::golden::run_recorded;
 
-fn flat_images(n: usize, split: u64) -> Dataset {
-    let ds = synth_images_split(n, 1, split);
-    let ds = if split == 0 {
-        // Label noise on the training split keeps asymptotic gradient noise
-        // non-zero, the oscillation regime APF exploits (see DESIGN.md).
-        with_label_noise(&ds, 0.25, 1)
-    } else {
-        ds
-    };
-    Dataset::new(
-        ds.inputs().reshape(&[ds.len(), 3 * 16 * 16]),
-        ds.labels().to_vec(),
-        10,
-    )
-}
-
-fn mlp(seed: u64) -> apf_nn::Sequential {
-    models::mlp("m", &[3 * 16 * 16, 24, 10], seed)
-}
-
-fn cfg(rounds: usize) -> FlConfig {
-    FlConfig {
-        local_iters: 4,
+/// The workspace end-to-end fixture: 4 Dirichlet non-IID clients on noisy
+/// synthetic images. Label noise keeps asymptotic gradient noise non-zero,
+/// the oscillation regime APF exploits (see DESIGN.md).
+fn spec(strategy: SpecStrategy, rounds: usize) -> RunSpec {
+    RunSpec {
+        clients: 4,
         rounds,
+        local_iters: 4,
         batch_size: 16,
         eval_every: 5,
+        eval_batch: 100,
         seed: 9,
+        train_n: 200,
+        test_n: 150,
+        hidden: 24,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        label_noise: 0.25,
+        partition: PartitionKind::Dirichlet {
+            alpha: 1.0,
+            seed: 2,
+        },
+        strategy,
         parallel: false,
-        ..FlConfig::default()
     }
 }
 
-fn run(strategy: Box<dyn apf_fedsim::SyncStrategy>, rounds: usize) -> apf_fedsim::ExperimentLog {
-    let train = flat_images(200, 0);
-    let test = flat_images(150, 1);
-    let parts = dirichlet_partition(train.labels(), 4, 1.0, 2);
-    let mut runner = FlRunner::builder(mlp, cfg(rounds))
-        .optimizer(apf_fedsim::OptimizerKind::Sgd {
-            lr: 0.05,
-            momentum: 0.9,
-            weight_decay: 0.0,
-        })
-        .clients_from_partition(&train, &parts)
-        .test_set(test)
-        .strategy(strategy)
-        .build();
-    runner.run().clone()
+/// Scaled APF defaults (shorter EMA horizon, looser threshold) as used by
+/// the experiment harness — the paper's values assume 1000+ round runs.
+fn apf(check_every: u32, f16: bool) -> SpecStrategy {
+    SpecStrategy::Apf {
+        check_every,
+        threshold: 0.1,
+        ema_alpha: 0.9,
+        f16,
+    }
 }
 
-fn apf_strategy(check_every: u32) -> Box<ApfStrategy> {
-    // Scaled defaults (shorter EMA horizon, looser threshold) as used by the
-    // experiment harness — the paper's values assume 1000+ round runs.
-    Box::new(
-        ApfStrategy::new(ApfConfig {
-            check_every_rounds: check_every,
-            stability_threshold: 0.1,
-            ema_alpha: 0.9,
-            seed: 9,
-            ..ApfConfig::default()
-        })
-        .unwrap(),
-    )
+fn run(strategy: SpecStrategy, rounds: usize) -> ExperimentLog {
+    run_recorded(&spec(strategy, rounds)).log
 }
+
+/// Scalars in the `[768, 24, 10]` MLP this fixture trains.
+const MODEL_SCALARS: u64 = (3 * 16 * 16 * 24 + 24 + 24 * 10 + 10) as u64;
 
 #[test]
 fn apf_matches_fedavg_accuracy_with_fewer_bytes() {
     let rounds = 60;
-    let fedavg = run(Box::new(FullSync::new()), rounds);
-    let apf = run(apf_strategy(1), rounds);
+    let fedavg = run(SpecStrategy::Fedavg, rounds);
+    let apf = run(apf(1, false), rounds);
     // Accuracy must be comparable (the paper finds APF equal or better).
     assert!(
         apf.best_accuracy() >= fedavg.best_accuracy() - 0.08,
@@ -104,17 +88,30 @@ fn apf_matches_fedavg_accuracy_with_fewer_bytes() {
 
 #[test]
 fn byte_accounting_is_consistent_with_frozen_ratio() {
-    let log = run(apf_strategy(1), 30);
+    let log = run(apf(1, false), 30);
     let n_clients = 4u64;
+    // Masked-transfer encoding: freeze bitmap + 4 bytes per unfrozen scalar,
+    // per client, both directions.
+    let bitmap = MODEL_SCALARS.div_ceil(8);
     for r in &log.records {
-        // bytes_up per round = unfrozen fraction x model bytes x clients.
-        let model_scalars = (r.bytes_up / 4 / n_clients) as f32 / (1.0 - r.frozen_ratio).max(1e-6);
-        // model_scalars must be constant across rounds (one model size).
-        let expected = log.records[0].bytes_up as f32 / 4.0 / n_clients as f32;
-        assert!(
-            (model_scalars - expected).abs() / expected < 0.02,
-            "round {}: inconsistent byte accounting ({model_scalars} vs {expected})",
+        let per_client = r.bytes_up / n_clients;
+        assert_eq!(
+            r.bytes_up % n_clients,
+            0,
+            "round {}: ragged upload",
             r.round
+        );
+        assert!(per_client >= bitmap, "round {}: lost the bitmap", r.round);
+        let unfrozen = (per_client - bitmap) / 4;
+        // frozen_ratio is reported as an f32 ratio; recover the scalar count
+        // and allow one unit of rounding slack.
+        let expected = (MODEL_SCALARS as f64 * f64::from(1.0 - r.frozen_ratio)).round() as i64;
+        assert!(
+            (unfrozen as i64 - expected).abs() <= 1,
+            "round {}: {} unfrozen scalars on the wire, frozen_ratio implies {}",
+            r.round,
+            unfrozen,
+            expected
         );
         assert_eq!(
             r.bytes_up, r.bytes_down,
@@ -125,8 +122,8 @@ fn byte_accounting_is_consistent_with_frozen_ratio() {
 
 #[test]
 fn runs_are_deterministic() {
-    let a = run(apf_strategy(2), 10);
-    let b = run(apf_strategy(2), 10);
+    let a = run(apf(2, false), 10);
+    let b = run(apf(2, false), 10);
     // Wall-clock fields (compute_secs and the times derived from them) are
     // inherently non-deterministic; everything else must match exactly.
     assert_eq!(a.records.len(), b.records.len());
@@ -143,13 +140,14 @@ fn runs_are_deterministic() {
 }
 
 #[test]
-fn f16_stacking_halves_wire_size_and_preserves_learning() {
+fn f16_stacking_halves_value_bytes_and_preserves_learning() {
     let rounds = 30;
-    let plain = run(apf_strategy(2), rounds);
-    let quant = run(Box::new((*apf_strategy(2)).with_f16()), rounds);
-    // Per-round wire bytes must be exactly half at equal frozen ratio
-    // (round 0: nothing frozen yet in either).
-    assert_eq!(quant.records[0].bytes_up * 2, plain.records[0].bytes_up);
+    let plain = run(apf(2, false), rounds);
+    let quant = run(apf(2, true), rounds);
+    // Round 0: nothing frozen yet in either run, so the value payload is the
+    // full model. f16 halves exactly that part; the bitmap is unchanged.
+    let saved = 4 * MODEL_SCALARS * 2; // 4 clients x model x 2 bytes saved
+    assert_eq!(plain.records[0].bytes_up - quant.records[0].bytes_up, saved);
     assert!(
         quant.best_accuracy() > 0.35,
         "quantized run failed to learn"
@@ -158,13 +156,12 @@ fn f16_stacking_halves_wire_size_and_preserves_learning() {
 
 #[test]
 fn cumulative_bytes_monotone_and_include_initial_distribution() {
-    let log = run(apf_strategy(2), 10);
+    let log = run(apf(2, false), 10);
     let mut prev = 0;
     for r in &log.records {
         assert!(r.cum_bytes > prev, "cumulative bytes must strictly grow");
         prev = r.cum_bytes;
     }
     // Round 0 includes the initial model distribution (4 clients x model).
-    let model_bytes = (3 * 16 * 16 * 24 + 24 + 24 * 10 + 10) as u64 * 4;
-    assert!(log.records[0].cum_bytes >= 4 * model_bytes);
+    assert!(log.records[0].cum_bytes >= 4 * MODEL_SCALARS * 4);
 }
