@@ -1,6 +1,6 @@
 //! `trace-report`: offline analyzer for `apf-trace` JSONL files.
 //!
-//! Usage:
+//! Single-file mode (the original views):
 //!
 //! ```text
 //! APF_TRACE=debug APF_TRACE_FILE=trace.jsonl cargo run --bin experiments -- end2end
@@ -18,12 +18,34 @@
 //!    over rounds, from the manager's `layer_freeze` events.
 //! 4. **Bytes by phase** — uplink/downlink volume per transfer phase, from
 //!    `fedsim.comm` events.
+//!
+//! Multi-file (distributed-run) modes, over traces produced with
+//! `apf-server --trace-file` / `apf-client --trace-file`:
+//!
+//! ```text
+//! trace-report timeline server.jsonl client*.jsonl [--min-coverage PCT]
+//! trace-report reconcile server.jsonl client*.jsonl --ledger runs.jsonl
+//! ```
+//!
+//! `timeline` merges the traces (clock-aligning every client to the server
+//! via the Welcome handshake anchors), checks the cross-process span tree
+//! for completeness, and attributes each client round's wall time to
+//! compute / transfer / server-wait. With `--min-coverage` it exits
+//! non-zero if any round's attributed share falls below the bound.
+//!
+//! `reconcile` audits the byte flow: per-client traced transfers must sum
+//! to the server's per-round accounting, the cumulative trace total must
+//! match every `round_bytes` checkpoint, and the matching run-ledger record
+//! (found by config digest) must agree — any mismatch exits non-zero.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use apf_bench::report::{fmt_mb, render_table};
+use apf_bench::trace_merge::MergedTrace;
+use apf_bench::trace_model::{group_processes, TraceFile};
 use apf_fedsim::json::{self, Value};
+use apf_fedsim::load_ledger;
 
 /// One parsed `{"t":"span",...}` line.
 struct SpanLine {
@@ -336,20 +358,111 @@ impl Report {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else {
-        eprintln!("usage: trace-report <trace.jsonl>");
-        eprintln!("  produce a trace with e.g. APF_TRACE=debug APF_TRACE_FILE=trace.jsonl");
-        return ExitCode::FAILURE;
-    };
-    let data = match std::fs::read_to_string(path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("trace-report: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+/// Loads and merges the given trace files into one distributed-run view.
+fn merge_traces(paths: &[String]) -> Result<MergedTrace, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        files.push(TraceFile::load(p)?);
+    }
+    MergedTrace::build(group_processes(&files)?)
+}
+
+fn run_timeline(paths: &[String], min_coverage: Option<f64>) -> Result<(), String> {
+    let merged = merge_traces(paths)?;
+    println!(
+        "run {}: server + {} client trace(s)",
+        merged.run,
+        merged.clients.len()
+    );
+    for (i, off) in merged.offsets_us.iter().enumerate() {
+        println!("  client {i} clock offset to server: {off:+} us (Welcome anchor)");
+    }
+    let problems = merged.completeness_problems();
+    for p in &problems {
+        eprintln!("trace-report: incomplete span tree: {p}");
+    }
+    let slices = merged.timeline();
+    if slices.is_empty() {
+        return Err("no client round spans (trace clients at debug level)".to_owned());
+    }
+    let rows: Vec<Vec<String>> = slices
+        .iter()
+        .map(|s| {
+            vec![
+                s.round.to_string(),
+                s.client.to_string(),
+                format!("{:+}", s.start_us),
+                fmt_us(s.wall_us),
+                fmt_us(s.compute_us),
+                fmt_us(s.transfer_us),
+                fmt_us(s.server_wait_us),
+                format!("{:.1}%", 100.0 * s.coverage()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "round critical path per client (server clock)",
+            &["round", "client", "start", "wall", "compute", "transfer", "srv-wait", "coverage",],
+            &rows,
+        )
+    );
+    let worst = slices
+        .iter()
+        .map(|s| s.coverage())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "worst round coverage: {:.1}% over {} round-slices",
+        100.0 * worst,
+        slices.len()
+    );
+    if !problems.is_empty() {
+        return Err(format!("{} span-tree problem(s)", problems.len()));
+    }
+    if let Some(bound) = min_coverage {
+        if 100.0 * worst < bound {
+            return Err(format!(
+                "round coverage {:.1}% below required {bound}%",
+                100.0 * worst
+            ));
         }
-    };
+    }
+    Ok(())
+}
+
+fn run_reconcile(paths: &[String], ledger_path: &str) -> Result<(), String> {
+    let merged = merge_traces(paths)?;
+    let ledger = load_ledger(ledger_path)?;
+    let rep = merged.reconcile(&ledger);
+    println!(
+        "run {}: {} rounds, traced {} logical bytes, ledger {} bytes",
+        merged.run, rep.rounds, rep.traced_total, rep.ledger_total
+    );
+    for p in &rep.problems {
+        eprintln!("trace-report: reconcile: {p}");
+    }
+    if rep.problems.is_empty() {
+        println!("traced transfers reconcile exactly with the run ledger");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} byte-accounting mismatch(es)",
+            rep.problems.len()
+        ))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: trace-report <trace.jsonl>\n\
+     \x20      trace-report timeline <server.jsonl> <client.jsonl>... [--min-coverage PCT]\n\
+     \x20      trace-report reconcile <server.jsonl> <client.jsonl>... --ledger <runs.jsonl>\n\
+     \x20 produce traces with APF_TRACE=debug APF_TRACE_FILE=... (or --trace-file on\n\
+     \x20 apf-server/apf-client for distributed runs)"
+}
+
+fn run_single(path: &str) -> Result<(), String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut report = Report::new();
     for line in data.lines() {
         report.ingest_line(line);
@@ -362,7 +475,70 @@ fn main() -> ExitCode {
     report.print_threads();
     report.print_heatmap();
     report.print_phases();
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        None => Err(usage().to_owned()),
+        Some((cmd, rest)) if cmd == "timeline" => {
+            let mut paths = Vec::new();
+            let mut min_coverage = None;
+            let mut it = rest.iter();
+            let mut parse = || -> Result<(), String> {
+                while let Some(a) = it.next() {
+                    if a == "--min-coverage" {
+                        let v = it.next().ok_or("--min-coverage needs a value")?;
+                        min_coverage =
+                            Some(v.parse().map_err(|_| format!("bad --min-coverage {v}"))?);
+                    } else {
+                        paths.push(a.clone());
+                    }
+                }
+                Ok(())
+            };
+            parse().and_then(|()| {
+                if paths.len() < 2 {
+                    Err(format!(
+                        "timeline needs server + client traces\n{}",
+                        usage()
+                    ))
+                } else {
+                    run_timeline(&paths, min_coverage)
+                }
+            })
+        }
+        Some((cmd, rest)) if cmd == "reconcile" => {
+            let mut paths = Vec::new();
+            let mut ledger = None;
+            let mut it = rest.iter();
+            let mut parse = || -> Result<(), String> {
+                while let Some(a) = it.next() {
+                    if a == "--ledger" {
+                        ledger = Some(it.next().ok_or("--ledger needs a value")?.clone());
+                    } else {
+                        paths.push(a.clone());
+                    }
+                }
+                Ok(())
+            };
+            parse().and_then(|()| match (&ledger, paths.len()) {
+                (None, _) => Err(format!("reconcile needs --ledger\n{}", usage())),
+                (_, 0) => Err(format!("reconcile needs trace files\n{}", usage())),
+                (Some(l), _) => run_reconcile(&paths, l),
+            })
+        }
+        Some((path, [])) => run_single(path),
+        Some(_) => Err(usage().to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,3 +11,5 @@ pub mod motivation;
 pub mod regress;
 pub mod report;
 pub mod setups;
+pub mod trace_merge;
+pub mod trace_model;

@@ -3,7 +3,7 @@
 //! ```text
 //! apf-client --id N (--server HOST:PORT | --addr-file PATH)
 //!            [--connect-timeout-secs N] [--io-timeout-secs N]
-//!            [--fail-before-push ROUND]
+//!            [--fail-before-push ROUND] [--trace-file PATH]
 //! ```
 //!
 //! Joins the server, receives the run spec in the Welcome frame, and runs
@@ -13,6 +13,11 @@
 //! `--fail-before-push` injects a mid-round crash for fault-path testing:
 //! the process exits, dropping its connection, right before pushing that
 //! round's update.
+//!
+//! `--trace-file` enables JSONL tracing to the given path (level from
+//! `APF_TRACE`, defaulting to `debug`). The trace adopts the run id from
+//! the server's Welcome frame, so `trace-report` can merge it with the
+//! server's trace and the other clients'.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -22,7 +27,8 @@ use apf_net::{run_client, ClientOpts};
 
 fn usage() -> &'static str {
     "usage: apf-client --id N (--server HOST:PORT | --addr-file PATH) \
-     [--connect-timeout-secs N] [--io-timeout-secs N] [--fail-before-push ROUND]"
+     [--connect-timeout-secs N] [--io-timeout-secs N] [--fail-before-push ROUND] \
+     [--trace-file PATH]"
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -47,6 +53,19 @@ fn addr_from_file(path: &str, budget: Duration) -> Result<SocketAddr, String> {
     }
 }
 
+/// Enables JSONL tracing to `path`; level from `APF_TRACE`, default `debug`
+/// (mirrors `apf-server --trace-file`).
+fn init_tracing(path: &str) -> Result<(), String> {
+    let level = std::env::var("APF_TRACE")
+        .ok()
+        .and_then(|v| apf_trace::Level::parse(&v))
+        .flatten()
+        .unwrap_or(apf_trace::Level::Debug);
+    let sink = apf_trace::FileSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+    apf_trace::init(level, std::sync::Arc::new(sink));
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let mut id: Option<u32> = None;
     let mut server: Option<String> = None;
@@ -54,6 +73,7 @@ fn run() -> Result<(), String> {
     let mut connect_timeout = Duration::from_secs(10);
     let mut io_timeout = Duration::from_secs(30);
     let mut fail_before_push: Option<u64> = None;
+    let mut trace_file: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -73,10 +93,15 @@ fn run() -> Result<(), String> {
             "--fail-before-push" => {
                 fail_before_push = Some(value()?.parse().map_err(|_| "bad --fail-before-push")?);
             }
+            "--trace-file" => trace_file = Some(value()?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     let id = id.ok_or_else(|| format!("--id is required\n{}", usage()))?;
+    match &trace_file {
+        Some(path) => init_tracing(path)?,
+        None => apf_trace::init_from_env(),
+    }
     let addr = match (server, addr_file) {
         (Some(addr), None) => resolve(&addr)?,
         (None, Some(path)) => addr_from_file(&path, connect_timeout)?,
@@ -95,6 +120,7 @@ fn run() -> Result<(), String> {
         fail_before_push_round: fail_before_push,
     })
     .map_err(|e| e.to_string())?;
+    apf_trace::flush();
     eprintln!(
         "client {id}: {} rounds, {} wire bytes{}",
         outcome.rounds_done,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL]
-//!            [--trajectory-out PATH] [--ledger PATH]
+//!            [--trajectory-out PATH] [--ledger PATH] [--trace-file PATH]
 //!            [--join-timeout-secs N] [--io-timeout-secs N] [--sim]
 //! ```
 //!
@@ -17,12 +17,20 @@
 //! `--sim` runs the spec through the in-process simulator instead of
 //! serving — same outputs, no sockets — which is how the verify harness
 //! produces the baseline a networked run must match byte for byte.
+//!
+//! `--trace-file` enables JSONL tracing to the given path (the CLI twin of
+//! `APF_TRACE_FILE`; the level comes from `APF_TRACE`, defaulting to
+//! `debug` when only the flag is given). The first record is a header
+//! carrying role/pid/spec so `trace-report` can merge the file with the
+//! clients' traces. With `APF_OBS_ADDR` set, a live `/metrics`+`/snapshot`
+//! endpoint serves the run's server-side counters.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use apf_fedsim::{ExperimentLog, LedgerRecord, RunSpec, Trajectory};
 use apf_net::{NetServer, ServerOpts};
+use apf_obs::{ObsServer, ObsState};
 
 struct Args {
     addr: String,
@@ -30,6 +38,7 @@ struct Args {
     spec: RunSpec,
     trajectory_out: Option<String>,
     ledger: Option<String>,
+    trace_file: Option<String>,
     join_timeout: Duration,
     io_timeout: Duration,
     sim: bool,
@@ -37,8 +46,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL] \
-     [--trajectory-out PATH] [--ledger PATH] [--join-timeout-secs N] \
-     [--io-timeout-secs N] [--sim]"
+     [--trajectory-out PATH] [--ledger PATH] [--trace-file PATH] \
+     [--join-timeout-secs N] [--io-timeout-secs N] [--sim]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         spec: RunSpec::golden(),
         trajectory_out: None,
         ledger: None,
+        trace_file: None,
         join_timeout: Duration::from_secs(30),
         io_timeout: Duration::from_secs(10),
         sim: false,
@@ -63,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trajectory-out" => args.trajectory_out = Some(value()?),
             "--ledger" => args.ledger = Some(value()?),
+            "--trace-file" => args.trace_file = Some(value()?),
             "--join-timeout-secs" => {
                 args.join_timeout =
                     Duration::from_secs(value()?.parse().map_err(|_| "bad --join-timeout-secs")?);
@@ -106,8 +117,26 @@ fn write_outputs(
     Ok(())
 }
 
+/// Enables JSONL tracing to `path`: level from `APF_TRACE` when set
+/// (and not `off`), else `debug` — asking for a trace file means wanting
+/// the per-round phase spans in it.
+fn init_tracing(path: &str) -> Result<(), String> {
+    let level = std::env::var("APF_TRACE")
+        .ok()
+        .and_then(|v| apf_trace::Level::parse(&v))
+        .flatten()
+        .unwrap_or(apf_trace::Level::Debug);
+    let sink = apf_trace::FileSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+    apf_trace::init(level, std::sync::Arc::new(sink));
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    match &args.trace_file {
+        Some(path) => init_tracing(path)?,
+        None => apf_trace::init_from_env(),
+    }
     let t0 = Instant::now();
     if args.sim {
         let mut runner = args.spec.build_runner();
@@ -122,11 +151,36 @@ fn run() -> Result<(), String> {
         );
         return Ok(());
     }
+    // Live telemetry is opt-in via APF_OBS_ADDR, mirroring the simulator
+    // runner; the listener lives until the run completes.
+    let mut obs_server: Option<ObsServer> = None;
+    let obs_state = std::env::var("APF_OBS_ADDR")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .and_then(|addr| {
+            let state = ObsState::new();
+            match ObsServer::bind(addr.as_str(), std::sync::Arc::clone(&state)) {
+                Ok(server) => {
+                    if let Ok(path) = std::env::var("APF_OBS_ADDR_FILE") {
+                        if !path.is_empty() {
+                            let _ = std::fs::write(&path, server.addr().to_string());
+                        }
+                    }
+                    obs_server = Some(server);
+                    Some(state)
+                }
+                Err(e) => {
+                    eprintln!("apf-server: obs bind failed: {e}");
+                    None
+                }
+            }
+        });
     let server = NetServer::bind(ServerOpts {
         addr: args.addr.clone(),
         spec: args.spec.clone(),
         join_timeout: args.join_timeout,
         io_timeout: args.io_timeout,
+        obs: obs_state,
     })
     .map_err(|e| e.to_string())?;
     let addr = server.addr();
@@ -141,6 +195,8 @@ fn run() -> Result<(), String> {
         Some(outcome.wire_bytes),
         t0.elapsed().as_secs_f64(),
     )?;
+    apf_trace::flush();
+    drop(obs_server);
     eprintln!(
         "run complete: {} rounds, best accuracy {:.4}, {} logical bytes, {} wire bytes, {} client(s) lost",
         outcome.log.records.len(),

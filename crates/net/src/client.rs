@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use apf::{Aimd, ApfManager};
 use apf_fedsim::RunSpec;
+use apf_trace::{event, span, Level, Role, TraceContext};
 
 use crate::server::NetError;
 use crate::wire::{read_frame, write_frame, Frame, MaskedPayload};
@@ -87,17 +88,26 @@ fn connect_retry(addr: SocketAddr, budget: Duration) -> Result<TcpStream, NetErr
 /// [`NetError::Protocol`], and a malformed Welcome spec as
 /// [`NetError::Spec`].
 pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
+    apf_trace::init_from_env();
     let mut stream = connect_retry(opts.server, opts.connect_timeout)?;
     stream.set_read_timeout(Some(opts.io_timeout))?;
     stream.set_write_timeout(Some(opts.io_timeout))?;
     stream.set_nodelay(true)?;
     let mut wire_bytes = 0u64;
 
-    wire_bytes += write_frame(&mut stream, &Frame::Join { client_id: opts.id })?;
+    // The Join context announces who we are; the run id is still unknown
+    // (the server mints it and hands it back in the Welcome).
+    wire_bytes += write_frame(
+        &mut stream,
+        &Frame::Join {
+            client_id: opts.id,
+            ctx: TraceContext::new(0, Role::Client(opts.id)),
+        },
+    )?;
     let (welcome, k) = read_frame(&mut stream)?;
     wire_bytes += k;
-    let (spec_text, init) = match welcome {
-        Frame::Welcome { spec, init } => (spec, init),
+    let (spec_text, init, server_ctx) = match welcome {
+        Frame::Welcome { spec, init, ctx } => (spec, init, ctx),
         Frame::Abort { reason } => return Err(NetError::Protocol(format!("rejected: {reason}"))),
         other => {
             return Err(NetError::Protocol(format!(
@@ -105,6 +115,17 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
             )))
         }
     };
+    // Adopt the server's run id so every record this process emits merges
+    // into the same logical trace; `welcome_recv` (paired with the server's
+    // `welcome_sent`) anchors cross-process clock alignment.
+    let client_ctx = TraceContext::new(server_ctx.run_id, Role::Client(opts.id));
+    if apf_trace::enabled(Level::Info) {
+        apf_trace::set_thread_context(client_ctx);
+        apf_trace::emit_header(&spec_text);
+        event!(Level::Info, target: "net.client", "welcome_recv",
+            client = opts.id, bytes_wire = k, peer_pid = server_ctx.pid,
+            peer_span = server_ctx.link_span);
+    }
     let spec = RunSpec::parse(&spec_text).map_err(|e| NetError::Spec(e.to_string()))?;
     if opts.id as usize >= spec.clients {
         return Err(NetError::Spec(format!(
@@ -128,17 +149,27 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
         .map_err(|e| NetError::Spec(e.to_string()))?;
     let wire_f16 = spec.wire_f16();
 
+    let mut session = span!(Level::Info, target: "net.client", "session",
+        client = opts.id, rounds = spec.rounds);
     for round in 0..spec.rounds as u64 {
+        let round_span = span!(Level::Info, target: "net.client", "round",
+            round = round, client = opts.id);
         // Local training with the per-iteration rollback hook (Alg. 1
         // line 2) — identical to the simulator's post_local_iteration.
-        let mgr = &manager;
-        let hook = move |p: &mut [f32]| mgr.rollback(p, round);
-        let loss = client.local_round(spec.local_iters, &hook);
-
-        let mut l = client.flat_params();
-        manager.rollback(&mut l, round);
-        let up = manager.select_unfrozen(&l, round);
-        let mask = manager.frozen_mask(round);
+        // The `local_train` span covers everything compute-side before the
+        // push: training iterations, rollback, and update selection.
+        let (loss, mut l, up, mask) = {
+            let _sp = span!(Level::Debug, target: "net.client", "local_train",
+                round = round);
+            let mgr = &manager;
+            let hook = move |p: &mut [f32]| mgr.rollback(p, round);
+            let loss = client.local_round(spec.local_iters, &hook);
+            let mut l = client.flat_params();
+            manager.rollback(&mut l, round);
+            let up = manager.select_unfrozen(&l, round);
+            let mask = manager.frozen_mask(round);
+            (loss, l, up, mask)
+        };
 
         if opts.fail_before_push_round == Some(round) {
             // Injected fault: vanish mid-round, connection and all.
@@ -148,22 +179,43 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
                 injected_fault: true,
             });
         }
-        wire_bytes += write_frame(
-            &mut stream,
-            &Frame::Push {
-                round,
-                client_id: opts.id,
-                loss_bits: loss.to_bits(),
-                payload: MaskedPayload::new(mask.clone(), up, wire_f16)?,
-            },
-        )?;
+        {
+            let mut sp = span!(Level::Debug, target: "net.client", "push",
+                round = round);
+            let k = write_frame(
+                &mut stream,
+                &Frame::Push {
+                    round,
+                    client_id: opts.id,
+                    loss_bits: loss.to_bits(),
+                    payload: MaskedPayload::new(mask.clone(), up, wire_f16)?,
+                    ctx: client_ctx.with_link(round_span.id()),
+                },
+            )?;
+            sp.record("bytes_wire", k);
+            wire_bytes += k;
+        }
 
-        let (frame, k) = read_frame(&mut stream)?;
+        // `pull_wait` spans both waiting for the server (everyone else's
+        // pushes plus the reduce) and the downlink transfer itself;
+        // trace-report splits the two against the server's `pull_write`.
+        let (frame, k) = {
+            let mut sp = span!(Level::Debug, target: "net.client", "pull_wait",
+                round = round);
+            let (frame, k) = read_frame(&mut stream)?;
+            sp.record("bytes_wire", k);
+            if let Frame::Pull { ctx, .. } = &frame {
+                if ctx.link_span != 0 {
+                    sp.record("peer_span", ctx.link_span);
+                }
+            }
+            (frame, k)
+        };
         wire_bytes += k;
         let agg = match frame {
-            Frame::Pull { round: r, payload } if r == round && payload.mask == mask => {
-                payload.values
-            }
+            Frame::Pull {
+                round: r, payload, ..
+            } if r == round && payload.mask == mask => payload.values,
             Frame::Abort { reason } => {
                 return Err(NetError::Protocol(format!("server aborted: {reason}")))
             }
@@ -173,9 +225,13 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
                 )))
             }
         };
-        manager.apply_aggregate(&mut l, &agg, round);
-        manager.finish_round(&l, round);
-        client.load_flat(&l);
+        {
+            let _sp = span!(Level::Debug, target: "net.client", "apply",
+                round = round);
+            manager.apply_aggregate(&mut l, &agg, round);
+            manager.finish_round(&l, round);
+            client.load_flat(&l);
+        }
     }
 
     // The server's Done is a courtesy; the round count already told us the
@@ -183,6 +239,8 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
     if let Ok((Frame::Done, k)) = read_frame(&mut stream) {
         wire_bytes += k;
     }
+    session.record("wire_bytes", wire_bytes);
+    drop(session);
     Ok(ClientOutcome {
         rounds_done: spec.rounds as u64,
         wire_bytes,

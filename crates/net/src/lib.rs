@@ -19,10 +19,20 @@
 //!
 //! [`RunSpec`]: apf_fedsim::RunSpec
 
+//! Distributed tracing: since wire v2 every handshake and round frame
+//! carries an `apf_trace::TraceContext`, so a traced run (`APF_TRACE=debug`
+//! plus `--trace-file` on the binaries) produces per-process JSONL traces
+//! that share one run id and link spans across the wire. `trace-report
+//! timeline` merges them into a per-round compute/transfer/wait breakdown;
+//! with tracing disabled the instrumentation is a relaxed atomic load per
+//! site and allocates nothing (`crates/net/tests/alloc.rs`).
+
 pub mod client;
 pub mod server;
 pub mod wire;
 
+mod telemetry;
+
 pub use client::{run_client, ClientOpts, ClientOutcome};
 pub use server::{NetError, NetServer, ServerOpts, ServerOutcome};
-pub use wire::{read_frame, write_frame, Frame, MaskedPayload, WireError, MAX_FRAME};
+pub use wire::{read_frame, write_frame, Frame, MaskedPayload, WireError, CTX_WIRE_LEN, MAX_FRAME};

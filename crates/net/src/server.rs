@@ -22,13 +22,16 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apf::{Aimd, ApfManager};
 use apf_fedsim::{ExperimentLog, RoundRecord, RunSpec};
-use apf_obs::Acceptor;
+use apf_obs::{Acceptor, ObsState, RunInfo};
 use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
+use apf_trace::{event, span, Level, Role, TraceContext};
 
+use crate::telemetry::{mint_run_id, NetMetrics};
 use crate::wire::{read_frame, write_frame, Frame, MaskedPayload, WireError};
 
 /// Parameter-server configuration.
@@ -43,6 +46,9 @@ pub struct ServerOpts {
     pub join_timeout: Duration,
     /// Per-connection read/write timeout.
     pub io_timeout: Duration,
+    /// Optional observability state fed per round (the `/snapshot` backing
+    /// store when an `ObsServer` is bound alongside).
+    pub obs: Option<Arc<ObsState>>,
 }
 
 impl Default for ServerOpts {
@@ -52,6 +58,7 @@ impl Default for ServerOpts {
             spec: RunSpec::golden(),
             join_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(10),
+            obs: None,
         }
     }
 }
@@ -182,6 +189,7 @@ impl NetServer {
     /// [`NetError::Unsupported`] for a non-APF spec, [`NetError::Io`] on
     /// bind failure.
     pub fn bind(opts: ServerOpts) -> Result<NetServer, NetError> {
+        apf_trace::init_from_env();
         if opts.spec.apf_config().is_none() {
             return Err(NetError::Unsupported(
                 "the wire protocol carries masked APF deltas; use an apf strategy".to_owned(),
@@ -204,8 +212,30 @@ impl NetServer {
     pub fn serve(mut self) -> Result<ServerOutcome, NetError> {
         let spec = self.opts.spec.clone();
         let n = spec.clients;
+        let canonical = spec.canonical();
+        let run_id = mint_run_id(&canonical);
+        let server_ctx = TraceContext::new(run_id, Role::Server);
+        if apf_trace::enabled(Level::Info) {
+            apf_trace::set_thread_context(server_ctx);
+            apf_trace::emit_header(&canonical);
+        }
+        let metrics = NetMetrics::new(n);
+        if let Some(obs) = &self.opts.obs {
+            obs.configure_run(RunInfo {
+                name: spec.run_name(),
+                model: "m".to_owned(),
+                strategy: spec.strategy_name(),
+                rounds_total: spec.rounds as u64,
+                threads: 1,
+                host_parallelism: std::thread::available_parallelism()
+                    .map_or(1, |p| p.get() as u64),
+            });
+        }
+        let mut root = span!(Level::Info, target: "net.server", "serve",
+            clients = n, rounds = spec.rounds);
+
         let mut wire_bytes = 0u64;
-        let mut streams = self.join_phase(n, &mut wire_bytes)?;
+        let mut streams = self.join_phase(n, &mut wire_bytes, &metrics)?;
 
         let init = spec.init_params();
         let cfg = spec.apf_config().expect("validated at bind");
@@ -213,15 +243,25 @@ impl NetServer {
             .map_err(|e| NetError::Spec(e.to_string()))?;
         let wire_f16 = spec.wire_f16();
 
-        // Initial model distribution.
+        // Initial model distribution. The context's link is the serve span,
+        // and the per-client `welcome_sent` events (paired with each
+        // client's `welcome_recv`) are the clock-alignment anchor
+        // trace-report uses to put all processes on the server's timeline.
         let welcome = Frame::Welcome {
-            spec: spec.canonical(),
+            spec: canonical.clone(),
             init: init.clone(),
+            ctx: server_ctx.with_link(root.id()),
         };
-        for slot in streams.iter_mut() {
+        for (i, slot) in streams.iter_mut().enumerate() {
             let Some(stream) = slot else { continue };
             match write_frame(stream, &welcome) {
-                Ok(k) => wire_bytes += k,
+                Ok(k) => {
+                    wire_bytes += k;
+                    metrics.wire_tx_bytes.add(k);
+                    metrics.clients[i].wire_bytes.add(k);
+                    event!(Level::Info, target: "net.server", "welcome_sent",
+                        client = i, bytes_wire = k);
+                }
                 Err(_) => *slot = None,
             }
         }
@@ -240,10 +280,15 @@ impl NetServer {
             .collect();
 
         for round in 0..spec.rounds as u64 {
+            let round_t0 = Instant::now();
+            let mut round_span = span!(Level::Info, target: "net.server", "round",
+                round = round);
             if round == 0 {
                 // Same accounting as the simulator: round 0 charges the
                 // initial broadcast for the whole fleet.
                 cum_bytes += model_bytes * n as u64;
+                event!(Level::Debug, target: "net.comm", "init_broadcast",
+                    bytes = model_bytes * n as u64, clients = n);
             }
             let mask = manager.frozen_mask(round);
             let unfrozen = mask.iter().filter(|&&f| !f).count();
@@ -257,6 +302,9 @@ impl NetServer {
                 let Some(stream) = &mut streams[i] else {
                     continue;
                 };
+                let push_t0 = Instant::now();
+                let mut sp = span!(Level::Debug, target: "net.server", "push_read",
+                    round = round, client = i);
                 match read_frame(stream) {
                     Ok((
                         Frame::Push {
@@ -264,6 +312,7 @@ impl NetServer {
                             client_id,
                             loss_bits,
                             payload,
+                            ctx,
                         },
                         k,
                     )) if r == round
@@ -271,42 +320,83 @@ impl NetServer {
                         && payload.f16 == wire_f16
                         && payload.mask == mask =>
                     {
+                        sp.record("bytes_wire", k);
+                        if ctx.link_span != 0 {
+                            sp.record("peer_span", ctx.link_span);
+                        }
                         wire_bytes += k;
+                        metrics.wire_rx_bytes.add(k);
+                        metrics.clients[i].wire_bytes.add(k);
+                        metrics
+                            .push_wait_us
+                            .record(push_t0.elapsed().as_micros() as f64);
+                        metrics.clients[i]
+                            .round_us
+                            .record(round_t0.elapsed().as_micros() as f64);
+                        // Logical masked-transfer bytes (the ledger formula),
+                        // not framing: reconcile sums these against the run
+                        // ledger.
+                        event!(Level::Debug, target: "net.comm", "transfer",
+                            round = round, client = i, dir = "up",
+                            bytes = payload.encoded_len() - 5);
                         uploads[i] = payload.values;
                         weights[i] = 1.0;
                         losses[i] = f32::from_bits(loss_bits);
                     }
                     _ => {
+                        sp.record("lost", true);
                         streams[i] = None;
                         lost_clients.push(i as u32);
+                        event!(Level::Warn, target: "net.server", "client_lost",
+                            round = round, client = i);
                     }
                 }
             }
             let alive = weights.iter().filter(|&&w| w > 0.0).count();
+            metrics.clients_alive.set(alive as f64);
             if alive == 0 {
                 self.abort_all(&mut streams, "all peers lost");
                 return Err(NetError::AllClientsLost { round });
             }
 
-            let mut agg = weighted_mean(&uploads, &weights).expect("alive > 0");
-            if wire_f16 {
-                // Matches the simulator's narrowing of the aggregate before
-                // it is applied or re-broadcast.
-                f16_roundtrip(&mut agg);
-            }
+            let agg = {
+                let _sp = span!(Level::Debug, target: "net.server", "reduce",
+                    round = round, alive = alive);
+                let mut agg = weighted_mean(&uploads, &weights).expect("alive > 0");
+                if wire_f16 {
+                    // Matches the simulator's narrowing of the aggregate
+                    // before it is applied or re-broadcast.
+                    f16_roundtrip(&mut agg);
+                }
+                agg
+            };
 
             // Broadcast the aggregate; send failures drop the client.
+            let pull_payload = MaskedPayload::new(mask.clone(), agg.clone(), wire_f16)?;
+            let down_logical = pull_payload.encoded_len() - 5;
             let pull = Frame::Pull {
                 round,
-                payload: MaskedPayload::new(mask.clone(), agg.clone(), wire_f16)?,
+                payload: pull_payload,
+                ctx: server_ctx.with_link(round_span.id()),
             };
             for (i, slot) in streams.iter_mut().enumerate() {
                 let Some(stream) = slot else {
                     continue;
                 };
+                let mut sp = span!(Level::Debug, target: "net.server", "pull_write",
+                    round = round, client = i);
                 match write_frame(stream, &pull) {
-                    Ok(k) => wire_bytes += k,
+                    Ok(k) => {
+                        sp.record("bytes_wire", k);
+                        wire_bytes += k;
+                        metrics.wire_tx_bytes.add(k);
+                        metrics.clients[i].wire_bytes.add(k);
+                        event!(Level::Debug, target: "net.comm", "transfer",
+                            round = round, client = i, dir = "down",
+                            bytes = down_logical);
+                    }
                     Err(_) => {
+                        sp.record("lost", true);
                         *slot = None;
                         lost_clients.push(i as u32);
                     }
@@ -329,9 +419,32 @@ impl NetServer {
             let bytes_up = alive as u64 * rep.bytes_up;
             let bytes_down = alive as u64 * rep.bytes_down;
             cum_bytes += bytes_up + bytes_down;
+            let loss = losses.iter().sum::<f32>() / alive as f32;
+            // The per-round accounting record reconcile checks against the
+            // per-client transfer events and the run ledger.
+            event!(Level::Debug, target: "net.server", "round_bytes",
+                round = round, bytes_up = bytes_up, bytes_down = bytes_down,
+                cum_bytes = cum_bytes, alive = alive);
+            metrics.rounds.inc();
+            metrics
+                .round_us
+                .record(round_t0.elapsed().as_micros() as f64);
+            round_span.record("alive", alive);
+            if let Some(obs) = &self.opts.obs {
+                obs.record_round(
+                    round,
+                    &[
+                        ("net.loss", f64::from(loss)),
+                        ("net.frozen_ratio", f64::from(rep.frozen_ratio())),
+                        ("net.cum_bytes", cum_bytes as f64),
+                        ("net.clients_alive", alive as f64),
+                    ],
+                    Vec::new(),
+                );
+            }
             log.push(RoundRecord {
                 round,
-                loss: losses.iter().sum::<f32>() / alive as f32,
+                loss,
                 accuracy,
                 best_accuracy,
                 frozen_ratio: rep.frozen_ratio(),
@@ -347,12 +460,18 @@ impl NetServer {
         for stream in streams.iter_mut().flatten() {
             if let Ok(k) = write_frame(stream, &Frame::Done) {
                 wire_bytes += k;
+                metrics.wire_tx_bytes.add(k);
             }
             let _ = stream.flush();
         }
         self.acceptor.shutdown();
         lost_clients.sort_unstable();
         lost_clients.dedup();
+        if let Some(obs) = &self.opts.obs {
+            obs.mark_completed();
+        }
+        root.record("wire_bytes", wire_bytes);
+        root.record("lost", lost_clients.len());
         Ok(ServerOutcome {
             log,
             global: g,
@@ -368,7 +487,9 @@ impl NetServer {
         &mut self,
         n: usize,
         wire_bytes: &mut u64,
+        metrics: &NetMetrics,
     ) -> Result<Vec<Option<TcpStream>>, NetError> {
+        let _sp = span!(Level::Info, target: "net.server", "join_phase", expected = n);
         let deadline = Instant::now() + self.opts.join_timeout;
         let queue = self.acceptor.queue();
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
@@ -381,8 +502,9 @@ impl NetServer {
                 break;
             };
             match read_frame(&mut stream) {
-                Ok((Frame::Join { client_id }, k)) => {
+                Ok((Frame::Join { client_id, ctx }, k)) => {
                     *wire_bytes += k;
+                    metrics.wire_rx_bytes.add(k);
                     let id = client_id as usize;
                     if id >= n || streams[id].is_some() {
                         let _ = write_frame(
@@ -393,6 +515,8 @@ impl NetServer {
                         );
                         continue;
                     }
+                    event!(Level::Info, target: "net.server", "join",
+                        client = id, peer_pid = ctx.pid);
                     streams[id] = Some(stream);
                     joined += 1;
                 }

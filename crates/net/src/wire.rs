@@ -14,16 +14,28 @@
 //! f16 flag is set, exactly the `apf-quant` conversion the simulator applies
 //! to quantized uploads. `crates/net/tests/wire_proptests.rs` pins the
 //! equality between encoded payload sizes and the ledger formula.
+//!
+//! Since protocol version 2, the handshake and round frames
+//! (`Join`/`Welcome`/`Push`/`Pull`) end with a fixed
+//! [`CTX_WIRE_LEN`]-byte [`TraceContext`] so both processes of an exchange
+//! stamp their trace records with the same run id and can link their spans
+//! across the process boundary. The context rides *outside* the masked
+//! payload, so the ledger's logical byte accounting
+//! (`payload.encoded_len()`) is unchanged; only the framing overhead grew.
 
 use std::io::{Read, Write};
 
 use apf::{mask_bytes, masked_transfer_bytes, pack_mask, unpack_mask};
 use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
+use apf_trace::{span, Level, TraceContext};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"APFW";
-/// Protocol version carried in every header.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in every header. v2 added the trailing
+/// [`TraceContext`] on Join/Welcome/Push/Pull.
+pub const VERSION: u8 = 2;
+/// Bytes of the [`TraceContext`] trailer on Join/Welcome/Push/Pull frames.
+pub const CTX_WIRE_LEN: usize = TraceContext::WIRE_LEN;
 /// Hard cap on a frame's payload length. A header declaring more is
 /// rejected as [`WireError::Oversized`] before any payload allocation.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -193,6 +205,8 @@ pub enum Frame {
     Join {
         /// The claimed client slot.
         client_id: u32,
+        /// Sender's trace identity (run id still 0: the server mints it).
+        ctx: TraceContext,
     },
     /// Server → client: the run spec (canonical string) plus the initial
     /// model distribution.
@@ -201,6 +215,9 @@ pub enum Frame {
         spec: String,
         /// The initial flat model every participant starts from.
         init: Vec<f32>,
+        /// The server's trace identity; its `run_id` names the whole run and
+        /// every participant adopts it.
+        ctx: TraceContext,
     },
     /// Client → server: one round's masked local update.
     Push {
@@ -212,6 +229,8 @@ pub enum Frame {
         loss_bits: u32,
         /// Freeze bitmap + unfrozen local values.
         payload: MaskedPayload,
+        /// Sender's trace identity; `link_span` is the client's round span.
+        ctx: TraceContext,
     },
     /// Server → client: the round's aggregated unfrozen scalars.
     Pull {
@@ -219,6 +238,8 @@ pub enum Frame {
         round: u64,
         /// Freeze bitmap + aggregated unfrozen values.
         payload: MaskedPayload,
+        /// Sender's trace identity; `link_span` is the server's round span.
+        ctx: TraceContext,
     },
     /// Server → client: the run completed.
     Done,
@@ -244,29 +265,40 @@ impl Frame {
     fn payload_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Frame::Join { client_id } => out.extend_from_slice(&client_id.to_le_bytes()),
-            Frame::Welcome { spec, init } => {
+            Frame::Join { client_id, ctx } => {
+                out.extend_from_slice(&client_id.to_le_bytes());
+                out.extend_from_slice(&ctx.to_wire());
+            }
+            Frame::Welcome { spec, init, ctx } => {
                 out.extend_from_slice(&(spec.len() as u32).to_le_bytes());
                 out.extend_from_slice(spec.as_bytes());
                 out.extend_from_slice(&(init.len() as u32).to_le_bytes());
                 for &v in init {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
+                out.extend_from_slice(&ctx.to_wire());
             }
             Frame::Push {
                 round,
                 client_id,
                 loss_bits,
                 payload,
+                ctx,
             } => {
                 out.extend_from_slice(&round.to_le_bytes());
                 out.extend_from_slice(&client_id.to_le_bytes());
                 out.extend_from_slice(&loss_bits.to_le_bytes());
                 payload.write_into(&mut out);
+                out.extend_from_slice(&ctx.to_wire());
             }
-            Frame::Pull { round, payload } => {
+            Frame::Pull {
+                round,
+                payload,
+                ctx,
+            } => {
                 out.extend_from_slice(&round.to_le_bytes());
                 payload.write_into(&mut out);
+                out.extend_from_slice(&ctx.to_wire());
             }
             Frame::Done => {}
             Frame::Abort { reason } => {
@@ -346,6 +378,11 @@ impl<'a> Cursor<'a> {
             .map_err(|_| WireError::Corrupt("string is not UTF-8".to_owned()))
     }
 
+    fn take_ctx(&mut self) -> Result<TraceContext, WireError> {
+        TraceContext::from_wire(self.take(CTX_WIRE_LEN)?)
+            .ok_or_else(|| WireError::Corrupt("unknown trace-context role tag".to_owned()))
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::Corrupt(format!(
@@ -362,6 +399,7 @@ fn decode_payload(frame_type: u8, buf: &[u8]) -> Result<Frame, WireError> {
     let frame = match frame_type {
         ty::JOIN => Frame::Join {
             client_id: c.take_u32()?,
+            ctx: c.take_ctx()?,
         },
         ty::WELCOME => {
             let spec = c.take_str()?;
@@ -374,17 +412,23 @@ fn decode_payload(frame_type: u8, buf: &[u8]) -> Result<Frame, WireError> {
                 .chunks_exact(4)
                 .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
                 .collect();
-            Frame::Welcome { spec, init }
+            Frame::Welcome {
+                spec,
+                init,
+                ctx: c.take_ctx()?,
+            }
         }
         ty::PUSH => Frame::Push {
             round: c.take_u64()?,
             client_id: c.take_u32()?,
             loss_bits: c.take_u32()?,
             payload: MaskedPayload::read_from(&mut c)?,
+            ctx: c.take_ctx()?,
         },
         ty::PULL => Frame::Pull {
             round: c.take_u64()?,
             payload: MaskedPayload::read_from(&mut c)?,
+            ctx: c.take_ctx()?,
         },
         ty::DONE => Frame::Done,
         ty::ABORT => Frame::Abort {
@@ -402,9 +446,18 @@ fn decode_payload(frame_type: u8, buf: &[u8]) -> Result<Frame, WireError> {
 /// Returns [`WireError::Oversized`] for a too-large frame and
 /// [`WireError::Io`] on transport failure.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<u64, WireError> {
-    let bytes = frame.encode()?;
-    w.write_all(&bytes)?;
-    w.flush()?;
+    let bytes = {
+        let mut sp = span!(Level::Debug, target: "net.wire", "encode");
+        let bytes = frame.encode()?;
+        sp.record("bytes", bytes.len());
+        bytes
+    };
+    {
+        let mut sp = span!(Level::Debug, target: "net.wire", "write");
+        sp.record("bytes", bytes.len());
+        w.write_all(&bytes)?;
+        w.flush()?;
+    }
     Ok(bytes.len() as u64)
 }
 
@@ -436,6 +489,10 @@ fn read_bounded(r: &mut impl Read, n: usize) -> Result<Vec<u8>, WireError> {
 /// Returns the typed [`WireError`] describing exactly how the input was
 /// malformed; hostile input never panics.
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), WireError> {
+    // The read span covers blocking on the peer, so its duration is
+    // wait-for-peer plus actual transfer; callers name the surrounding
+    // phase (`push_read`, `pull_wait`) to say which dominates.
+    let mut sp = span!(Level::Debug, target: "net.wire", "read");
     let header = read_bounded(r, HEADER_LEN)?;
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic([
@@ -451,13 +508,19 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), WireError> {
         return Err(WireError::Oversized { len });
     }
     let payload = read_bounded(r, len as usize)?;
-    let frame = decode_payload(frame_type, &payload)?;
+    sp.record("bytes", HEADER_LEN + payload.len());
+    drop(sp);
+    let frame = {
+        let _sp = span!(Level::Debug, target: "net.wire", "decode");
+        decode_payload(frame_type, &payload)?
+    };
     Ok((frame, (HEADER_LEN + payload.len()) as u64))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apf_trace::Role;
 
     fn roundtrip(f: &Frame) -> Frame {
         let bytes = f.encode().unwrap();
@@ -469,7 +532,10 @@ mod tests {
     #[test]
     fn simple_frames_roundtrip() {
         for f in [
-            Frame::Join { client_id: 7 },
+            Frame::Join {
+                client_id: 7,
+                ctx: TraceContext::NONE,
+            },
             Frame::Done,
             Frame::Abort {
                 reason: "busy".to_owned(),
@@ -477,6 +543,7 @@ mod tests {
             Frame::Welcome {
                 spec: "apf-spec-v1;seed=3".to_owned(),
                 init: vec![1.0, -2.5, 0.0],
+                ctx: TraceContext::new(0x1234, Role::Server).with_link(5),
             },
         ] {
             assert_eq!(roundtrip(&f), f);
@@ -493,8 +560,44 @@ mod tests {
             client_id: 1,
             loss_bits: 0.75f32.to_bits(),
             payload,
+            ctx: TraceContext::new(9, Role::Client(1)).with_link(42),
         };
         assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn context_trailer_survives_the_wire_exactly() {
+        let ctx = TraceContext {
+            run_id: u64::MAX,
+            pid: 77,
+            role: Role::Client(63),
+            link_span: 1 << 40,
+        };
+        let f = Frame::Pull {
+            round: 12,
+            payload: MaskedPayload::new(vec![false; 4], vec![0.0; 4], false).unwrap(),
+            ctx,
+        };
+        match roundtrip(&f) {
+            Frame::Pull { ctx: back, .. } => assert_eq!(back, ctx),
+            other => panic!("wrong frame back: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_context_role_tag_is_typed() {
+        let f = Frame::Join {
+            client_id: 0,
+            ctx: TraceContext::NONE,
+        };
+        let mut bytes = f.encode().unwrap();
+        // The role tag is byte 20 of the trailing context.
+        let tag_at = bytes.len() - CTX_WIRE_LEN + 20;
+        bytes[tag_at] = 200;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(WireError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -517,7 +620,12 @@ mod tests {
 
     #[test]
     fn header_corruption_is_typed() {
-        let good = Frame::Join { client_id: 0 }.encode().unwrap();
+        let good = Frame::Join {
+            client_id: 0,
+            ctx: TraceContext::NONE,
+        }
+        .encode()
+        .unwrap();
         let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
         assert!(matches!(

@@ -16,6 +16,7 @@ fn opts(spec: RunSpec) -> ServerOpts {
         spec,
         join_timeout: Duration::from_secs(20),
         io_timeout: Duration::from_secs(20),
+        ..ServerOpts::default()
     }
 }
 

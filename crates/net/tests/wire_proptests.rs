@@ -5,9 +5,21 @@
 //! length prefix.
 
 use apf::masked_transfer_bytes;
-use apf_net::{read_frame, Frame, MaskedPayload, WireError, MAX_FRAME};
+use apf_net::{read_frame, Frame, MaskedPayload, WireError, CTX_WIRE_LEN, MAX_FRAME};
 use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
 use apf_testkit::{f32s, prop_assert, prop_assert_eq, property, u32s, u64s, u8s, usizes, vecs};
+use apf_trace::{Role, TraceContext};
+
+/// A representative context for frames under test (the trailer is fixed
+/// width, so any value exercises the same code paths).
+fn ctx_from(run_id: u64, client: u32, link: u64) -> TraceContext {
+    TraceContext {
+        run_id,
+        pid: 4321,
+        role: Role::Client(client),
+        link_span: link,
+    }
+}
 
 /// Builds a random-but-valid masked payload from raw generator output.
 fn payload_from(mask_bits: &[u8], raw_values: &[f32], f16: bool) -> MaskedPayload {
@@ -34,7 +46,13 @@ property! {
         loss in f32s(0.0..10.0)
     ) {
         let payload = payload_from(&mask_bits, &raw, f16_flag == 1);
-        let frame = Frame::Push { round, client_id, loss_bits: loss.to_bits(), payload };
+        let frame = Frame::Push {
+            round,
+            client_id,
+            loss_bits: loss.to_bits(),
+            payload,
+            ctx: ctx_from(round ^ 0xabcd, client_id, round.wrapping_mul(3)),
+        };
         let bytes = frame.encode().unwrap();
         let (back, n) = read_frame(&mut bytes.as_slice()).unwrap();
         prop_assert_eq!(n as usize, bytes.len());
@@ -46,7 +64,11 @@ property! {
         mask_bits in vecs(u8s(0..2), 1..96),
         raw in vecs(f32s(-5.0..5.0), 1..8)
     ) {
-        let frame = Frame::Pull { round, payload: payload_from(&mask_bits, &raw, false) };
+        let frame = Frame::Pull {
+            round,
+            payload: payload_from(&mask_bits, &raw, false),
+            ctx: ctx_from(round, 0, round),
+        };
         let bytes = frame.encode().unwrap();
         let (back, _) = read_frame(&mut bytes.as_slice()).unwrap();
         prop_assert_eq!(back, frame);
@@ -67,11 +89,12 @@ property! {
             payload.encoded_len(),
             5 + masked_transfer_bytes(total, unfrozen, bps)
         );
-        // And the full Pull frame is exactly header + round + payload.
-        let frame = Frame::Pull { round: 1, payload };
+        // And the full Pull frame is exactly header + round + payload +
+        // the fixed trace-context trailer (framing, not ledger bytes).
+        let frame = Frame::Pull { round: 1, payload, ctx: ctx_from(7, 0, 0) };
         prop_assert_eq!(
             frame.encode().unwrap().len() as u64,
-            10 + 8 + 5 + masked_transfer_bytes(total, unfrozen, bps)
+            10 + 8 + 5 + masked_transfer_bytes(total, unfrozen, bps) + CTX_WIRE_LEN as u64
         );
     }
 
@@ -85,6 +108,7 @@ property! {
             client_id: 3,
             loss_bits: 0x3f80_0000,
             payload: payload_from(&mask_bits, &[1.5, -2.0], false),
+            ctx: ctx_from(11, 3, 99),
         };
         let bytes = frame.encode().unwrap();
         let cut = cut_seed % bytes.len();
@@ -107,6 +131,7 @@ property! {
             client_id: 0,
             loss_bits: 0,
             payload: payload_from(&mask_bits, &[0.5], false),
+            ctx: ctx_from(5, 0, 1),
         };
         let mut bytes = frame.encode().unwrap();
         let pos = pos_seed % bytes.len();
@@ -138,6 +163,7 @@ fn oversized_frames_refuse_to_encode() {
     let frame = Frame::Welcome {
         spec: String::new(),
         init: vec![0.0; (MAX_FRAME as usize) / 4 + 8],
+        ctx: TraceContext::NONE,
     };
     assert!(matches!(frame.encode(), Err(WireError::Oversized { .. })));
 }

@@ -1,5 +1,6 @@
 //! Record construction: field values, JSON string building, event emission.
 
+use crate::context::push_context;
 use crate::span::{current_span_id, thread_ordinal};
 use crate::{now_us, write_line, Level};
 
@@ -153,6 +154,7 @@ pub fn emit_event(level: Level, target: &str, msg: &str, fields: &[(&str, FieldV
     line.push_str(&current_span_id().to_string());
     line.push_str(",\"thread\":");
     line.push_str(&thread_ordinal().to_string());
+    push_context(&mut line);
     push_fields(&mut line, fields);
     line.push('}');
     write_line(&line);

@@ -46,13 +46,23 @@
 //! `thread` is a small stable per-thread ordinal (assigned on first record,
 //! starting at 1) identifying the emitting thread — with the `apf-par` pool
 //! active, it attributes work to individual pool workers.
+//!
+//! Distributed runs additionally stamp every record with the process's
+//! [`TraceContext`] (`"run"`, `"role"`, `"pid"`, optional `"link"`) and
+//! open each trace file with a `{"t":"header",...}` record carrying the
+//! run's canonical spec; see [`context`].
 
+pub mod context;
 pub mod metrics;
 pub mod sink;
 
 mod emit;
 mod span;
 
+pub use context::{
+    clear_thread_context, current_context, emit_header, set_process_context, set_thread_context,
+    Role, TraceContext,
+};
 pub use emit::{emit_event, FieldValue};
 pub use sink::{FileSink, MemorySink, StderrSink, TraceSink};
 pub use span::Span;

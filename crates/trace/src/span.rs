@@ -4,6 +4,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::context::push_context;
 use crate::emit::{push_fields, push_json_str, FieldValue};
 use crate::{enabled, now_us, write_line, Level};
 
@@ -155,6 +156,7 @@ impl Drop for Span {
         line.push_str(&dur_us.to_string());
         line.push_str(",\"thread\":");
         line.push_str(&thread_ordinal().to_string());
+        push_context(&mut line);
         push_fields(&mut line, &a.fields);
         line.push('}');
         write_line(&line);

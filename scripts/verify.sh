@@ -93,6 +93,36 @@ echo "OK: networked trajectory is bitwise identical to the simulator"
 cargo run -q --release --offline -p apf-bench --bin ledger-report -- \
   diff 0 1 --ledger "$net_dir/ledger.jsonl"
 
+echo "== networked mode: distributed tracing (merge, timeline, reconcile) =="
+# A third networked run, traced end to end: the server and all three
+# clients each write a JSONL trace (--trace-file at debug level). The
+# traced run must STILL match the simulator baseline byte for byte
+# (tracing may not perturb the arithmetic or the wire accounting), the
+# merged trace must render a per-round timeline attributing >=95% of each
+# round's wall time to compute/transfer/server-wait, and the traced
+# transfer bytes must reconcile exactly with the run-ledger record.
+timeout 120 "$server" --addr 127.0.0.1:0 --addr-file "$net_dir/addr3" \
+  --trajectory-out "$net_dir/traced.traj" --ledger "$net_dir/ledger.jsonl" \
+  --trace-file "$net_dir/server.trace.jsonl" &
+net_pids=($!)
+for id in 0 1 2; do
+  timeout 120 "$client" --id "$id" --addr-file "$net_dir/addr3" \
+    --trace-file "$net_dir/client$id.trace.jsonl" &
+  net_pids+=($!)
+done
+for pid in "${net_pids[@]}"; do wait "$pid"; done
+if ! diff <(grep -v '^#' "$net_dir/sim.traj") <(grep -v '^#' "$net_dir/traced.traj"); then
+  echo "traced networked run diverges from the simulator baseline" >&2
+  exit 1
+fi
+cargo run -q --release --offline -p apf-bench --bin trace-report -- \
+  timeline "$net_dir/server.trace.jsonl" "$net_dir"/client?.trace.jsonl \
+  --min-coverage 95
+cargo run -q --release --offline -p apf-bench --bin trace-report -- \
+  reconcile "$net_dir/server.trace.jsonl" "$net_dir"/client?.trace.jsonl \
+  --ledger "$net_dir/ledger.jsonl"
+echo "OK: traced run stays bitwise clean; timeline and ledger reconcile"
+
 echo "== networked mode: client killed mid-round degrades gracefully =="
 # Client 2 crashes right before its round-2 push; the server must still
 # finish every round with the survivors and write a complete trajectory.
@@ -118,6 +148,12 @@ echo "== zero-alloc steady state (scratch pool, APF_PAR_THREADS=1) =="
 # The GEMM/conv training hot path must be fully served by the scratch pool
 # after warm-up: the alloc tests assert zero buffer allocations per step.
 APF_PAR_THREADS=1 cargo test -q --offline -p apf-nn --test alloc
+
+echo "== zero-alloc disabled tracing on the net hot path =="
+# With tracing off, every net-crate instrumentation site (spans, events,
+# trace contexts, metric updates) must be a relaxed atomic load away from
+# free: the counting allocator proves zero allocations.
+APF_PAR_THREADS=1 cargo test -q --offline -p apf-net --test alloc
 
 echo "== kernel bench regression vs committed baseline =="
 # Quick bench-kernels run diffed against BENCH_kernels.json: hard fail on
