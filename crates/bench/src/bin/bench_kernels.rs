@@ -3,8 +3,16 @@
 //! Measures dense matmul and conv2d forward throughput (GFLOP/s) and the
 //! end-to-end federated round time at pool sizes 1, 2 and 4, then writes
 //! `BENCH_kernels.json` for regression tracking. The host's available
-//! parallelism is recorded alongside, so numbers from a single-core CI
-//! host (where extra threads cannot speed anything up) are interpretable.
+//! parallelism is recorded alongside, and rows whose pool size exceeds it
+//! are marked `reliable: false` (extra threads cannot speed anything up on
+//! such a host, so those timings are noise and regression checks skip
+//! them).
+//!
+//! A freeze-aware sweep rides along: skip-frozen SGD/Adam step time and
+//! run-driven sparse aggregation over a 2^20-scalar vector at frozen ratios
+//! 0/50/90/99% (block-clustered masks, the spatial shape real APF masks
+//! take). Step time must fall monotonically as the frozen ratio rises —
+//! that is the whole point of the masked fast paths.
 //!
 //! Two single-shot diagnostics ride along: `matmul_naive_gflops` times the
 //! reference triple loop once (quantifying the packed-GEMM speedup on this
@@ -29,22 +37,43 @@
 
 use std::time::Instant;
 
+use apf::FreezeMask;
 use apf_bench::harness::{black_box, BenchGroup};
 use apf_bench::setups::{standard_builder, ModelKind, Scale};
 use apf_data::iid_partition;
 use apf_fedsim::{fnv1a64, FullSync, LedgerRecord};
+use apf_nn::{Adam, Optimizer, Sgd};
 use apf_tensor::{conv2d_forward_fused, normal_init, scratch, seeded_rng, ConvSpec, Tensor};
 
 /// Square matmul side for the throughput probe.
 const MM_N: usize = 192;
 /// Federated rounds timed per thread count.
 const ROUNDS: usize = 2;
+/// Scalars in each masked-compute probe (a mid-sized model's flat vector).
+const MASKED_N: usize = 1 << 20;
+/// Frozen-block granularity for the synthetic masks. Real APF masks are
+/// clustered (stability is spatially correlated within filters and layers),
+/// so the probe freezes whole blocks rather than Bernoulli scalars.
+const MASKED_BLOCK: usize = 512;
+/// Frozen ratios the masked probes sweep, in percent.
+const FROZEN_PCTS: [usize; 4] = [0, 50, 90, 99];
 
 struct ThreadResult {
     threads: usize,
+    /// Timing rows above the host's parallelism are noise (extra pool
+    /// threads cannot speed anything up); mark them so regression checks
+    /// skip them.
+    reliable: bool,
     matmul_gflops: f64,
     conv2d_gflops: f64,
     round_ms: f64,
+}
+
+struct MaskedResult {
+    frozen_pct: usize,
+    sgd_step_ms: f64,
+    adam_step_ms: f64,
+    agg_ms: f64,
 }
 
 fn bench_matmul(g: &mut BenchGroup, threads: usize) -> f64 {
@@ -148,8 +177,80 @@ fn bench_round() -> f64 {
     ms
 }
 
+/// A mask freezing `pct`% of [`MASKED_N`] scalars as evenly spread
+/// [`MASKED_BLOCK`]-sized blocks (Bresenham spacing, exact block count).
+fn clustered_mask(pct: usize) -> FreezeMask {
+    let mut mask = FreezeMask::all_unfrozen(MASKED_N);
+    let mut acc = 0usize;
+    for b in 0..MASKED_N / MASKED_BLOCK {
+        acc += pct;
+        if acc >= 100 {
+            acc -= 100;
+            for j in b * MASKED_BLOCK..(b + 1) * MASKED_BLOCK {
+                mask.set(j, true);
+            }
+        }
+    }
+    mask
+}
+
+/// Times one skip-frozen SGD step, one Adam step, and one 4-client sparse
+/// aggregation over a [`MASKED_N`]-scalar vector with `pct`% frozen.
+fn bench_masked(g: &mut BenchGroup, pct: usize) -> MaskedResult {
+    let mask = clustered_mask(pct);
+    let mut rng = seeded_rng(11);
+    let params0 = normal_init(&[MASKED_N], 0.0, 1.0, &mut rng);
+    let grads = normal_init(&[MASKED_N], 0.0, 0.1, &mut rng).data().to_vec();
+    let mut params = params0.data().to_vec();
+
+    let mut sgd = Sgd::new(0.01).with_momentum(0.9);
+    let sgd_step_ms = {
+        let m = g.bench(&format!("sgd_step_f{pct}"), || {
+            sgd.step(&mut params, &grads, &mask);
+            black_box(&params);
+        });
+        m.median.as_secs_f64() * 1e3
+    };
+
+    params.copy_from_slice(params0.data());
+    let mut adam = Adam::new(0.001);
+    let adam_step_ms = {
+        let m = g.bench(&format!("adam_step_f{pct}"), || {
+            adam.step(&mut params, &grads, &mask);
+            black_box(&params);
+        });
+        m.median.as_secs_f64() * 1e3
+    };
+
+    // Sparse aggregation straight into the unfrozen slots: clear + axpy per
+    // client + divide, all run-driven, never touching frozen scalars.
+    let clients: Vec<Vec<f32>> = (0..4)
+        .map(|_| normal_init(&[MASKED_N], 0.0, 1.0, &mut rng).data().to_vec())
+        .collect();
+    let mut agg = vec![0.0f32; MASKED_N];
+    let agg_ms = {
+        let m = g.bench(&format!("sparse_agg_f{pct}"), || {
+            mask.for_each_unfrozen_run_in(0, MASKED_N, |s, e| agg[s..e].fill(0.0));
+            for l in &clients {
+                apf_tensor::masked_axpy(&mut agg, l, 1.0, mask.words());
+            }
+            apf_tensor::masked_div(&mut agg, clients.len() as f32, mask.words());
+            black_box(&agg);
+        });
+        m.median.as_secs_f64() * 1e3
+    };
+
+    MaskedResult {
+        frozen_pct: pct,
+        sgd_step_ms,
+        adam_step_ms,
+        agg_ms,
+    }
+}
+
 fn json_escape_free(
     results: &[ThreadResult],
+    masked: &[MaskedResult],
     host_parallelism: usize,
     matmul_naive_gflops: f64,
     scratch_misses_steady: u64,
@@ -166,17 +267,30 @@ fn json_escape_free(
         "  \"scratch_misses_steady\": {scratch_misses_steady},\n"
     ));
     out.push_str(
-        "  \"note\": \"GFLOP/s medians and mean round wall time per APF_PAR_THREADS; speedups above 1 thread require host_parallelism > 1\",\n",
+        "  \"note\": \"GFLOP/s medians and mean round wall time per APF_PAR_THREADS; rows with threads > host_parallelism carry reliable=false and are skipped by regression checks\",\n",
     );
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"matmul_gflops\": {:.4}, \"conv2d_gflops\": {:.4}, \"round_ms\": {:.3}}}{}\n",
+            "    {{\"threads\": {}, \"reliable\": {}, \"matmul_gflops\": {:.4}, \"conv2d_gflops\": {:.4}, \"round_ms\": {:.3}}}{}\n",
             r.threads,
+            r.reliable,
             r.matmul_gflops,
             r.conv2d_gflops,
             r.round_ms,
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"masked_n\": {MASKED_N},\n  \"masked\": [\n"));
+    for (i, r) in masked.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"frozen_pct\": {}, \"sgd_step_ms\": {:.4}, \"adam_step_ms\": {:.4}, \"agg_ms\": {:.4}}}{}\n",
+            r.frozen_pct,
+            r.sgd_step_ms,
+            r.adam_step_ms,
+            r.agg_ms,
+            if i + 1 < masked.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -187,6 +301,7 @@ fn json_escape_free(
 /// throughputs as summary metrics, the bench knobs in the digest.
 fn ledger_record(
     results: &[ThreadResult],
+    masked: &[MaskedResult],
     host_parallelism: usize,
     wall_secs: f64,
     matmul_naive_gflops: f64,
@@ -217,6 +332,16 @@ fn ledger_record(
             .metrics
             .insert(format!("conv2d_gflops_t{t}"), r.conv2d_gflops);
         record.metrics.insert(format!("round_ms_t{t}"), r.round_ms);
+    }
+    for r in masked {
+        let f = r.frozen_pct;
+        record
+            .metrics
+            .insert(format!("sgd_step_ms_f{f}"), r.sgd_step_ms);
+        record
+            .metrics
+            .insert(format!("adam_step_ms_f{f}"), r.adam_step_ms);
+        record.metrics.insert(format!("agg_ms_f{f}"), r.agg_ms);
     }
     record
         .metrics
@@ -249,6 +374,7 @@ fn main() {
         let round_ms = bench_round();
         results.push(ThreadResult {
             threads,
+            reliable: threads <= host_parallelism,
             matmul_gflops,
             conv2d_gflops,
             round_ms,
@@ -257,9 +383,15 @@ fn main() {
     apf_par::set_threads(1);
     let matmul_naive_gflops = bench_matmul_naive(&mut g);
     let scratch_misses_steady = measure_scratch_misses_steady();
+    let mut mg = BenchGroup::new("masked_by_frozen_ratio");
+    let masked: Vec<MaskedResult> = FROZEN_PCTS
+        .iter()
+        .map(|&pct| bench_masked(&mut mg, pct))
+        .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
     let json = json_escape_free(
         &results,
+        &masked,
         host_parallelism,
         matmul_naive_gflops,
         scratch_misses_steady,
@@ -273,6 +405,7 @@ fn main() {
             .unwrap_or_else(|| "results/ledger.jsonl".to_owned());
         let record = ledger_record(
             &results,
+            &masked,
             host_parallelism,
             wall_secs,
             matmul_naive_gflops,

@@ -1,8 +1,10 @@
 //! Supplementary experiments beyond the paper's figures, grounded in its
 //! discussion sections:
 //!
-//! * `extra-granularity` — §3.2.2 / §8: per-scalar APF vs FreezeOut-style
-//!   whole-layer freezing vs magnitude top-k sparsification;
+//! * `extra-granularity` — §3.2.2 / §8: per-scalar APF vs filter-granular
+//!   APF (whole conv filters / matrix rows coarsened from the scalar mask)
+//!   vs FreezeOut-style whole-layer freezing vs magnitude top-k
+//!   sparsification;
 //! * `extra-dp` — §9: differential-privacy noise makes updates *look* more
 //!   stable (lower effective perturbation); a tighter stability threshold
 //!   counteracts it.
@@ -16,7 +18,8 @@ use crate::common::{
     aimd_for, apf_cfg, curves_csv, frozen_csv, rounds, run_fl, summary_row, Ctx, Partition, RunSpec,
 };
 
-/// Per-scalar vs per-layer freezing granularity, plus top-k sparsification.
+/// Per-scalar vs filter-granular vs per-layer freezing granularity, plus
+/// top-k sparsification.
 pub fn extra_granularity(ctx: &Ctx) {
     let r = rounds(ctx, 150);
     let spec = |label: &str| RunSpec {
@@ -39,6 +42,27 @@ pub fn extra_granularity(ctx: &Ctx) {
         ),
         |b| b,
     );
+    // Filter-granular APF: a whole conv filter / matrix row freezes only
+    // when >=50% of its scalars are individually stable (ledger bytes then
+    // reflect min(bitmap, RLE) for the run-length-friendly mask). Measured
+    // result: on LeNet-5 the stable scalars are spread across filters, so
+    // even this permissive threshold almost never fires — the coarse mask
+    // forfeits nearly all of APF's savings, the paper's §3.2.2 case for
+    // scalar granularity stated as a measurement.
+    let apf_filt = run_fl(
+        ctx,
+        spec("extra/apf-filter"),
+        Box::new(
+            ApfStrategy::with_controller(
+                apf_cfg(ctx, 2),
+                Box::new(|| Box::new(aimd_for(2))),
+                "apf",
+            )
+            .unwrap()
+            .with_filter_granularity(0.5),
+        ),
+        |b| b,
+    );
     // Layer layout of LeNet-5 for the FreezeOut-style baseline: freeze one
     // tensor every r/12 rounds (roughly matching APF's end-of-run frozen
     // fraction so the comparison is accuracy-at-equal-savings).
@@ -58,17 +82,18 @@ pub fn extra_granularity(ctx: &Ctx) {
     let topk = run_fl(ctx, spec("extra/topk"), Box::new(TopK::new(0.25)), |b| b);
     curves_csv(
         "extra_granularity_accuracy.csv",
-        &[&apf, &layer_freeze, &topk],
+        &[&apf, &apf_filt, &layer_freeze, &topk],
     );
     frozen_csv(
         "extra_granularity_frozen.csv",
-        &[&apf, &layer_freeze, &topk],
+        &[&apf, &apf_filt, &layer_freeze, &topk],
     );
     print_table(
-        "Extra — freezing granularity: per-scalar APF vs per-layer FreezeOut vs top-k",
+        "Extra — freezing granularity: per-scalar APF vs filter-granular APF vs per-layer FreezeOut vs top-k",
         &["run", "best_acc", "volume", "mean_excluded"],
         &[
             summary_row(&apf),
+            summary_row(&apf_filt),
             summary_row(&layer_freeze),
             summary_row(&topk),
         ],

@@ -180,7 +180,7 @@ fn bench_diff(baseline_path: &str, candidate_path: &str) -> ExitCode {
                 println!("REGRESSION detected");
                 ExitCode::FAILURE
             } else {
-                println!("warnings only (different host parallelism); ok");
+                println!("warnings only (cross-host or noise-band timing drift); ok");
                 ExitCode::SUCCESS
             }
         }

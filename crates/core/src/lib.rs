@@ -45,10 +45,13 @@ mod mask;
 mod perturbation;
 mod state;
 
-pub use config::{ApfConfig, ApfVariant, ThresholdDecay};
+pub use config::{ApfConfig, ApfVariant, FreezeGranularity, ThresholdDecay};
 pub use controller::{Aimd, FixedPeriod, FreezeController, PureAdditive, PureMultiplicative};
 pub use error::ApfError;
 pub use manager::{ApfManager, SyncReport};
-pub use mask::{mask_bytes, masked_transfer_bytes, pack_mask, unpack_mask};
+pub use mask::{
+    mask_bytes, masked_transfer_bytes, pack_mask, rle_transfer_bytes, unpack_mask, FreezeMask,
+    UnfrozenRuns,
+};
 pub use perturbation::{EmaPerturbation, WindowedPerturbation};
 pub use state::{mask_update_bytes, ApfState};

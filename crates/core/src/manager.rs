@@ -4,9 +4,10 @@
 use apf_tensor::{derive_seed, splitmix64};
 use apf_trace::{event, Level};
 
-use crate::config::ApfConfig;
+use crate::config::{ApfConfig, FreezeGranularity};
 use crate::controller::FreezeController;
 use crate::error::ApfError;
+use crate::mask::FreezeMask;
 use crate::perturbation::EmaPerturbation;
 
 /// Communication/freezing statistics for one synchronization round.
@@ -78,6 +79,12 @@ pub struct ApfManager {
     /// Optional `(layer name, scalar count)` layout over the flat vector,
     /// used only for per-layer trace telemetry.
     layout: Vec<(String, usize)>,
+    /// Optional filter-segment lengths (conv filters / matrix rows) over the
+    /// flat vector, consumed by [`FreezeGranularity::Filter`] coarsening.
+    filter_segments: Vec<usize>,
+    /// Prefix offsets of `filter_segments` (`len + 1` entries), for O(log)
+    /// segment lookup in [`ApfManager::is_frozen`].
+    filter_prefix: Vec<usize>,
 }
 
 impl std::fmt::Debug for ApfManager {
@@ -117,6 +124,8 @@ impl ApfManager {
             checks_run: 0,
             cfg,
             layout: Vec::new(),
+            filter_segments: Vec::new(),
+            filter_prefix: Vec::new(),
         })
     }
 
@@ -127,6 +136,39 @@ impl ApfManager {
     /// managed length are ignored.
     pub fn set_layout(&mut self, layout: Vec<(String, usize)>) {
         self.layout = layout;
+    }
+
+    /// Registers the filter-segment layout (consecutive scalar counts of
+    /// conv filters / matrix rows) that [`FreezeGranularity::Filter`]
+    /// coarsens over. Without a layout, filter granularity degrades to
+    /// scalar freezing.
+    ///
+    /// # Errors
+    /// Returns [`ApfError::InvalidConfig`] if the segments contain a zero
+    /// length or do not sum to the managed scalar count.
+    pub fn set_filter_layout(&mut self, segments: Vec<usize>) -> Result<(), ApfError> {
+        if segments.contains(&0) {
+            return Err(ApfError::InvalidConfig(
+                "zero-length filter segment".to_owned(),
+            ));
+        }
+        let total: usize = segments.iter().sum();
+        if total != self.n {
+            return Err(ApfError::InvalidConfig(format!(
+                "filter segments cover {total} scalars, model has {}",
+                self.n
+            )));
+        }
+        let mut prefix = Vec::with_capacity(segments.len() + 1);
+        let mut off = 0;
+        prefix.push(0);
+        for &s in &segments {
+            off += s;
+            prefix.push(off);
+        }
+        self.filter_segments = segments;
+        self.filter_prefix = prefix;
+        Ok(())
     }
 
     /// Number of managed scalars.
@@ -159,19 +201,57 @@ impl ApfManager {
         self.ema.values()
     }
 
-    /// Whether scalar `j` is frozen during round `round`.
-    pub fn is_frozen(&self, j: usize, round: u64) -> bool {
-        round < self.unfreeze_round[j]
+    /// Whether filter-granular coarsening is active (configured *and* a
+    /// filter layout is registered).
+    fn filter_active(&self) -> Option<f32> {
+        match self.cfg.granularity {
+            FreezeGranularity::Filter { threshold } if !self.filter_segments.is_empty() => {
+                Some(threshold)
+            }
+            _ => None,
+        }
     }
 
-    /// The freezing mask for round `round` (`M_is_frozen` of Alg. 1).
+    /// Whether scalar `j` is frozen during round `round` (under filter
+    /// granularity: whether its whole segment is).
+    pub fn is_frozen(&self, j: usize, round: u64) -> bool {
+        match self.filter_active() {
+            None => round < self.unfreeze_round[j],
+            Some(threshold) => {
+                // partition_point gives the first prefix > j; the segment
+                // spans prefix[seg]..prefix[seg + 1].
+                let seg = self.filter_prefix.partition_point(|&p| p <= j) - 1;
+                let (a, b) = (self.filter_prefix[seg], self.filter_prefix[seg + 1]);
+                let frozen = self.unfreeze_round[a..b]
+                    .iter()
+                    .filter(|&&u| round < u)
+                    .count();
+                frozen as f32 >= threshold * (b - a) as f32
+            }
+        }
+    }
+
+    /// The bit-packed freezing mask for round `round` (`M_is_frozen` of
+    /// Alg. 1), coarsened to whole filters when configured. This is the
+    /// mask every masked kernel, payload builder, and byte accountant
+    /// consumes.
+    pub fn frozen_mask_packed(&self, round: u64) -> FreezeMask {
+        let scalar = FreezeMask::from_fn(self.n, |j| round < self.unfreeze_round[j]);
+        match self.filter_active() {
+            Some(threshold) => scalar.coarsen(&self.filter_segments, threshold),
+            None => scalar,
+        }
+    }
+
+    /// The freezing mask as a boolean vector (compatibility view of
+    /// [`ApfManager::frozen_mask_packed`]).
     pub fn frozen_mask(&self, round: u64) -> Vec<bool> {
-        self.unfreeze_round.iter().map(|&u| round < u).collect()
+        self.frozen_mask_packed(round).to_bools()
     }
 
     /// Number of scalars frozen during `round`.
     pub fn frozen_count(&self, round: u64) -> usize {
-        self.unfreeze_round.iter().filter(|&&u| round < u).count()
+        self.frozen_mask_packed(round).frozen_count()
     }
 
     /// Pins frozen scalars back to their last synchronized values
@@ -183,30 +263,21 @@ impl ApfManager {
     /// Panics if `params.len()` differs from the managed scalar count.
     pub fn rollback(&self, params: &mut [f32], round: u64) {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
-        for ((p, &unfreeze), &pin) in params
-            .iter_mut()
-            .zip(&self.unfreeze_round)
-            .zip(&self.pinned)
-        {
-            if round < unfreeze {
-                *p = pin;
-            }
-        }
+        let mask = self.frozen_mask_packed(round);
+        apf_tensor::mask_fill(params, &self.pinned, mask.words());
     }
 
     /// Packs the unfrozen scalars of `params` into a compact upload tensor
-    /// (Alg. 1 line 4, `masked_select`).
+    /// (Alg. 1 line 4, `masked_select`): a run-wise gather over the packed
+    /// mask, no per-scalar branch.
     ///
     /// # Panics
     /// Panics if `params.len()` differs from the managed scalar count.
     pub fn select_unfrozen(&self, params: &[f32], round: u64) -> Vec<f32> {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
-        let mut out = Vec::with_capacity(self.n - self.frozen_count(round));
-        for (&p, &unfreeze) in params.iter().zip(&self.unfreeze_round) {
-            if round >= unfreeze {
-                out.push(p);
-            }
-        }
+        let mask = self.frozen_mask_packed(round);
+        let mut out = Vec::with_capacity(mask.unfrozen_count());
+        apf_tensor::mask_select(params, mask.words(), &mut out);
         out
     }
 
@@ -217,20 +288,35 @@ impl ApfManager {
     /// Panics if `agg` does not have exactly one value per unfrozen scalar.
     pub fn apply_aggregate(&mut self, params: &mut [f32], agg: &[f32], round: u64) {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
-        let mut it = agg.iter();
-        for ((p, &unfreeze), &pin) in params
-            .iter_mut()
-            .zip(&self.unfreeze_round)
-            .zip(&self.pinned)
-        {
-            if round >= unfreeze {
-                *p = *it.next().expect("aggregate shorter than unfrozen count");
-            } else {
-                // Frozen scalars must still hold their pinned value.
-                *p = pin;
-            }
-        }
-        assert!(it.next().is_none(), "aggregate longer than unfrozen count");
+        let mask = self.frozen_mask_packed(round);
+        let unfrozen = mask.unfrozen_count();
+        assert!(
+            agg.len() >= unfrozen,
+            "aggregate shorter than unfrozen count"
+        );
+        assert!(
+            agg.len() <= unfrozen,
+            "aggregate longer than unfrozen count"
+        );
+        apf_tensor::mask_scatter(params, agg, mask.words());
+        // Frozen scalars must still hold their pinned value.
+        apf_tensor::mask_fill(params, &self.pinned, mask.words());
+        self.pinned.copy_from_slice(params);
+    }
+
+    /// [`ApfManager::apply_aggregate`] for a *full-length* aggregate vector
+    /// whose unfrozen slots hold the aggregated values (frozen slots are
+    /// ignored) — the simulator's sparse-aggregation path, which never
+    /// materializes compact per-client uploads.
+    ///
+    /// # Panics
+    /// Panics if either length differs from the managed scalar count.
+    pub fn apply_aggregate_dense(&mut self, params: &mut [f32], agg: &[f32], round: u64) {
+        assert_eq!(params.len(), self.n, "parameter length mismatch");
+        assert_eq!(agg.len(), self.n, "aggregate length mismatch");
+        let mask = self.frozen_mask_packed(round);
+        apf_tensor::mask_copy(params, agg, mask.words());
+        apf_tensor::mask_fill(params, &self.pinned, mask.words());
         self.pinned.copy_from_slice(params);
     }
 
@@ -244,18 +330,29 @@ impl ApfManager {
     /// Panics if `params.len()` differs from the managed scalar count.
     pub fn finish_round(&mut self, params: &[f32], round: u64) -> SyncReport {
         assert_eq!(params.len(), self.n, "parameter length mismatch");
-        let frozen_now = self.frozen_count(round);
-        let unfrozen_now = (self.n - frozen_now) as u64;
+        let mask_now = self.frozen_mask_packed(round);
+        let frozen_now = mask_now.frozen_count();
+        let unfrozen_now = self.n - frozen_now;
         let checked = (round + 1).is_multiple_of(u64::from(self.cfg.check_every_rounds));
         if checked {
             self.stability_check(params, round);
         }
         self.random_freeze(round);
-        let wire_bytes = crate::mask::masked_transfer_bytes(
-            self.n,
-            unfrozen_now as usize,
-            self.cfg.bytes_per_scalar,
-        );
+        let bitmap_bytes =
+            crate::mask::masked_transfer_bytes(self.n, unfrozen_now, self.cfg.bytes_per_scalar);
+        // Under filter granularity the coarsened mask has few long runs, so
+        // a run-length encoding usually beats the dense bitmap; account for
+        // whichever encoding the wire would actually pick.
+        let wire_bytes = if self.filter_active().is_some() {
+            let rle = crate::mask::rle_transfer_bytes(
+                mask_now.unfrozen_run_count(),
+                unfrozen_now,
+                self.cfg.bytes_per_scalar,
+            );
+            bitmap_bytes.min(rle)
+        } else {
+            bitmap_bytes
+        };
         let report = SyncReport {
             round,
             total: self.n,
@@ -288,16 +385,17 @@ impl ApfManager {
         );
         apf_trace::metrics::counter("apf.bytes_up").add(report.bytes_up);
         apf_trace::metrics::counter("apf.bytes_down").add(report.bytes_down);
+        if self.layout.is_empty() {
+            return;
+        }
+        let mask = self.frozen_mask_packed(report.round);
         let mut off = 0usize;
         for (name, len) in &self.layout {
             let end = (off + len).min(self.n);
             if off >= end {
                 break;
             }
-            let frozen = self.unfreeze_round[off..end]
-                .iter()
-                .filter(|&&u| report.round < u)
-                .count();
+            let frozen = mask.frozen_count_in(off, end);
             event!(Level::Debug, target: "apf.manager", "layer_freeze",
                 round = report.round,
                 layer = name.as_str(),
@@ -330,10 +428,10 @@ impl ApfManager {
     /// scalars produce zero deltas that would spuriously look "stable").
     fn stability_check(&mut self, params: &[f32], round: u64) {
         self.checks_run += 1;
-        // A scalar participated in training this round iff it is unfrozen now.
-        let trained: Vec<bool> = (0..self.n)
-            .map(|j| round >= self.unfreeze_round[j])
-            .collect();
+        // A scalar participated in training this round iff the *effective*
+        // (possibly filter-coarsened) mask left it unfrozen.
+        let mask = self.frozen_mask_packed(round);
+        let trained: Vec<bool> = (0..self.n).map(|j| !mask.is_frozen(j)).collect();
         let delta: Vec<f32> = (0..self.n)
             .map(|j| {
                 if trained[j] {
@@ -442,6 +540,8 @@ impl ApfManager {
             checks_run: state.checks_run,
             cfg: state.cfg,
             layout: Vec::new(),
+            filter_segments: Vec::new(),
+            filter_prefix: Vec::new(),
         }
     }
 
@@ -832,6 +932,80 @@ mod tests {
             ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default())).unwrap();
         let mut p = init.clone();
         mgr.apply_aggregate(&mut p, &[1.0], 0);
+    }
+
+    #[test]
+    fn filter_granularity_coarsens_mask_and_bytes() {
+        // 2 segments of 4 scalars. Freeze 3 of 4 in segment 0 and 1 of 4 in
+        // segment 1; at threshold 0.75 the whole first segment freezes and
+        // the second thaws entirely.
+        let init = vec![0.0f32; 8];
+        let cfg = ApfConfig {
+            granularity: FreezeGranularity::Filter { threshold: 0.75 },
+            ..ApfConfig::default()
+        };
+        let mut mgr = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
+        mgr.set_filter_layout(vec![4, 4]).unwrap();
+        for j in [0usize, 1, 2, 5] {
+            mgr.unfreeze_round[j] = 10;
+        }
+        let mask = mgr.frozen_mask_packed(1);
+        assert_eq!(
+            mask.to_bools(),
+            vec![true, true, true, true, false, false, false, false]
+        );
+        assert_eq!(mgr.frozen_count(1), 4);
+        assert!(mgr.is_frozen(3, 1), "segment-frozen scalar");
+        assert!(
+            !mgr.is_frozen(5, 1),
+            "segment thawed its lone frozen scalar"
+        );
+        // Rollback must pin the whole frozen segment.
+        let mut p: Vec<f32> = (0..8).map(|j| j as f32 + 1.0).collect();
+        mgr.rollback(&mut p, 1);
+        assert_eq!(&p[..4], &[0.0; 4]);
+        assert_eq!(&p[4..], &[5.0, 6.0, 7.0, 8.0]);
+        // Byte accounting: one unfrozen run of 4 scalars — the RLE encoding
+        // (4 + 1*8 + 4*4 = 28) beats the bitmap (4*4 + 1 = 17)? No: bitmap
+        // is smaller here, so min() keeps the bitmap.
+        let rep = mgr.finish_round(&p, 1);
+        assert_eq!(rep.frozen, 4);
+        assert_eq!(rep.bytes_up, 16 + 1);
+        // A model large enough that RLE wins: 1024 scalars, one unfrozen
+        // run of 64 — RLE 4 + 8 + 64*4 = 268 < bitmap 128 + 256 = 384.
+        let init = vec![0.0f32; 1024];
+        let mut big = ApfManager::new(&init, cfg, Box::new(Aimd::default())).unwrap();
+        big.set_filter_layout(vec![64; 16]).unwrap();
+        for j in 64..1024 {
+            big.unfreeze_round[j] = 10;
+        }
+        let rep = big.finish_round(&init, 1);
+        assert_eq!(rep.frozen, 960);
+        assert_eq!(rep.bytes_up, 4 + 8 + 64 * 4);
+    }
+
+    #[test]
+    fn filter_layout_must_cover_model() {
+        let init = vec![0.0f32; 8];
+        let mut mgr =
+            ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default())).unwrap();
+        assert!(mgr.set_filter_layout(vec![4, 3]).is_err());
+        assert!(mgr.set_filter_layout(vec![4, 0, 4]).is_err());
+        assert!(mgr.set_filter_layout(vec![4, 4]).is_ok());
+    }
+
+    #[test]
+    fn scalar_granularity_ignores_filter_layout() {
+        // With the default Scalar granularity a registered layout must not
+        // change masks — golden trajectories depend on this.
+        let init = vec![0.0f32; 8];
+        let mut mgr =
+            ApfManager::new(&init, ApfConfig::default(), Box::new(Aimd::default())).unwrap();
+        mgr.set_filter_layout(vec![4, 4]).unwrap();
+        mgr.unfreeze_round[1] = 10;
+        assert_eq!(mgr.frozen_count(1), 1);
+        assert!(mgr.is_frozen(1, 1));
+        assert!(!mgr.is_frozen(0, 1));
     }
 
     #[test]

@@ -61,6 +61,323 @@ pub fn masked_transfer_bytes(total: usize, unfrozen: usize, bytes_per_scalar: u6
     mask_bytes(total) as u64 + unfrozen as u64 * bytes_per_scalar
 }
 
+/// Wire bytes of one masked transfer whose mask is encoded as run lengths
+/// instead of a bitmap: a `u32` run count, two `u32`s (start, length) per
+/// unfrozen run, plus the packed values. Structured (filter-granular) masks
+/// have few long runs, so this beats the bitmap once
+/// `8 * runs + 4 < ceil(total / 8)`.
+pub fn rle_transfer_bytes(runs: usize, unfrozen: usize, bytes_per_scalar: u64) -> u64 {
+    4 + runs as u64 * 8 + unfrozen as u64 * bytes_per_scalar
+}
+
+/// The low `k` bits set, for `k <= 64`.
+fn low_mask(k: usize) -> u64 {
+    debug_assert!(k <= 64);
+    if k == 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Index of the first **unfrozen** (clear) bit in `from..bound`, skipping
+/// all-frozen words whole.
+fn next_clear_bit(words: &[u64], from: usize, bound: usize) -> Option<usize> {
+    if from >= bound {
+        return None;
+    }
+    let mut w = from / 64;
+    let mut inv = !words[w] & !low_mask(from % 64);
+    loop {
+        if inv != 0 {
+            let j = w * 64 + inv.trailing_zeros() as usize;
+            return (j < bound).then_some(j);
+        }
+        w += 1;
+        if w * 64 >= bound || w >= words.len() {
+            return None;
+        }
+        inv = !words[w];
+    }
+}
+
+/// Index of the first **frozen** (set) bit in `from..bound`, skipping
+/// all-unfrozen words whole.
+fn next_set_bit(words: &[u64], from: usize, bound: usize) -> Option<usize> {
+    if from >= bound {
+        return None;
+    }
+    let mut w = from / 64;
+    let mut cur = words[w] & !low_mask(from % 64);
+    loop {
+        if cur != 0 {
+            let j = w * 64 + cur.trailing_zeros() as usize;
+            return (j < bound).then_some(j);
+        }
+        w += 1;
+        if w * 64 >= bound || w >= words.len() {
+            return None;
+        }
+        cur = words[w];
+    }
+}
+
+/// A bit-packed freeze mask over a flat parameter vector: bit `j % 64` of
+/// word `j / 64` is set iff scalar `j` is **frozen**.
+///
+/// This is the one mask representation shared by the whole freeze-aware
+/// compute path: the `apf-tensor` SIMD kernels consume [`words`], the
+/// skip-frozen optimizer steps iterate [`iter_unfrozen_runs`], and byte
+/// accounting uses the popcount-based [`frozen_count`]. The bit order is
+/// LSB-first and little-endian-consistent with [`pack_mask`]: byte `k` of
+/// [`packed_bytes`] equals byte `k` of the `pack_mask` encoding of the same
+/// boolean mask, so the wire format is unchanged.
+///
+/// Invariant: bits at positions `>= len` (the tail of the last word) are
+/// always zero.
+///
+/// [`words`]: FreezeMask::words
+/// [`iter_unfrozen_runs`]: FreezeMask::iter_unfrozen_runs
+/// [`frozen_count`]: FreezeMask::frozen_count
+/// [`packed_bytes`]: FreezeMask::packed_bytes
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FreezeMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FreezeMask {
+    /// A mask over `len` scalars with nothing frozen.
+    pub fn all_unfrozen(len: usize) -> FreezeMask {
+        FreezeMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A mask over `len` scalars with everything frozen.
+    pub fn all_frozen(len: usize) -> FreezeMask {
+        let mut m = FreezeMask {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Builds a mask from a per-scalar predicate (`true` = frozen).
+    pub fn from_fn(len: usize, mut frozen: impl FnMut(usize) -> bool) -> FreezeMask {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for j in 0..len {
+            if frozen(j) {
+                words[j / 64] |= 1 << (j % 64);
+            }
+        }
+        FreezeMask { words, len }
+    }
+
+    /// Builds a mask from a boolean slice (`true` = frozen).
+    pub fn from_bools(frozen: &[bool]) -> FreezeMask {
+        FreezeMask::from_fn(frozen.len(), |j| frozen[j])
+    }
+
+    /// Zeroes the invariant tail bits of the last word.
+    fn clear_tail(&mut self) {
+        if !self.len.is_multiple_of(64) {
+            if let Some(w) = self.words.last_mut() {
+                *w &= low_mask(self.len % 64);
+            }
+        }
+    }
+
+    /// Number of scalars covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed 64-bit words (tail bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether scalar `j` is frozen.
+    ///
+    /// # Panics
+    /// Panics if `j >= len`.
+    pub fn is_frozen(&self, j: usize) -> bool {
+        assert!(j < self.len, "mask index {j} out of range {}", self.len);
+        self.words[j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Sets scalar `j`'s frozen bit.
+    ///
+    /// # Panics
+    /// Panics if `j >= len`.
+    pub fn set(&mut self, j: usize, frozen: bool) {
+        assert!(j < self.len, "mask index {j} out of range {}", self.len);
+        if frozen {
+            self.words[j / 64] |= 1 << (j % 64);
+        } else {
+            self.words[j / 64] &= !(1 << (j % 64));
+        }
+    }
+
+    /// Number of frozen scalars — one popcount per word, no per-bit loop.
+    pub fn frozen_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unfrozen scalars.
+    pub fn unfrozen_count(&self) -> usize {
+        self.len - self.frozen_count()
+    }
+
+    /// Number of frozen scalars in `start..end` (clamped to `len`).
+    pub fn frozen_count_in(&self, start: usize, end: usize) -> usize {
+        let end = end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        let (ws, we) = (start / 64, (end - 1) / 64);
+        if ws == we {
+            let m = low_mask(end - ws * 64) & !low_mask(start - ws * 64);
+            return (self.words[ws] & m).count_ones() as usize;
+        }
+        let mut count = (self.words[ws] & !low_mask(start % 64)).count_ones() as usize;
+        for w in &self.words[ws + 1..we] {
+            count += w.count_ones() as usize;
+        }
+        count + (self.words[we] & low_mask(end - we * 64)).count_ones() as usize
+    }
+
+    /// Iterates the maximal runs of consecutive **unfrozen** scalars as
+    /// index ranges, in ascending order. All-frozen 64-bit words are skipped
+    /// word-at-a-time, so iteration cost scales with the number of runs plus
+    /// `len / 64`, never with the number of frozen scalars.
+    pub fn iter_unfrozen_runs(&self) -> UnfrozenRuns<'_> {
+        UnfrozenRuns {
+            words: &self.words,
+            bound: self.len,
+            pos: 0,
+        }
+    }
+
+    /// Calls `f(start, end)` for each maximal unfrozen run intersected with
+    /// `start..end` — the chunk-local variant the parallel optimizer path
+    /// uses, since pool chunk boundaries need not align to words or runs.
+    pub fn for_each_unfrozen_run_in(
+        &self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize, usize),
+    ) {
+        let bound = end.min(self.len);
+        let mut pos = start;
+        while let Some(s) = next_clear_bit(&self.words, pos, bound) {
+            let e = next_set_bit(&self.words, s + 1, bound).unwrap_or(bound);
+            f(s, e);
+            pos = e + 1;
+        }
+    }
+
+    /// Number of maximal unfrozen runs.
+    pub fn unfrozen_run_count(&self) -> usize {
+        self.iter_unfrozen_runs().count()
+    }
+
+    /// The mask as packed bytes, identical to [`pack_mask`] of the same
+    /// boolean mask (LSB-first within each byte).
+    pub fn packed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(mask_bytes(self.len));
+        'outer: for w in &self.words {
+            for b in w.to_le_bytes() {
+                if out.len() == mask_bytes(self.len) {
+                    break 'outer;
+                }
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Decodes a [`pack_mask`]-format byte string over `n` scalars.
+    ///
+    /// Returns `None` when `packed` has the wrong length for `n` or any
+    /// trailing bit beyond `n` is set (a corrupt or hostile frame).
+    pub fn from_packed(packed: &[u8], n: usize) -> Option<FreezeMask> {
+        if packed.len() != mask_bytes(n) {
+            return None;
+        }
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (k, &b) in packed.iter().enumerate() {
+            words[k / 8] |= (b as u64) << (8 * (k % 8));
+        }
+        let m = FreezeMask { words, len: n };
+        // The encoder zeroes tail bits; anything else is corruption.
+        if let Some(&last) = m.words.last() {
+            if !n.is_multiple_of(64) && last & !low_mask(n % 64) != 0 {
+                return None;
+            }
+        }
+        Some(m)
+    }
+
+    /// The mask as a boolean vector (`true` = frozen).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|j| self.is_frozen(j)).collect()
+    }
+
+    /// Coarsens the mask to whole segments (conv filters / matrix rows):
+    /// a segment is frozen iff the fraction of its scalars already frozen is
+    /// `>= threshold`, otherwise fully unfrozen. `segments` are consecutive
+    /// lengths that must sum to `len`.
+    ///
+    /// # Panics
+    /// Panics if the segment lengths do not sum to `len` or any is zero.
+    pub fn coarsen(&self, segments: &[usize], threshold: f32) -> FreezeMask {
+        let mut out = FreezeMask::all_unfrozen(self.len);
+        let mut off = 0;
+        for &seg in segments {
+            assert!(seg > 0, "zero-length filter segment");
+            let frozen = self.frozen_count_in(off, off + seg);
+            if frozen as f32 >= threshold * seg as f32 {
+                for j in off..off + seg {
+                    out.words[j / 64] |= 1 << (j % 64);
+                }
+            }
+            off += seg;
+        }
+        assert_eq!(off, self.len, "filter segments must cover the mask");
+        out.clear_tail();
+        out
+    }
+}
+
+/// Iterator over maximal unfrozen runs — see
+/// [`FreezeMask::iter_unfrozen_runs`].
+#[derive(Debug, Clone)]
+pub struct UnfrozenRuns<'a> {
+    words: &'a [u64],
+    bound: usize,
+    pos: usize,
+}
+
+impl Iterator for UnfrozenRuns<'_> {
+    type Item = std::ops::Range<usize>;
+
+    fn next(&mut self) -> Option<std::ops::Range<usize>> {
+        let s = next_clear_bit(self.words, self.pos, self.bound)?;
+        let e = next_set_bit(self.words, s + 1, self.bound).unwrap_or(self.bound);
+        self.pos = e + 1;
+        Some(s..e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +411,147 @@ mod tests {
         // Fully frozen still ships the bitmap.
         assert_eq!(masked_transfer_bytes(16, 0, 4), 2);
         assert_eq!(masked_transfer_bytes(0, 0, 4), 0);
+    }
+
+    #[test]
+    fn rle_bytes_formula() {
+        // 2 runs of 3 unfrozen scalars total at f32: 4 + 16 + 12.
+        assert_eq!(rle_transfer_bytes(2, 3, 4), 32);
+        // A structured mask over 1M scalars with 4 runs beats the bitmap.
+        assert!(rle_transfer_bytes(4, 1000, 4) < masked_transfer_bytes(1 << 20, 1000, 4));
+    }
+
+    fn reference_mask(n: usize, period: usize) -> Vec<bool> {
+        (0..n).map(|j| j % period == 0 || j % 7 == 3).collect()
+    }
+
+    #[test]
+    fn freeze_mask_matches_bool_reference() {
+        for n in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bools = reference_mask(n, 3);
+            let m = FreezeMask::from_bools(&bools);
+            assert_eq!(m.len(), n);
+            assert_eq!(m.to_bools(), bools);
+            for (j, &b) in bools.iter().enumerate() {
+                assert_eq!(m.is_frozen(j), b, "n={n} j={j}");
+            }
+            let frozen = bools.iter().filter(|&&b| b).count();
+            assert_eq!(m.frozen_count(), frozen);
+            assert_eq!(m.unfrozen_count(), n - frozen);
+        }
+    }
+
+    #[test]
+    fn packed_bytes_match_pack_mask() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 130] {
+            let bools = reference_mask(n, 4);
+            let m = FreezeMask::from_bools(&bools);
+            assert_eq!(m.packed_bytes(), pack_mask(&bools), "n={n}");
+            assert_eq!(FreezeMask::from_packed(&m.packed_bytes(), n), Some(m));
+        }
+        // Same corruption rules as unpack_mask.
+        assert!(FreezeMask::from_packed(&[0], 9).is_none(), "too short");
+        assert!(FreezeMask::from_packed(&[0xFF, 0x02], 9).is_none());
+        assert!(FreezeMask::from_packed(&[0xFF, 0x01], 9).is_some());
+    }
+
+    #[test]
+    fn unfrozen_runs_cover_exactly_the_unfrozen_scalars() {
+        for n in [0usize, 1, 64, 65, 190, 320] {
+            let bools = reference_mask(n, 5);
+            let m = FreezeMask::from_bools(&bools);
+            let mut seen = vec![false; n];
+            for r in m.iter_unfrozen_runs() {
+                assert!(r.start < r.end && r.end <= n);
+                for j in r {
+                    assert!(!bools[j], "run covers frozen scalar {j}");
+                    assert!(!seen[j], "runs overlap at {j}");
+                    seen[j] = true;
+                }
+            }
+            for (j, &b) in bools.iter().enumerate() {
+                assert_eq!(seen[j], !b, "scalar {j} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_skip_whole_frozen_words_and_handle_edges() {
+        // Words: [all frozen] [all unfrozen] [mixed] — runs must cross the
+        // word boundary out of the all-unfrozen word into the mixed one.
+        let mut m = FreezeMask::all_frozen(192);
+        for j in 64..128 {
+            m.set(j, false);
+        }
+        m.set(130, false);
+        m.set(131, false);
+        let runs: Vec<_> = m.iter_unfrozen_runs().collect();
+        assert_eq!(runs, vec![64..128, 130..132]);
+        assert_eq!(m.unfrozen_run_count(), 2);
+        assert_eq!(FreezeMask::all_frozen(100).unfrozen_run_count(), 0);
+        let open = FreezeMask::all_unfrozen(100);
+        assert_eq!(open.iter_unfrozen_runs().collect::<Vec<_>>(), vec![0..100]);
+    }
+
+    #[test]
+    fn chunk_bounded_runs_match_global_intersection() {
+        let bools = reference_mask(300, 6);
+        let m = FreezeMask::from_bools(&bools);
+        for (start, end) in [(0, 300), (10, 130), (63, 65), (120, 120), (250, 999)] {
+            let mut got = Vec::new();
+            m.for_each_unfrozen_run_in(start, end, |s, e| got.push((s, e)));
+            let bound = end.min(300);
+            let mut want = Vec::new();
+            let mut run_start = None;
+            for (j, &frozen) in bools.iter().enumerate().take(bound).skip(start) {
+                match (frozen, run_start) {
+                    (false, None) => run_start = Some(j),
+                    (true, Some(s)) => {
+                        want.push((s, j));
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = run_start {
+                want.push((s, bound));
+            }
+            assert_eq!(got, want, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn frozen_count_in_matches_naive() {
+        let bools = reference_mask(333, 4);
+        let m = FreezeMask::from_bools(&bools);
+        for (start, end) in [(0, 333), (5, 6), (0, 64), (63, 129), (64, 128), (200, 999)] {
+            let want = bools[start..end.min(333)].iter().filter(|&&b| b).count();
+            assert_eq!(m.frozen_count_in(start, end), want, "{start}..{end}");
+        }
+        assert_eq!(m.frozen_count_in(10, 10), 0);
+        assert_eq!(m.frozen_count_in(20, 10), 0);
+    }
+
+    #[test]
+    fn coarsen_freezes_whole_segments_by_threshold() {
+        // Segments of 4; freeze a segment when >= 50% of it is frozen.
+        let bools = [
+            true, true, false, false, // 50% -> frozen
+            true, false, false, false, // 25% -> unfrozen
+            true, true, true, true, // 100% -> frozen
+        ];
+        let m = FreezeMask::from_bools(&bools).coarsen(&[4, 4, 4], 0.5);
+        let want: Vec<bool> = [true; 4]
+            .into_iter()
+            .chain([false; 4])
+            .chain([true; 4])
+            .collect();
+        assert_eq!(m.to_bools(), want);
+        // threshold 1.0 freezes only fully-frozen segments; an all-frozen
+        // input stays all-frozen, an all-unfrozen one stays open.
+        let full = FreezeMask::all_frozen(12).coarsen(&[4, 4, 4], 1.0);
+        assert_eq!(full.frozen_count(), 12);
+        let open = FreezeMask::all_unfrozen(12).coarsen(&[4, 4, 4], 0.5);
+        assert_eq!(open.frozen_count(), 0);
     }
 }

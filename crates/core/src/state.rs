@@ -159,12 +159,12 @@ impl ApfManager {
     /// # Panics
     /// Panics if any range exceeds the managed scalar count.
     pub fn frozen_by_range(&self, ranges: &[(usize, usize)], round: u64) -> Vec<usize> {
-        let mask = self.frozen_mask(round);
+        let mask = self.frozen_mask_packed(round);
         ranges
             .iter()
             .map(|&(off, len)| {
                 assert!(off + len <= mask.len(), "range out of bounds");
-                mask[off..off + len].iter().filter(|&&f| f).count()
+                mask.frozen_count_in(off, off + len)
             })
             .collect()
     }

@@ -1,8 +1,11 @@
 //! Synchronization strategies: FedAvg, the §4.1 strawmen, the APF family,
 //! and the §7.4 sparsification baselines (Gaia, CMFL).
 
-use apf::{Aimd, ApfConfig, ApfError, ApfManager, EmaPerturbation, FixedPeriod, FreezeController};
-use apf_quant::{f16_decode, f16_encode};
+use apf::{
+    Aimd, ApfConfig, ApfError, ApfManager, EmaPerturbation, FixedPeriod, FreezeController,
+    FreezeGranularity, FreezeMask,
+};
+use apf_quant::f16_roundtrip_in_place;
 
 /// Communication accounting for one synchronization round.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -49,6 +52,11 @@ pub trait SyncStrategy: Send + Sync {
         weights: &[f32],
         global: &mut Vec<f32>,
     ) -> RoundComm;
+
+    /// Registers the model's per-filter segment lengths (conv filters /
+    /// matrix rows over the flat vector) for strategies that support
+    /// filter-granular freezing. Default: ignored.
+    fn set_filter_layout(&mut self, _segments: Vec<usize>) {}
 
     /// Per-local-iteration hook (Alg. 1 line 2 rollback for APF). Default:
     /// no-op.
@@ -201,13 +209,11 @@ impl SyncStrategy for PartialSync {
         if let Some(mean) = weighted_mean(locals, weights) {
             *global = mean;
         }
-        // Wire traffic and write-back: only the non-excluded scalars.
+        // Wire traffic and write-back: only the non-excluded scalars
+        // (excluded = frozen in mask terms, so the copy kernel skips them).
+        let mask = FreezeMask::from_bools(&self.excluded);
         for l in locals.iter_mut() {
-            for j in 0..n {
-                if !self.excluded[j] {
-                    l[j] = global[j];
-                }
-            }
+            apf_tensor::mask_copy(l, global, mask.words());
         }
         // Stability check on the synchronized portion.
         if (round + 1).is_multiple_of(u64::from(self.check_every)) {
@@ -263,6 +269,7 @@ pub struct ApfStrategy {
     quantize_f16: bool,
     label: String,
     layout: Vec<(String, usize)>,
+    filter_segments: Vec<usize>,
 }
 
 impl std::fmt::Debug for ApfStrategy {
@@ -300,6 +307,7 @@ impl ApfStrategy {
             quantize_f16: false,
             label: label.to_owned(),
             layout: Vec::new(),
+            filter_segments: Vec::new(),
         })
     }
 
@@ -321,6 +329,23 @@ impl ApfStrategy {
         self.quantize_f16 = true;
         self.cfg.bytes_per_scalar = 2;
         self.label = format!("{}+q", self.label);
+        self
+    }
+
+    /// Switches to filter-granular freezing (Becking et al.): a whole filter
+    /// segment freezes once `threshold` of its scalars are scalar-frozen.
+    /// Takes effect when the runner registers a filter layout (see
+    /// [`SyncStrategy::set_filter_layout`]); without one it degrades to
+    /// scalar freezing.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is outside `(0, 1]`.
+    pub fn with_filter_granularity(mut self, threshold: f32) -> Self {
+        self.cfg.granularity = FreezeGranularity::Filter { threshold };
+        self.cfg
+            .validate()
+            .expect("filter threshold must lie in (0, 1]");
+        self.label = format!("{}+filt", self.label);
         self
     }
 
@@ -347,12 +372,28 @@ impl SyncStrategy for ApfStrategy {
         if let Some(m) = self.managers.first_mut() {
             m.set_layout(self.layout.clone());
         }
+        // Filter coarsening changes the masks themselves, so every manager
+        // must carry the same segment layout.
+        if !self.filter_segments.is_empty() {
+            for m in &mut self.managers {
+                m.set_filter_layout(self.filter_segments.clone())
+                    .expect("filter layout must cover the model");
+            }
+        }
     }
 
     fn set_model_layout(&mut self, layout: Vec<(String, usize)>) {
         self.layout = layout.clone();
         if let Some(m) = self.managers.first_mut() {
             m.set_layout(layout);
+        }
+    }
+
+    fn set_filter_layout(&mut self, segments: Vec<usize>) {
+        self.filter_segments = segments.clone();
+        for m in &mut self.managers {
+            m.set_filter_layout(segments.clone())
+                .expect("filter layout must cover the model");
         }
     }
 
@@ -368,25 +409,45 @@ impl SyncStrategy for ApfStrategy {
             self.managers.len(),
             "strategy not initialized"
         );
-        // Rollback + masked select on every client.
-        let mut uploads: Vec<Vec<f32>> = Vec::with_capacity(locals.len());
+        let n = global.len();
+        // Masks are identical on every client (§6.2): compute once and drive
+        // everything below from its unfrozen runs — no compact gather per
+        // client, no per-scalar branches.
+        let mask = self.managers[0].frozen_mask_packed(round);
+        let words = mask.words();
+        // Rollback every client; the fp16 wire hop is applied in place to
+        // the unfrozen runs (aggregation overwrites them below, and frozen
+        // slots never touch the wire).
         for (m, l) in self.managers.iter().zip(locals.iter_mut()) {
             m.rollback(l, round);
-            let mut up = m.select_unfrozen(l, round);
             if self.quantize_f16 {
-                up = f16_decode(&f16_encode(&up));
+                mask.for_each_unfrozen_run_in(0, n, |s, e| f16_roundtrip_in_place(&mut l[s..e]));
             }
-            uploads.push(up);
         }
-        // Aggregate the compact tensors.
-        let mut agg = weighted_mean(&uploads, weights).unwrap_or_else(|| uploads[0].clone());
+        // Weighted mean of the unfrozen runs, accumulated full-length:
+        // bitwise equal to averaging compact uploads, scalar for scalar.
+        let total: f32 = weights.iter().sum();
+        let mut agg = vec![0.0f32; n];
+        if total > 0.0 && !locals.is_empty() {
+            for (l, &w) in locals.iter().zip(weights) {
+                if w == 0.0 {
+                    continue;
+                }
+                apf_tensor::masked_axpy(&mut agg, l, w, words);
+            }
+            apf_tensor::masked_div(&mut agg, total, words);
+        } else {
+            // All uploads dropped: fall back to client 0's (already
+            // quantized) unfrozen values, as the compact path did.
+            apf_tensor::mask_copy(&mut agg, &locals[0], words);
+        }
         if self.quantize_f16 {
-            agg = f16_decode(&f16_encode(&agg));
+            mask.for_each_unfrozen_run_in(0, n, |s, e| f16_roundtrip_in_place(&mut agg[s..e]));
         }
-        // Scatter back and run the stability machinery.
+        // Write back and run the stability machinery.
         let mut comm = RoundComm::default();
         for (i, (m, l)) in self.managers.iter_mut().zip(locals.iter_mut()).enumerate() {
-            m.apply_aggregate(l, &agg, round);
+            m.apply_aggregate_dense(l, &agg, round);
             let rep = m.finish_round(l, round);
             comm.bytes_up += rep.bytes_up;
             comm.bytes_down += rep.bytes_down;
@@ -412,12 +473,12 @@ impl SyncStrategy for ApfStrategy {
         if self.layout.is_empty() {
             return Vec::new();
         }
-        let mask = m.frozen_mask(round);
+        let mask = m.frozen_mask_packed(round);
         let mut out = Vec::with_capacity(self.layout.len());
         let mut offset = 0usize;
         for (name, len) in &self.layout {
             let end = (offset + len).min(mask.len());
-            let frozen = mask[offset..end].iter().filter(|&&f| f).count();
+            let frozen = mask.frozen_count_in(offset, end);
             let ratio = if *len == 0 {
                 0.0
             } else {
@@ -769,6 +830,108 @@ mod tests {
             assert_eq!(g, ls[0]);
         }
         assert!(saw_frozen, "APF never froze the oscillators");
+    }
+
+    #[test]
+    fn sparse_aggregation_matches_compact_reference() {
+        // The run-driven sync (masked_axpy/masked_div + dense write-back)
+        // against a hand-rolled compact select -> mean -> scatter using the
+        // manager API directly — bitwise, f16 wire hop included.
+        use apf::Aimd;
+        use apf_quant::{f16_decode, f16_encode};
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
+        let n = 150;
+        let clients = 3;
+        let weights = [1.0f32, 0.0, 2.0];
+        let init = vec![0.0f32; n];
+        let mut s = ApfStrategy::new(cfg).unwrap().with_f16();
+        s.init(&init, clients);
+        let ref_cfg = ApfConfig {
+            bytes_per_scalar: 2,
+            ..cfg
+        };
+        let mut ref_mgrs: Vec<ApfManager> = (0..clients)
+            .map(|_| ApfManager::new(&init, ref_cfg, Box::new(Aimd::default())).unwrap())
+            .collect();
+        let mut ls = locals(clients, n, |_, _| 0.0);
+        let mut ref_ls = ls.clone();
+        let mut g = init.clone();
+        for r in 0..25u64 {
+            for (i, (l, rl)) in ls.iter_mut().zip(ref_ls.iter_mut()).enumerate() {
+                for j in 0..n {
+                    let d = ((i + 1) as f32 * 0.05) * ((r + j as u64) as f32 * 0.7).sin();
+                    l[j] += d;
+                    rl[j] += d;
+                }
+            }
+            let comm = s.sync_round(r, &mut ls, &weights, &mut g);
+            // Reference: the pre-optimization compact path.
+            let mut ups = Vec::with_capacity(clients);
+            for (m, rl) in ref_mgrs.iter().zip(ref_ls.iter_mut()) {
+                m.rollback(rl, r);
+                ups.push(f16_decode(&f16_encode(&m.select_unfrozen(rl, r))));
+            }
+            let agg = weighted_mean(&ups, &weights).unwrap_or_else(|| ups[0].clone());
+            let agg = f16_decode(&f16_encode(&agg));
+            let mut ref_up = 0u64;
+            for (m, rl) in ref_mgrs.iter_mut().zip(ref_ls.iter_mut()) {
+                m.apply_aggregate(rl, &agg, r);
+                ref_up += m.finish_round(rl, r).bytes_up;
+            }
+            assert_eq!(ls, ref_ls, "round {r}: models diverged");
+            assert_eq!(comm.bytes_up, ref_up, "round {r}: byte accounting diverged");
+        }
+    }
+
+    #[test]
+    fn filter_granularity_coarsens_strategy_masks() {
+        let cfg = ApfConfig {
+            check_every_rounds: 1,
+            threshold_decay: None,
+            ..ApfConfig::default()
+        };
+        let mut s = ApfStrategy::new(cfg).unwrap().with_filter_granularity(0.5);
+        assert!(s.name().ends_with("+filt"));
+        let n = 8;
+        s.set_filter_layout(vec![4, 4]);
+        s.init(&vec![0.0f32; n], 2);
+        let mut g = vec![0.0f32; n];
+        let mut ls = locals(2, n, |_, _| 0.0);
+        // Scalars 0..3 oscillate (stabilize), 4..7 drift: at threshold 0.5
+        // the first whole segment must freeze while the second never does.
+        let mut saw_full_segment = false;
+        for r in 0..40u64 {
+            for l in ls.iter_mut() {
+                for (j, v) in l.iter_mut().enumerate() {
+                    if !s.managers()[0].is_frozen(j, r) {
+                        *v += if j < 4 {
+                            if r % 2 == 0 {
+                                0.1
+                            } else {
+                                -0.1
+                            }
+                        } else {
+                            0.1
+                        };
+                    }
+                }
+            }
+            s.sync_round(r, &mut ls, &[1.0, 1.0], &mut g);
+            assert_eq!(ls[0], ls[1], "round {r}");
+            let mask = s.managers()[0].frozen_mask_packed(r + 1);
+            let frozen_head = mask.frozen_count_in(0, 4);
+            assert!(
+                frozen_head == 0 || frozen_head == 4,
+                "round {r}: filter segment partially frozen ({frozen_head}/4)"
+            );
+            assert_eq!(mask.frozen_count_in(4, 8), 0, "round {r}: drifters froze");
+            saw_full_segment |= frozen_head == 4;
+        }
+        assert!(saw_full_segment, "oscillating segment never froze whole");
     }
 
     #[test]

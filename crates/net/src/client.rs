@@ -167,7 +167,7 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
             let mut l = client.flat_params();
             manager.rollback(&mut l, round);
             let up = manager.select_unfrozen(&l, round);
-            let mask = manager.frozen_mask(round);
+            let mask = manager.frozen_mask_packed(round);
             (loss, l, up, mask)
         };
 

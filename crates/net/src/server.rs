@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use apf::{Aimd, ApfManager};
 use apf_fedsim::{ExperimentLog, RoundRecord, RunSpec};
 use apf_obs::{Acceptor, ObsState, RunInfo};
-use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
+use apf_quant::f16_roundtrip_in_place;
 use apf_trace::{event, span, Level, Role, TraceContext};
 
 use crate::telemetry::{mint_run_id, NetMetrics};
@@ -160,12 +160,6 @@ fn weighted_mean(vecs: &[Vec<f32>], weights: &[f32]) -> Option<Vec<f32>> {
     Some(out)
 }
 
-fn f16_roundtrip(xs: &mut [f32]) {
-    for x in xs {
-        *x = f16_bits_to_f32(f32_to_f16_bits(*x));
-    }
-}
-
 /// A bound, not-yet-serving parameter server. Two-phase so callers can learn
 /// the ephemeral port (and e.g. write an addr file) before blocking in
 /// [`NetServer::serve`].
@@ -290,8 +284,8 @@ impl NetServer {
                 event!(Level::Debug, target: "net.comm", "init_broadcast",
                     bytes = model_bytes * n as u64, clients = n);
             }
-            let mask = manager.frozen_mask(round);
-            let unfrozen = mask.iter().filter(|&&f| !f).count();
+            let mask = manager.frozen_mask_packed(round);
+            let unfrozen = mask.unfrozen_count();
 
             // Collect pushes in client-id order (the aggregation order the
             // simulator uses). A client that fails here is dropped for good.
@@ -366,7 +360,7 @@ impl NetServer {
                 if wire_f16 {
                     // Matches the simulator's narrowing of the aggregate
                     // before it is applied or re-broadcast.
-                    f16_roundtrip(&mut agg);
+                    f16_roundtrip_in_place(&mut agg);
                 }
                 agg
             };

@@ -9,10 +9,13 @@
 //!
 //! Masked transfers use the same encoding the byte accounting in
 //! `apf::masked_transfer_bytes` charges for: a packed freeze bitmap
-//! (1 bit per scalar, LSB-first, from `apf::pack_mask`) followed by the
-//! unfrozen values as little-endian f32 — or binary16 bit patterns when the
-//! f16 flag is set, exactly the `apf-quant` conversion the simulator applies
-//! to quantized uploads. `crates/net/tests/wire_proptests.rs` pins the
+//! (1 bit per scalar, LSB-first, `apf::FreezeMask::packed_bytes` — the
+//! same bytes `apf::pack_mask` produces) followed by the unfrozen values as
+//! little-endian f32 — or binary16 bit patterns when the f16 flag is set,
+//! exactly the `apf-quant` conversion the simulator applies to quantized
+//! uploads. The mask stays bit-packed end to end: it is built packed by the
+//! APF manager, copied verbatim onto the wire, and decoded back into a
+//! [`FreezeMask`] without ever materializing a `Vec<bool>`. `crates/net/tests/wire_proptests.rs` pins the
 //! equality between encoded payload sizes and the ledger formula.
 //!
 //! Since protocol version 2, the handshake and round frames
@@ -25,7 +28,7 @@
 
 use std::io::{Read, Write};
 
-use apf::{mask_bytes, masked_transfer_bytes, pack_mask, unpack_mask};
+use apf::{mask_bytes, masked_transfer_bytes, FreezeMask};
 use apf_quant::{f16_bits_to_f32, f32_to_f16_bits};
 use apf_trace::{span, Level, TraceContext};
 
@@ -102,12 +105,12 @@ impl From<std::io::Error> for WireError {
 
 /// A masked parameter transfer: the freeze bitmap plus the unfrozen values.
 ///
-/// `mask[j] == true` means scalar `j` is frozen and carries no value;
-/// `values` holds exactly one f32 per unfrozen scalar, in index order.
+/// A set mask bit means the scalar is frozen and carries no value; `values`
+/// holds exactly one f32 per unfrozen scalar, in index order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaskedPayload {
-    /// Per-scalar freeze mask (true = frozen, absent from `values`).
-    pub mask: Vec<bool>,
+    /// Per-scalar freeze mask (set bit = frozen, absent from `values`).
+    pub mask: FreezeMask,
     /// The unfrozen scalars, in index order.
     pub values: Vec<f32>,
     /// Encode values as binary16 bit patterns (2 bytes/scalar) on the wire.
@@ -120,8 +123,8 @@ impl MaskedPayload {
     ///
     /// # Errors
     /// Returns [`WireError::Corrupt`] on a count mismatch.
-    pub fn new(mask: Vec<bool>, values: Vec<f32>, f16: bool) -> Result<MaskedPayload, WireError> {
-        let unfrozen = mask.iter().filter(|&&m| !m).count();
+    pub fn new(mask: FreezeMask, values: Vec<f32>, f16: bool) -> Result<MaskedPayload, WireError> {
+        let unfrozen = mask.unfrozen_count();
         if values.len() != unfrozen {
             return Err(WireError::Corrupt(format!(
                 "{} values for {unfrozen} unfrozen scalars",
@@ -149,7 +152,7 @@ impl MaskedPayload {
     fn write_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.mask.len() as u32).to_le_bytes());
         out.push(u8::from(self.f16));
-        out.extend_from_slice(&pack_mask(&self.mask));
+        out.extend_from_slice(&self.mask.packed_bytes());
         if self.f16 {
             for &v in &self.values {
                 out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
@@ -170,9 +173,9 @@ impl MaskedPayload {
             )));
         }
         let f16 = flags & 1 != 0;
-        let mask = unpack_mask(c.take(mask_bytes(total))?, total)
+        let mask = FreezeMask::from_packed(c.take(mask_bytes(total))?, total)
             .ok_or_else(|| WireError::Corrupt("bitmap has set trailing bits".to_owned()))?;
-        let unfrozen = mask.iter().filter(|&&m| !m).count();
+        let unfrozen = mask.unfrozen_count();
         let values = if f16 {
             c.take(unfrozen * 2)?
                 .chunks_exact(2)
@@ -552,7 +555,8 @@ mod tests {
 
     #[test]
     fn masked_frames_roundtrip_and_match_accounting() {
-        let mask = vec![true, false, false, true, false, true, true, false, false];
+        let mask =
+            FreezeMask::from_bools(&[true, false, false, true, false, true, true, false, false]);
         let payload = MaskedPayload::new(mask, vec![0.5, -1.0, 2.0, 3.5, -0.25], false).unwrap();
         assert_eq!(payload.encoded_len(), 5 + 2 + 5 * 4);
         let f = Frame::Push {
@@ -575,7 +579,7 @@ mod tests {
         };
         let f = Frame::Pull {
             round: 12,
-            payload: MaskedPayload::new(vec![false; 4], vec![0.0; 4], false).unwrap(),
+            payload: MaskedPayload::new(FreezeMask::all_unfrozen(4), vec![0.0; 4], false).unwrap(),
             ctx,
         };
         match roundtrip(&f) {
@@ -603,7 +607,11 @@ mod tests {
     #[test]
     fn payload_rejects_count_mismatch() {
         assert!(matches!(
-            MaskedPayload::new(vec![false, true], vec![1.0, 2.0], false),
+            MaskedPayload::new(
+                FreezeMask::from_bools(&[false, true]),
+                vec![1.0, 2.0],
+                false
+            ),
             Err(WireError::Corrupt(_))
         ));
     }

@@ -23,8 +23,8 @@ fn ctx_from(run_id: u64, client: u32, link: u64) -> TraceContext {
 
 /// Builds a random-but-valid masked payload from raw generator output.
 fn payload_from(mask_bits: &[u8], raw_values: &[f32], f16: bool) -> MaskedPayload {
-    let mask: Vec<bool> = mask_bits.iter().map(|&b| b & 1 == 1).collect();
-    let unfrozen = mask.iter().filter(|&&m| !m).count();
+    let mask = apf::FreezeMask::from_fn(mask_bits.len(), |j| mask_bits[j] & 1 == 1);
+    let unfrozen = mask.unfrozen_count();
     let mut values: Vec<f32> = raw_values.iter().cycle().take(unfrozen).copied().collect();
     if f16 {
         // Pre-narrow so wire narrowing is lossless and round-trips compare

@@ -6,6 +6,8 @@
 //! concatenation order once, so per-tensor names can be mapped back onto
 //! ranges of the flat vector (used by the Fig. 3 per-layer analysis).
 
+use apf::FreezeMask;
+
 /// One named parameter tensor inside the flat concatenation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamSpec {
@@ -72,6 +74,21 @@ impl FlatSpec {
         }
         mask
     }
+
+    /// The bit-packed freeze mask optimizers consume: buffer scalars
+    /// (batch-norm running statistics) frozen, everything else unfrozen —
+    /// the packed complement of [`FlatSpec::trainable_mask`].
+    pub fn freeze_mask(&self) -> FreezeMask {
+        let mut mask = FreezeMask::all_frozen(self.total);
+        for p in &self.params {
+            if p.trainable {
+                for j in p.offset..p.offset + p.len {
+                    mask.set(j, false);
+                }
+            }
+        }
+        mask
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +116,16 @@ mod tests {
     fn trainable_mask_marks_buffers() {
         let m = spec().trainable_mask();
         assert_eq!(m, vec![true, true, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn freeze_mask_is_packed_complement_of_trainable() {
+        let s = spec();
+        let frozen = s.freeze_mask();
+        let trainable = s.trainable_mask();
+        assert_eq!(frozen.len(), s.total_len());
+        for (j, &t) in trainable.iter().enumerate() {
+            assert_eq!(frozen.is_frozen(j), !t, "scalar {j}");
+        }
     }
 }

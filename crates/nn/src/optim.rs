@@ -9,21 +9,65 @@
 //! update in parallel chunks over the `apf-par` pool; every scalar's update
 //! uses only its own index, making results bitwise identical at any
 //! `APF_PAR_THREADS`.
+//!
+//! Frozen scalars are skipped at *run* granularity: the bit-packed
+//! [`FreezeMask`] is walked word-at-a-time, so an all-frozen 64-bit word
+//! costs one compare and unfrozen stretches run dense inner loops. Because
+//! the per-scalar arithmetic is unchanged and skipped scalars were never
+//! touched by the dense path either, the fast path is bitwise identical to
+//! the per-scalar reference (selectable with `APF_MASKED_STEP=0`).
+
+use apf::FreezeMask;
 
 /// Minimum scalars before an optimizer step is dispatched to the pool.
 const PAR_STEP_MIN: usize = 1 << 15;
 
-/// One chunk of a plain (no-momentum) SGD step.
-fn sgd_chunk_plain(lr: f32, wd: f32, p: &mut [f32], g: &[f32], mask: &[bool]) {
+/// Whether the run-skipping masked step paths are enabled (`APF_MASKED_STEP`,
+/// default on; set `0` to force the per-scalar dense reference). Cached after
+/// the first read: 0 = unknown, 1 = off, 2 = on.
+fn masked_step_enabled() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static MASKED: AtomicU8 = AtomicU8::new(0);
+    match MASKED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = std::env::var("APF_MASKED_STEP").map_or(true, |v| v != "0");
+            MASKED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// One chunk of a plain (no-momentum) SGD step over the global scalar range
+/// `off..off + p.len()`.
+fn sgd_chunk_plain(
+    lr: f32,
+    wd: f32,
+    p: &mut [f32],
+    g: &[f32],
+    frozen: &FreezeMask,
+    off: usize,
+    masked: bool,
+) {
+    if masked {
+        frozen.for_each_unfrozen_run_in(off, off + p.len(), |s, e| {
+            for i in s - off..e - off {
+                p[i] -= lr * (g[i] + wd * p[i]);
+            }
+        });
+        return;
+    }
     for i in 0..p.len() {
-        if !mask[i] {
+        if frozen.is_frozen(off + i) {
             continue;
         }
         p[i] -= lr * (g[i] + wd * p[i]);
     }
 }
 
-/// One chunk of a momentum SGD step.
+/// One chunk of a momentum SGD step over the global range `off..`.
+#[allow(clippy::too_many_arguments)]
 fn sgd_chunk_momentum(
     lr: f32,
     momentum: f32,
@@ -31,10 +75,23 @@ fn sgd_chunk_momentum(
     p: &mut [f32],
     v: &mut [f32],
     g: &[f32],
-    mask: &[bool],
+    frozen: &FreezeMask,
+    off: usize,
+    masked: bool,
 ) {
+    if masked {
+        frozen.for_each_unfrozen_run_in(off, off + p.len(), |s, e| {
+            for i in s - off..e - off {
+                let grad = g[i] + wd * p[i];
+                let vel = momentum * v[i] + grad;
+                v[i] = vel;
+                p[i] -= lr * vel;
+            }
+        });
+        return;
+    }
     for i in 0..p.len() {
-        if !mask[i] {
+        if frozen.is_frozen(off + i) {
             continue;
         }
         let grad = g[i] + wd * p[i];
@@ -44,7 +101,8 @@ fn sgd_chunk_momentum(
     }
 }
 
-/// One chunk of an Adam step (`b1t`/`b2t` are the bias corrections).
+/// One chunk of an Adam step (`b1t`/`b2t` are the bias corrections) over the
+/// global range `off..`.
 #[allow(clippy::too_many_arguments)]
 fn adam_chunk(
     lr: f32,
@@ -56,12 +114,27 @@ fn adam_chunk(
     m: &mut [f32],
     v: &mut [f32],
     g: &[f32],
-    mask: &[bool],
+    frozen: &FreezeMask,
+    off: usize,
+    masked: bool,
 ) {
     let (beta1, beta2) = betas;
     let (b1t, b2t) = corr;
+    if masked {
+        frozen.for_each_unfrozen_run_in(off, off + p.len(), |s, e| {
+            for i in s - off..e - off {
+                let grad = g[i] + wd * p[i];
+                m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                p[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+        return;
+    }
     for i in 0..p.len() {
-        if !mask[i] {
+        if frozen.is_frozen(off + i) {
             continue;
         }
         let grad = g[i] + wd * p[i];
@@ -113,15 +186,17 @@ impl LrSchedule {
 
 /// An optimizer updating a flat parameter vector in place.
 ///
-/// `trainable` marks scalars optimizers may touch; buffer scalars (batch-norm
-/// running statistics) are skipped entirely — no update and no weight decay.
+/// `frozen` marks scalars optimizers must *not* touch — buffer scalars
+/// (batch-norm running statistics) and anything else the caller wants
+/// skipped entirely: no update, no weight decay, no momentum/moment state
+/// change (see [`crate::FlatSpec::freeze_mask`]).
 pub trait Optimizer: Send {
     /// Applies one update step.
     ///
     /// # Panics
-    /// Implementations panic if `params`, `grads` and `trainable` lengths
+    /// Implementations panic if `params`, `grads` and `frozen` lengths
     /// disagree.
-    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]);
+    fn step(&mut self, params: &mut [f32], grads: &[f32], frozen: &FreezeMask);
 
     /// Overrides the current learning rate (used by schedules).
     fn set_lr(&mut self, lr: f32);
@@ -168,13 +243,14 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]) {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], frozen: &FreezeMask) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
-        assert_eq!(params.len(), trainable.len(), "param/mask length mismatch");
+        assert_eq!(params.len(), frozen.len(), "param/mask length mismatch");
         if self.momentum != 0.0 && self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
         let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        let masked = masked_step_enabled();
         let serial = apf_par::threads() <= 1 || params.len() < PAR_STEP_MIN;
         if momentum != 0.0 {
             if serial {
@@ -185,32 +261,38 @@ impl Optimizer for Sgd {
                     params,
                     &mut self.velocity,
                     grads,
-                    trainable,
+                    frozen,
+                    0,
+                    masked,
                 );
                 return;
             }
             let chunk = apf_par::chunk_len(params.len());
             apf_par::scope(|s| {
-                for (((p, v), g), m) in params
+                for (ci, ((p, v), g)) in params
                     .chunks_mut(chunk)
                     .zip(self.velocity.chunks_mut(chunk))
                     .zip(grads.chunks(chunk))
-                    .zip(trainable.chunks(chunk))
+                    .enumerate()
                 {
-                    s.spawn(move || sgd_chunk_momentum(lr, momentum, wd, p, v, g, m));
+                    let off = ci * chunk;
+                    s.spawn(move || {
+                        sgd_chunk_momentum(lr, momentum, wd, p, v, g, frozen, off, masked)
+                    });
                 }
             });
         } else if serial {
-            sgd_chunk_plain(lr, wd, params, grads, trainable);
+            sgd_chunk_plain(lr, wd, params, grads, frozen, 0, masked);
         } else {
             let chunk = apf_par::chunk_len(params.len());
             apf_par::scope(|s| {
-                for ((p, g), m) in params
+                for (ci, (p, g)) in params
                     .chunks_mut(chunk)
                     .zip(grads.chunks(chunk))
-                    .zip(trainable.chunks(chunk))
+                    .enumerate()
                 {
-                    s.spawn(move || sgd_chunk_plain(lr, wd, p, g, m));
+                    let off = ci * chunk;
+                    s.spawn(move || sgd_chunk_plain(lr, wd, p, g, frozen, off, masked));
                 }
             });
         }
@@ -267,9 +349,9 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [f32], grads: &[f32], trainable: &[bool]) {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], frozen: &FreezeMask) {
         assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
-        assert_eq!(params.len(), trainable.len(), "param/mask length mismatch");
+        assert_eq!(params.len(), frozen.len(), "param/mask length mismatch");
         if self.m.len() != params.len() {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];
@@ -286,6 +368,7 @@ impl Optimizer for Adam {
             self.eps,
             self.weight_decay,
         );
+        let masked = masked_step_enabled();
         if apf_par::threads() <= 1 || params.len() < PAR_STEP_MIN {
             adam_chunk(
                 lr,
@@ -297,20 +380,25 @@ impl Optimizer for Adam {
                 &mut self.m,
                 &mut self.v,
                 grads,
-                trainable,
+                frozen,
+                0,
+                masked,
             );
             return;
         }
         let chunk = apf_par::chunk_len(params.len());
         apf_par::scope(|s| {
-            for ((((p, m), v), g), mask) in params
+            for (ci, (((p, m), v), g)) in params
                 .chunks_mut(chunk)
                 .zip(self.m.chunks_mut(chunk))
                 .zip(self.v.chunks_mut(chunk))
                 .zip(grads.chunks(chunk))
-                .zip(trainable.chunks(chunk))
+                .enumerate()
             {
-                s.spawn(move || adam_chunk(lr, betas, eps, wd, corr, p, m, v, g, mask));
+                let off = ci * chunk;
+                s.spawn(move || {
+                    adam_chunk(lr, betas, eps, wd, corr, p, m, v, g, frozen, off, masked)
+                });
             }
         });
     }
@@ -334,6 +422,10 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
 
+    fn none_frozen(n: usize) -> FreezeMask {
+        FreezeMask::all_unfrozen(n)
+    }
+
     #[test]
     fn sgd_descends_quadratic() {
         // f(x) = x^2, grad = 2x.
@@ -341,7 +433,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             let g = vec![2.0 * x[0]];
-            opt.step(&mut x, &g, &[true]);
+            opt.step(&mut x, &g, &none_frozen(1));
         }
         assert!(x[0].abs() < 1e-3, "x = {}", x[0]);
     }
@@ -353,7 +445,7 @@ mod tests {
             let mut opt = Sgd::new(0.01).with_momentum(momentum);
             for _ in 0..50 {
                 let g = vec![2.0 * x[0]];
-                opt.step(&mut x, &g, &[true]);
+                opt.step(&mut x, &g, &none_frozen(1));
             }
             x[0]
         };
@@ -364,15 +456,15 @@ mod tests {
     fn weight_decay_shrinks_params_with_zero_grad() {
         let mut x = vec![1.0f32];
         let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
-        opt.step(&mut x, &[0.0], &[true]);
+        opt.step(&mut x, &[0.0], &none_frozen(1));
         assert!((x[0] - 0.95).abs() < 1e-6);
     }
 
     #[test]
-    fn non_trainable_scalars_untouched() {
+    fn frozen_scalars_untouched() {
         let mut x = vec![1.0f32, 1.0];
         let g = vec![1.0f32, 1.0];
-        let mask = vec![true, false];
+        let mask = FreezeMask::from_fn(2, |j| j == 1);
         let mut sgd = Sgd::new(0.1).with_weight_decay(0.1);
         sgd.step(&mut x, &g, &mask);
         assert_ne!(x[0], 1.0);
@@ -390,7 +482,7 @@ mod tests {
         let mut opt = Adam::new(0.1);
         for _ in 0..300 {
             let g = vec![2.0 * x[0]];
-            opt.step(&mut x, &g, &[true]);
+            opt.step(&mut x, &g, &none_frozen(1));
         }
         assert!(x[0].abs() < 1e-2, "x = {}", x[0]);
     }
@@ -401,7 +493,7 @@ mod tests {
         // gradient magnitude.
         let mut x = vec![0.0f32];
         let mut opt = Adam::new(0.05);
-        opt.step(&mut x, &[1e-4], &[true]);
+        opt.step(&mut x, &[1e-4], &none_frozen(1));
         assert!((x[0].abs() - 0.05).abs() < 1e-3, "step {}", x[0]);
     }
 
@@ -430,7 +522,7 @@ mod tests {
         let n = PAR_STEP_MIN + 100;
         let params: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.013).sin()).collect();
         let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.031).cos()).collect();
-        let mask: Vec<bool> = (0..n).map(|i| i % 17 != 0).collect();
+        let mask = FreezeMask::from_fn(n, |i| i % 17 == 0);
         let run = |t: usize| {
             apf_par::with_threads(t, || {
                 let mut sp = params.clone();
@@ -453,16 +545,89 @@ mod tests {
     }
 
     #[test]
+    fn run_skipping_matches_per_scalar_reference() {
+        // The run-based fast path against the dense chunk functions forced
+        // into per-scalar mode — exact equality, mixed/all-frozen words
+        // included (scalars 64..128 form an all-frozen word).
+        let n = 300;
+        let params: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.017).sin()).collect();
+        let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.029).cos()).collect();
+        let mask = FreezeMask::from_fn(n, |i| (64..128).contains(&i) || i % 5 == 0);
+        let mut fast = params.clone();
+        let mut fast_v = vec![0.0f32; n];
+        sgd_chunk_momentum(
+            0.05,
+            0.9,
+            0.01,
+            &mut fast,
+            &mut fast_v,
+            &grads,
+            &mask,
+            0,
+            true,
+        );
+        let mut dense = params.clone();
+        let mut dense_v = vec![0.0f32; n];
+        sgd_chunk_momentum(
+            0.05,
+            0.9,
+            0.01,
+            &mut dense,
+            &mut dense_v,
+            &grads,
+            &mask,
+            0,
+            false,
+        );
+        assert_eq!(fast, dense);
+        assert_eq!(fast_v, dense_v);
+        let corr = (1.0 - 0.9f32, 1.0 - 0.999f32);
+        let (mut fa, mut fm, mut fv) = (params.clone(), vec![0.0f32; n], vec![0.0f32; n]);
+        adam_chunk(
+            0.05,
+            (0.9, 0.999),
+            1e-8,
+            0.01,
+            corr,
+            &mut fa,
+            &mut fm,
+            &mut fv,
+            &grads,
+            &mask,
+            0,
+            true,
+        );
+        let (mut da, mut dm, mut dv) = (params.clone(), vec![0.0f32; n], vec![0.0f32; n]);
+        adam_chunk(
+            0.05,
+            (0.9, 0.999),
+            1e-8,
+            0.01,
+            corr,
+            &mut da,
+            &mut dm,
+            &mut dv,
+            &grads,
+            &mask,
+            0,
+            false,
+        );
+        assert_eq!(fa, da);
+        assert_eq!(fm, dm);
+        assert_eq!(fv, dv);
+    }
+
+    #[test]
     fn reset_state_clears_momentum() {
         let mut opt = Sgd::new(0.1).with_momentum(0.9);
         let mut x = vec![1.0f32];
-        opt.step(&mut x, &[1.0], &[true]);
+        opt.step(&mut x, &[1.0], &none_frozen(1));
         opt.reset_state();
         let mut y = vec![1.0f32];
         let mut fresh = Sgd::new(0.1).with_momentum(0.9);
-        fresh.step(&mut y, &[1.0], &[true]);
+        fresh.step(&mut y, &[1.0], &none_frozen(1));
         let mut x2 = vec![1.0f32];
-        opt.step(&mut x2, &[1.0], &[true]);
+        opt.step(&mut x2, &[1.0], &none_frozen(1));
         assert_eq!(x2, y);
     }
 }

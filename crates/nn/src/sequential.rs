@@ -97,6 +97,25 @@ impl Sequential {
         FlatSpec::from_entries(entries)
     }
 
+    /// Filter-granular segment lengths covering the flat parameter vector:
+    /// one segment per output filter / row for tensors with ≥2 dims, one
+    /// segment per whole tensor otherwise (biases, buffers). Segment lengths
+    /// sum to [`Sequential::param_count`], in concatenation order — the
+    /// layout `apf` expects for filter-granular freezing.
+    pub fn filter_segments(&mut self) -> Vec<usize> {
+        let mut segs = Vec::new();
+        self.visit_params(&mut |_, _, v, _| {
+            let shape = v.shape();
+            if shape.len() >= 2 && shape[0] > 0 {
+                let per = v.numel() / shape[0];
+                segs.extend(std::iter::repeat_n(per, shape[0]));
+            } else if v.numel() > 0 {
+                segs.push(v.numel());
+            }
+        });
+        segs
+    }
+
     /// Total number of parameter scalars (including buffers).
     ///
     /// Requires `&mut self` because parameter traversal is defined on mutable

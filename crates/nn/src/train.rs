@@ -1,6 +1,7 @@
 //! Local training driver: one SGD/Adam step per batch, with optional FedProx
 //! proximal term, plus evaluation helpers.
 
+use apf::FreezeMask;
 use apf_tensor::Tensor;
 use apf_trace::{span, Level};
 
@@ -11,8 +12,8 @@ use crate::sequential::Sequential;
 
 /// Performs one training step on `model` with the given optimizer.
 ///
-/// Returns the batch loss. `trainable` is the per-scalar trainability mask
-/// (see [`crate::FlatSpec::trainable_mask`]); `prox` optionally adds the
+/// Returns the batch loss. `frozen` is the bit-packed per-scalar freeze mask
+/// (see [`crate::FlatSpec::freeze_mask`]); `prox` optionally adds the
 /// FedProx proximal gradient `mu * (x - anchor)` (Li et al., MLSys 2020,
 /// used in §7.7 of the paper).
 ///
@@ -23,7 +24,7 @@ pub fn train_batch(
     optimizer: &mut dyn Optimizer,
     x: &Tensor,
     labels: &[usize],
-    trainable: &[bool],
+    frozen: &FreezeMask,
     prox: Option<(f32, &[f32])>,
 ) -> f32 {
     model.zero_grads();
@@ -42,18 +43,19 @@ pub fn train_batch(
     let mut grads = model.flat_grads();
     if let Some((mu, anchor)) = prox {
         assert_eq!(anchor.len(), params.len(), "prox anchor length mismatch");
-        // Elementwise, so chunking over the pool cannot change any value.
+        // Elementwise, so chunking over the pool cannot change any value;
+        // the run iterator skips whole frozen words.
         let chunk = apf_par::chunk_len(grads.len());
         apf_par::par_chunks_mut(&mut grads, chunk, |ci, g| {
             let off = ci * chunk;
-            for (i, gv) in g.iter_mut().enumerate() {
-                if trainable[off + i] {
-                    *gv += mu * (params[off + i] - anchor[off + i]);
+            frozen.for_each_unfrozen_run_in(off, off + g.len(), |s, e| {
+                for i in s..e {
+                    g[i - off] += mu * (params[i] - anchor[i]);
                 }
-            }
+            });
         });
     }
-    optimizer.step(&mut params, &grads, trainable);
+    optimizer.step(&mut params, &grads, frozen);
     model.load_flat(&params);
     apf_tensor::scratch::give(params);
     apf_tensor::scratch::give(grads);
@@ -96,7 +98,7 @@ pub struct Trainer {
     model: Sequential,
     optimizer: Box<dyn Optimizer>,
     schedule: LrSchedule,
-    trainable: Vec<bool>,
+    frozen: FreezeMask,
     step: usize,
     prox: Option<(f32, Vec<f32>)>,
 }
@@ -113,12 +115,12 @@ impl std::fmt::Debug for Trainer {
 impl Trainer {
     /// Wraps a model with an optimizer and learning-rate schedule.
     pub fn new(mut model: Sequential, optimizer: Box<dyn Optimizer>, schedule: LrSchedule) -> Self {
-        let trainable = model.flat_spec().trainable_mask();
+        let frozen = model.flat_spec().freeze_mask();
         Trainer {
             model,
             optimizer,
             schedule,
-            trainable,
+            frozen,
             step: 0,
             prox: None,
         }
@@ -139,9 +141,10 @@ impl Trainer {
         self.step
     }
 
-    /// The per-scalar trainability mask.
-    pub fn trainable_mask(&self) -> &[bool] {
-        &self.trainable
+    /// The bit-packed per-scalar freeze mask the optimizer skips (buffer
+    /// scalars such as batch-norm running statistics).
+    pub fn freeze_mask(&self) -> &FreezeMask {
+        &self.frozen
     }
 
     /// Enables the FedProx proximal term anchored at `anchor`.
@@ -164,7 +167,7 @@ impl Trainer {
             self.optimizer.as_mut(),
             x,
             labels,
-            &self.trainable,
+            &self.frozen,
             prox,
         );
         self.step += 1;

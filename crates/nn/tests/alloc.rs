@@ -5,6 +5,7 @@
 //! Runs under `with_threads(1)` so every kernel executes on the test thread
 //! and the pool counters observed here cover all hot-path traffic.
 
+use apf::FreezeMask;
 use apf_nn::models::lenet5;
 use apf_nn::{evaluate, train_batch, Sgd};
 use apf_tensor::{scratch, seeded_rng, uniform_init, Tensor};
@@ -22,15 +23,15 @@ fn training_steady_state_allocates_no_tensor_buffers() {
         scratch::clear();
         let mut model = lenet5(3);
         let mut opt = Sgd::new(0.01).with_momentum(0.9);
-        let trainable = vec![true; model.param_count()];
+        let frozen = FreezeMask::all_unfrozen(model.param_count());
         let (x, labels) = batch(8);
         // Warm-up: populate layer caches, optimizer state, and the pool.
         for _ in 0..3 {
-            train_batch(&mut model, &mut opt, &x, &labels, &trainable, None);
+            train_batch(&mut model, &mut opt, &x, &labels, &frozen, None);
         }
         scratch::reset_stats();
         for _ in 0..5 {
-            train_batch(&mut model, &mut opt, &x, &labels, &trainable, None);
+            train_batch(&mut model, &mut opt, &x, &labels, &frozen, None);
         }
         let s = scratch::stats();
         assert!(s.takes > 0, "scratch pool unused — instrumentation broken?");

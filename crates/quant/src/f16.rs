@@ -84,9 +84,27 @@ pub fn f16_decode(wire: &[u16]) -> Vec<f32> {
     wire.iter().map(|&h| f16_bits_to_f32(h)).collect()
 }
 
+/// Round-trips `xs` through binary16 in place — the value projection a
+/// binary16 wire hop applies, without materializing the intermediate `u16`
+/// buffer. Bitwise equal to `f16_decode(&f16_encode(xs))`.
+pub fn f16_roundtrip_in_place(xs: &mut [f32]) {
+    for x in xs {
+        *x = f16_bits_to_f32(f32_to_f16_bits(*x));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn in_place_roundtrip_matches_encode_decode() {
+        let xs: Vec<f32> = (0..257).map(|i| ((i as f32) * 0.37 - 40.0).tan()).collect();
+        let expected = f16_decode(&f16_encode(&xs));
+        let mut got = xs;
+        f16_roundtrip_in_place(&mut got);
+        assert_eq!(got, expected);
+    }
 
     #[test]
     fn exact_values_roundtrip() {

@@ -122,8 +122,9 @@ fn microkernel_generic(a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; M
 }
 
 /// Returns whether the AVX kernel should be used, detecting once.
+/// Shared with the freeze-mask kernels in `masked.rs`.
 #[cfg(target_arch = "x86_64")]
-fn use_avx() -> bool {
+pub(crate) fn use_avx() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static AVX: AtomicU8 = AtomicU8::new(0); // 0 = unknown, 1 = no, 2 = yes
     match AVX.load(Ordering::Relaxed) {

@@ -26,6 +26,7 @@
 mod conv;
 mod gemm;
 mod init;
+mod masked;
 mod rng;
 pub mod scratch;
 mod stats;
@@ -37,6 +38,7 @@ pub use conv::{
     Conv2dGrads, ConvSpec, PoolSpec,
 };
 pub use init::{kaiming_uniform, normal_init, sample_normal, uniform_init, xavier_uniform};
+pub use masked::{mask_copy, mask_fill, mask_scatter, mask_select, masked_axpy, masked_div};
 pub use rng::{derive_seed, seeded_rng, splitmix64, Rng, Sample, SampleRange, SliceRandom};
 pub use scratch::ScratchStats;
 pub use stats::{l1_norm, l2_norm, mean, percentile, variance};

@@ -1,0 +1,463 @@
+//! Freeze-mask kernels: select, fill, scatter, copy, axpy, and scale over
+//! bit-packed freeze masks.
+//!
+//! APF freezes most scalars most of the time, so every dense pass over the
+//! flat parameter vector wastes work proportional to the frozen fraction.
+//! These kernels take the mask as packed 64-bit words (bit `j % 64` of word
+//! `j / 64` set = scalar `j` frozen, the `apf-core` `FreezeMask` layout) and
+//! work **word-at-a-time**: an all-frozen word is skipped with one compare,
+//! an all-unfrozen word runs a full-width SIMD block, and mixed words are
+//! decomposed into bit runs with `trailing_zeros`/`trailing_ones` — cost
+//! scales with `len / 64` plus the unfrozen work, never with the frozen
+//! scalar count.
+//!
+//! # Determinism
+//!
+//! Same contract as `gemm.rs`: the x86-64 paths (runtime AVX/SSE2 dispatch,
+//! scalar fallback elsewhere) use only per-lane `mul`/`add`/`div` — every
+//! lane performs exactly the scalar op sequence on its own index, so results
+//! are bitwise identical to the portable reference at any lane width and on
+//! any host. Frozen lanes are never read or written by the arithmetic
+//! kernels, so `NaN`/`inf` garbage in frozen slots cannot leak.
+
+/// Calls `f(start, end)` for each maximal run of **set** bits in `bits`
+/// (relative bit indices within one word).
+#[inline]
+fn for_each_one_run(mut bits: u64, mut f: impl FnMut(usize, usize)) {
+    while bits != 0 {
+        let s = bits.trailing_zeros() as usize;
+        let run = (bits >> s).trailing_ones() as usize;
+        f(s, s + run);
+        // Adding 1 << s carries through the lowest run and clears it.
+        bits &= bits.wrapping_add(1u64 << s);
+    }
+}
+
+/// The valid-bit mask for a word covering `nbits` scalars (`1..=64`).
+#[inline]
+fn word_limit_mask(nbits: usize) -> u64 {
+    debug_assert!(0 < nbits && nbits <= 64);
+    if nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+/// Drives a kernel over `len` scalars word-at-a-time, calling
+/// `f(run_start, run_end)` for each maximal run of *active* scalars.
+/// Inactive words cost one compare, fully-active words yield one whole-word
+/// run (merged with the neighbors' runs only at word granularity, which is
+/// enough for block kernels). Active means unfrozen, or frozen when
+/// `invert` is set (the [`mask_fill`] direction).
+#[inline]
+fn drive(len: usize, words: &[u64], invert: bool, mut f: impl FnMut(usize, usize)) {
+    assert!(
+        words.len() >= len.div_ceil(64),
+        "mask words too short: {} words for {len} scalars",
+        words.len()
+    );
+    for (w, &word) in words.iter().enumerate() {
+        let base = w * 64;
+        if base >= len {
+            break;
+        }
+        let limit = (base + 64).min(len);
+        let valid = word_limit_mask(limit - base);
+        let active = if invert { word } else { !word } & valid;
+        if active == 0 {
+            continue;
+        }
+        if active == valid {
+            f(base, limit);
+        } else {
+            for_each_one_run(active, |s, e| f(base + s, base + e));
+        }
+    }
+}
+
+/// Appends the **unfrozen** scalars of `src` to `out`, in index order.
+/// This is the compact-upload gather: no dense boolean pass, no per-scalar
+/// branch.
+pub fn mask_select(src: &[f32], words: &[u64], out: &mut Vec<f32>) {
+    drive(src.len(), words, false, |s, e| {
+        out.extend_from_slice(&src[s..e]);
+    });
+}
+
+/// Scatters compact `values` into the **unfrozen** slots of `dst` in index
+/// order (the inverse of [`mask_select`]); frozen slots are untouched.
+///
+/// # Panics
+/// Panics if `values` does not hold exactly one value per unfrozen slot.
+pub fn mask_scatter(dst: &mut [f32], values: &[f32], words: &[u64]) {
+    let mut cursor = 0;
+    drive(dst.len(), words, false, |s, e| {
+        let n = e - s;
+        let chunk = values
+            .get(cursor..cursor + n)
+            .expect("scatter value count mismatch");
+        dst[s..e].copy_from_slice(chunk);
+        cursor += n;
+    });
+    assert_eq!(cursor, values.len(), "scatter value count mismatch");
+}
+
+/// Overwrites the **frozen** slots of `dst` from the dense `src` — the
+/// rollback kernel: `dst` is the live parameters, `src` the pinned values.
+///
+/// # Panics
+/// Panics if `dst` and `src` lengths disagree.
+pub fn mask_fill(dst: &mut [f32], src: &[f32], words: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "fill length mismatch");
+    drive(dst.len(), words, true, |s, e| {
+        copy_block(&mut dst[s..e], &src[s..e]);
+    });
+}
+
+/// Overwrites the **unfrozen** slots of `dst` from the dense `src` — the
+/// aggregate-application / partial-sync write-back kernel.
+///
+/// # Panics
+/// Panics if `dst` and `src` lengths disagree.
+pub fn mask_copy(dst: &mut [f32], src: &[f32], words: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "copy length mismatch");
+    drive(dst.len(), words, false, |s, e| {
+        copy_block(&mut dst[s..e], &src[s..e]);
+    });
+}
+
+/// `y[j] += a * x[j]` for every **unfrozen** `j` — the sparse-aggregation
+/// accumulator (weighted sums over client uploads without compacting first).
+///
+/// # Panics
+/// Panics if `y` and `x` lengths disagree.
+pub fn masked_axpy(y: &mut [f32], x: &[f32], a: f32, words: &[u64]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    drive(y.len(), words, false, |s, e| {
+        axpy_block(&mut y[s..e], &x[s..e], a);
+    });
+}
+
+/// `y[j] /= d` for every **unfrozen** `j` — the weighted-mean normalizer.
+/// Division (not multiplication by a reciprocal) to stay bitwise identical
+/// to the scalar reference.
+pub fn masked_div(y: &mut [f32], d: f32, words: &[u64]) {
+    drive(y.len(), words, false, |s, e| {
+        div_block(&mut y[s..e], d);
+    });
+}
+
+/// Dense block copy, runtime-dispatched like the GEMM microkernel.
+#[inline]
+fn copy_block(dst: &mut [f32], src: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::gemm::use_avx() {
+            // SAFETY: gated on runtime AVX detection.
+            unsafe { x86::copy_avx(dst, src) };
+        } else {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            unsafe { x86::copy_sse2(dst, src) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dst.copy_from_slice(src);
+}
+
+/// Dense `y += a * x` block; per-lane `mul` + `add`, never FMA.
+#[inline]
+fn axpy_block(y: &mut [f32], x: &[f32], a: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::gemm::use_avx() {
+            // SAFETY: gated on runtime AVX detection.
+            unsafe { x86::axpy_avx(y, x, a) };
+        } else {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            unsafe { x86::axpy_sse2(y, x, a) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    axpy_generic(y, x, a);
+}
+
+/// Dense `y /= d` block; per-lane IEEE division.
+#[inline]
+fn div_block(y: &mut [f32], d: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::gemm::use_avx() {
+            // SAFETY: gated on runtime AVX detection.
+            unsafe { x86::div_avx(y, d) };
+        } else {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            unsafe { x86::div_sse2(y, d) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    div_generic(y, d);
+}
+
+/// Portable axpy; the semantic definition the SIMD paths match bitwise.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn axpy_generic(y: &mut [f32], x: &[f32], a: f32) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// Portable divide; the semantic definition the SIMD paths match bitwise.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn div_generic(y: &mut [f32], d: f32) {
+    for yv in y.iter_mut() {
+        *yv /= d;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Explicit-SIMD block kernels. Per-lane `mul`/`add`/`div` only — each
+    //! lane computes the exact scalar op sequence, so lane width cannot
+    //! change results; scalar tails reuse the same expressions.
+
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX; slices must be equal length.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn copy_avx(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(
+                dst.as_mut_ptr().add(i),
+                _mm256_loadu_ps(src.as_ptr().add(i)),
+            );
+            i += 8;
+        }
+        dst[i..].copy_from_slice(&src[i..]);
+    }
+
+    /// # Safety
+    /// SSE2 is unconditionally available on x86-64; slices equal length.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn copy_sse2(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm_storeu_ps(dst.as_mut_ptr().add(i), _mm_loadu_ps(src.as_ptr().add(i)));
+            i += 4;
+        }
+        dst[i..].copy_from_slice(&src[i..]);
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX; slices must be equal length.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn axpy_avx(y: &mut [f32], x: &[f32], a: f32) {
+        let n = y.len();
+        let av = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(i),
+                _mm256_add_ps(yv, _mm256_mul_ps(av, xv)),
+            );
+            i += 8;
+        }
+        for j in i..n {
+            y[j] += a * x[j];
+        }
+    }
+
+    /// # Safety
+    /// SSE2 is unconditionally available on x86-64; slices equal length.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn axpy_sse2(y: &mut [f32], x: &[f32], a: f32) {
+        let n = y.len();
+        let av = _mm_set1_ps(a);
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm_loadu_ps(y.as_ptr().add(i));
+            let xv = _mm_loadu_ps(x.as_ptr().add(i));
+            _mm_storeu_ps(y.as_mut_ptr().add(i), _mm_add_ps(yv, _mm_mul_ps(av, xv)));
+            i += 4;
+        }
+        for j in i..n {
+            y[j] += a * x[j];
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn div_avx(y: &mut [f32], d: f32) {
+        let n = y.len();
+        let dv = _mm256_set1_ps(d);
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_div_ps(yv, dv));
+            i += 8;
+        }
+        for yv in &mut y[i..] {
+            *yv /= d;
+        }
+    }
+
+    /// # Safety
+    /// SSE2 is unconditionally available on x86-64.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn div_sse2(y: &mut [f32], d: f32) {
+        let n = y.len();
+        let dv = _mm_set1_ps(d);
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm_loadu_ps(y.as_ptr().add(i));
+            _mm_storeu_ps(y.as_mut_ptr().add(i), _mm_div_ps(yv, dv));
+            i += 4;
+        }
+        for yv in &mut y[i..] {
+            *yv /= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packs a boolean frozen mask into words (the `FreezeMask` layout).
+    fn pack_words(frozen: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; frozen.len().div_ceil(64)];
+        for (j, &f) in frozen.iter().enumerate() {
+            if f {
+                words[j / 64] |= 1 << (j % 64);
+            }
+        }
+        words
+    }
+
+    fn pseudo(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as f32 + seed as f32) * 0.173).sin())
+            .collect()
+    }
+
+    /// Masks exercising every word class: none frozen, all frozen, whole
+    /// frozen/unfrozen words, runs crossing word boundaries, ragged tails.
+    fn mask_cases(n: usize) -> Vec<Vec<bool>> {
+        vec![
+            vec![false; n],
+            vec![true; n],
+            (0..n).map(|j| j % 3 == 0).collect(),
+            (0..n).map(|j| (j / 64) % 2 == 0).collect(),
+            (0..n).map(|j| !(60..70).contains(&(j % 150))).collect(),
+        ]
+    }
+
+    #[test]
+    fn select_and_scatter_roundtrip_match_reference() {
+        for n in [0usize, 1, 64, 65, 200, 333] {
+            let src = pseudo(n, 1);
+            for frozen in mask_cases(n) {
+                let words = pack_words(&frozen);
+                let mut got = Vec::new();
+                mask_select(&src, &words, &mut got);
+                let want: Vec<f32> = (0..n).filter(|&j| !frozen[j]).map(|j| src[j]).collect();
+                assert_eq!(got, want, "select n={n}");
+                let mut dst = pseudo(n, 2);
+                let before = dst.clone();
+                mask_scatter(&mut dst, &got, &words);
+                for j in 0..n {
+                    let want = if frozen[j] { before[j] } else { src[j] };
+                    assert_eq!(dst[j].to_bits(), want.to_bits(), "scatter n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_and_copy_match_reference() {
+        for n in [0usize, 1, 63, 64, 65, 257] {
+            let src = pseudo(n, 3);
+            for frozen in mask_cases(n) {
+                let words = pack_words(&frozen);
+                let mut filled = pseudo(n, 4);
+                let orig = filled.clone();
+                mask_fill(&mut filled, &src, &words);
+                let mut copied = orig.clone();
+                mask_copy(&mut copied, &src, &words);
+                for j in 0..n {
+                    let (wf, wc) = if frozen[j] {
+                        (src[j], orig[j])
+                    } else {
+                        (orig[j], src[j])
+                    };
+                    assert_eq!(filled[j].to_bits(), wf.to_bits(), "fill n={n} j={j}");
+                    assert_eq!(copied[j].to_bits(), wc.to_bits(), "copy n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_div_are_bitwise_scalar() {
+        for n in [0usize, 1, 64, 100, 321] {
+            let x = pseudo(n, 5);
+            for frozen in mask_cases(n) {
+                let words = pack_words(&frozen);
+                let mut y = pseudo(n, 6);
+                let mut want = y.clone();
+                masked_axpy(&mut y, &x, 0.37, &words);
+                masked_div(&mut y, 3.0, &words);
+                for j in 0..n {
+                    if !frozen[j] {
+                        want[j] += 0.37 * x[j];
+                        want[j] /= 3.0;
+                    }
+                }
+                for j in 0..n {
+                    assert_eq!(y[j].to_bits(), want[j].to_bits(), "n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_garbage_does_not_leak() {
+        // NaN in frozen slots of x must not propagate into y.
+        let frozen = [true, false, true, false];
+        let words = pack_words(&frozen);
+        let x = [f32::NAN, 1.0, f32::INFINITY, 2.0];
+        let mut y = [1.0f32, 1.0, 1.0, 1.0];
+        masked_axpy(&mut y, &x, 2.0, &words);
+        assert_eq!(y, [1.0, 3.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter value count mismatch")]
+    fn scatter_rejects_wrong_value_count() {
+        let words = pack_words(&[false, false]);
+        mask_scatter(&mut [0.0, 0.0], &[1.0], &words);
+    }
+
+    #[test]
+    fn one_run_decomposition_is_exact() {
+        for bits in [0u64, 1, u64::MAX, 0b1011_0111, 1 << 63, (1 << 63) | 1] {
+            let mut got = [false; 64];
+            for_each_one_run(bits, |s, e| {
+                for slot in got.iter_mut().take(e).skip(s) {
+                    assert!(!*slot, "overlap");
+                    *slot = true;
+                }
+            });
+            for (j, &g) in got.iter().enumerate() {
+                assert_eq!(g, bits >> j & 1 == 1, "bits={bits:#x} j={j}");
+            }
+        }
+    }
+}

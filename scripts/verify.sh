@@ -144,6 +144,24 @@ if [ "$fault_rounds" -ne "$sim_rounds" ]; then
 fi
 echo "OK: server completed all $fault_rounds rounds despite a mid-round client loss"
 
+echo "== masked fast paths vs dense reference (APF_MASKED_STEP) =="
+# The skip-frozen optimizer steps and sparse aggregation are on by default
+# (and therefore already covered by every stage above). Flip them OFF and
+# re-check the two strongest end-to-end fixtures against the same goldens:
+# the committed trajectories must be bitwise identical either way, proving
+# the masked kernels change wall time only, never arithmetic.
+APF_MASKED_STEP=0 APF_PAR_THREADS=1 cargo test -q --offline \
+  -p apf --test golden_trajectory
+APF_MASKED_STEP=0 APF_PAR_THREADS=1 cargo test -q --offline \
+  -p apf-fedsim --test thread_determinism
+APF_MASKED_STEP=0 timeout 120 "$server" --sim \
+  --trajectory-out "$net_dir/dense.traj"
+if ! diff <(grep -v '^#' "$net_dir/sim.traj") <(grep -v '^#' "$net_dir/dense.traj"); then
+  echo "dense-reference run diverges from the masked fast-path baseline" >&2
+  exit 1
+fi
+echo "OK: dense reference reproduces the masked-path trajectory bit for bit"
+
 echo "== zero-alloc steady state (scratch pool, APF_PAR_THREADS=1) =="
 # The GEMM/conv training hot path must be fully served by the scratch pool
 # after warm-up: the alloc tests assert zero buffer allocations per step.
