@@ -33,9 +33,20 @@
 //! APF_BENCH_QUICK=1 cargo run --release --bin bench-kernels
 //! bench-kernels --out /tmp/candidate.json            # alternate output
 //! bench-kernels --no-ledger                          # skip the ledger
+//! bench-kernels --prof-file /tmp/bench.folded        # profile the run
 //! ```
+//!
+//! `--prof-file` samples the whole bench with `apf-prof` and writes folded
+//! flamegraph stacks there on exit (the CLI twin of
+//! `APF_PROF=1 APF_PROF_FILE=...`; `APF_PROF=alloc` additionally attributes
+//! allocations to spans — this binary installs the attributing allocator).
 
 use std::time::Instant;
+
+/// Allocation-site attribution capability (inert one-load passthrough
+/// unless `APF_PROF=alloc` turns attribution on).
+#[global_allocator]
+static ALLOC: apf_prof::alloc::ProfAlloc = apf_prof::alloc::ProfAlloc;
 
 use apf::FreezeMask;
 use apf_bench::harness::{black_box, BenchGroup};
@@ -269,6 +280,9 @@ fn json_escape_free(
     out.push_str(
         "  \"note\": \"GFLOP/s medians and mean round wall time per APF_PAR_THREADS; rows with threads > host_parallelism carry reliable=false and are skipped by regression checks\",\n",
     );
+    out.push_str(
+        "  \"caveat\": \"on a 1-core host only the threads=1 row is reliable: the t2/t4 rows time thread churn, not speedup, and every consumer (regression checks, the ledger record, reports) must hard-skip reliable=false rows\",\n",
+    );
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -323,7 +337,9 @@ fn ledger_record(
         host_parallelism: host_parallelism as u64,
         ..LedgerRecord::default()
     };
-    for r in results {
+    // Unreliable rows (threads > host parallelism) are noise; keeping them
+    // out of the ledger means downstream diffs never regress on them.
+    for r in results.iter().filter(|r| r.reliable) {
         let t = r.threads;
         record
             .metrics
@@ -362,6 +378,19 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
     let no_ledger = args.iter().any(|a| a == "--no-ledger");
+    let prof_file = args
+        .iter()
+        .position(|a| a == "--prof-file")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let prof_owned = match &prof_file {
+        Some(path) => apf_prof::start_with(
+            apf_prof::env_interval(),
+            Some(path.clone()),
+            apf_prof::env_wants_alloc(),
+        ),
+        None => apf_prof::init_from_env(),
+    };
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("bench-kernels: host parallelism = {host_parallelism}");
     let t0 = Instant::now();
@@ -415,5 +444,8 @@ fn main() {
             Ok(()) => println!("appended kernel record to {ledger_path}"),
             Err(e) => println!("warning: could not append to {ledger_path}: {e}"),
         }
+    }
+    if prof_owned {
+        let _ = apf_prof::finish();
     }
 }

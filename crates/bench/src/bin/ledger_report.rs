@@ -1,10 +1,10 @@
 //! `ledger-report`: list, diff, and regression-check the run ledger.
 //!
 //! ```text
-//! ledger-report list [--ledger PATH]
+//! ledger-report list [--ledger PATH] [--json]
 //! ledger-report diff <BASE_IDX> <CAND_IDX> [--ledger PATH]
-//! ledger-report check [--ledger PATH]      # or: ledger-report --check
-//! ledger-report bench-diff <BASELINE.json> <CANDIDATE.json>
+//! ledger-report check [--ledger PATH] [--json]   # or: ledger-report --check
+//! ledger-report bench-diff <BASELINE.json> <CANDIDATE.json> [--json]
 //! ```
 //!
 //! `check` takes the newest record as the candidate, finds its baseline
@@ -13,23 +13,98 @@
 //! +5%, wall time +20%; wall time is warn-only across differing hosts).
 //! Exit codes: 0 = clean, 1 = regression, 2 = usage or I/O error.
 //!
+//! `--json` switches `list`, `check`, and `bench-diff` to one
+//! machine-readable JSON document on stdout (same exit codes), for CI
+//! scripts that want findings without scraping tables.
+//!
 //! The default ledger path is `results/ledger.jsonl`.
 
 use std::process::ExitCode;
 
-use apf_bench::regress::{any_failure, check_bench_json, check_records, find_baseline, Tolerances};
+use apf_bench::regress::{
+    any_failure, check_bench_json, check_records, find_baseline, Finding, Severity, Tolerances,
+};
+use apf_fedsim::json::Value;
 use apf_fedsim::{load_ledger, LedgerRecord};
 
 const DEFAULT_LEDGER: &str = "results/ledger.jsonl";
 
 fn usage() -> ExitCode {
     println!(
-        "usage:\n  ledger-report list [--ledger PATH]\n  \
+        "usage:\n  ledger-report list [--ledger PATH] [--json]\n  \
          ledger-report diff <BASE_IDX> <CAND_IDX> [--ledger PATH]\n  \
-         ledger-report check [--ledger PATH]\n  \
-         ledger-report bench-diff <BASELINE.json> <CANDIDATE.json>"
+         ledger-report check [--ledger PATH] [--json]\n  \
+         ledger-report bench-diff <BASELINE.json> <CANDIDATE.json> [--json]"
     );
     ExitCode::from(2)
+}
+
+/// Builds a `Value::Obj` from string keys (the in-tree JSON object is a
+/// `BTreeMap`, so keys render sorted).
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn record_json(r: &LedgerRecord) -> Value {
+    obj(vec![
+        ("name", Value::Str(r.name.clone())),
+        ("model", Value::Str(r.model.clone())),
+        ("strategy", Value::Str(r.strategy.clone())),
+        ("config_digest", Value::Str(r.config_digest.clone())),
+        ("rounds", Value::from_u64(r.rounds)),
+        ("final_accuracy", Value::from_f64(r.final_accuracy)),
+        ("total_bytes", Value::from_u64(r.total_bytes)),
+        ("wall_secs", Value::from_f64(r.wall_secs)),
+        ("sim_secs", Value::from_f64(r.sim_secs)),
+        ("threads", Value::from_u64(r.threads)),
+        ("host_parallelism", Value::from_u64(r.host_parallelism)),
+        (
+            "metrics",
+            Value::Obj(
+                r.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_f64(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn findings_json(findings: &[Finding]) -> Value {
+    Value::Arr(
+        findings
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("field", Value::Str(f.field.clone())),
+                    ("baseline", Value::from_f64(f.baseline)),
+                    ("candidate", Value::from_f64(f.candidate)),
+                    ("limit", Value::Str(f.limit.clone())),
+                    (
+                        "severity",
+                        Value::Str(
+                            match f.severity {
+                                Severity::Fail => "fail",
+                                Severity::Warn => "warn",
+                            }
+                            .to_owned(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The overall verdict string matching the process exit code.
+fn status_of(findings: &[Finding]) -> &'static str {
+    if findings.is_empty() {
+        "ok"
+    } else if any_failure(findings) {
+        "regression"
+    } else {
+        "warn"
+    }
 }
 
 /// Extracts `--ledger PATH` from `args` (mutating them), defaulting to
@@ -52,7 +127,18 @@ fn load_or_exit(path: &str) -> Result<Vec<LedgerRecord>, ExitCode> {
     })
 }
 
-fn list(records: &[LedgerRecord]) {
+fn list(records: &[LedgerRecord], json: bool) {
+    if json {
+        println!(
+            "{}",
+            obj(vec![(
+                "records",
+                Value::Arr(records.iter().map(record_json).collect())
+            )])
+            .pretty()
+        );
+        return;
+    }
     println!(
         "{:>3}  {:<24} {:<10} {:<16} {:>6} {:>9} {:>12} {:>9} {:>4}",
         "#", "name", "strategy", "digest", "rounds", "accuracy", "bytes", "wall_s", "host"
@@ -116,26 +202,62 @@ fn diff(base: &LedgerRecord, cand: &LedgerRecord) {
     }
 }
 
-fn check(records: &[LedgerRecord]) -> ExitCode {
+fn check(records: &[LedgerRecord], json: bool) -> ExitCode {
     if records.is_empty() {
-        println!("ledger is empty; nothing to check");
+        if json {
+            println!(
+                "{}",
+                obj(vec![("status", Value::Str("ok".to_owned()))]).pretty()
+            );
+        } else {
+            println!("ledger is empty; nothing to check");
+        }
         return ExitCode::SUCCESS;
     }
     let cand_idx = records.len() - 1;
     let cand = &records[cand_idx];
     let Some(base_idx) = find_baseline(records, cand_idx) else {
-        println!(
-            "no baseline with digest {} before record {cand_idx}; treating as first run (ok)",
-            cand.config_digest
-        );
+        if json {
+            println!(
+                "{}",
+                obj(vec![
+                    ("status", Value::Str("ok".to_owned())),
+                    ("candidate", record_json(cand)),
+                    ("baseline", Value::Null),
+                ])
+                .pretty()
+            );
+        } else {
+            println!(
+                "no baseline with digest {} before record {cand_idx}; treating as first run (ok)",
+                cand.config_digest
+            );
+        }
         return ExitCode::SUCCESS;
     };
     let base = &records[base_idx];
+    let findings = check_records(base, cand, &Tolerances::default());
+    if json {
+        println!(
+            "{}",
+            obj(vec![
+                ("status", Value::Str(status_of(&findings).to_owned())),
+                ("candidate", record_json(cand)),
+                ("baseline", record_json(base)),
+                ("findings", findings_json(&findings)),
+            ])
+            .pretty()
+        );
+        return if any_failure(&findings) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     println!(
         "checking record {cand_idx} ({}) against baseline {base_idx} (digest {})",
         cand.name, cand.config_digest
     );
-    let findings = check_records(base, cand, &Tolerances::default());
     if findings.is_empty() {
         println!("ok: within tolerance (accuracy -0.5pt, bytes +5%, wall +20%)");
         return ExitCode::SUCCESS;
@@ -152,7 +274,7 @@ fn check(records: &[LedgerRecord]) -> ExitCode {
     }
 }
 
-fn bench_diff(baseline_path: &str, candidate_path: &str) -> ExitCode {
+fn bench_diff(baseline_path: &str, candidate_path: &str, json: bool) -> ExitCode {
     let read = |p: &str| {
         std::fs::read_to_string(p).map_err(|e| {
             println!("ledger-report: cannot read {p}: {e}");
@@ -168,6 +290,23 @@ fn bench_diff(baseline_path: &str, candidate_path: &str) -> ExitCode {
         Err(code) => return code,
     };
     match check_bench_json(&baseline, &candidate, &Tolerances::default()) {
+        Ok(findings) if json => {
+            println!(
+                "{}",
+                obj(vec![
+                    ("status", Value::Str(status_of(&findings).to_owned())),
+                    ("baseline", Value::Str(baseline_path.to_owned())),
+                    ("candidate", Value::Str(candidate_path.to_owned())),
+                    ("findings", findings_json(&findings)),
+                ])
+                .pretty()
+            );
+            if any_failure(&findings) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Ok(findings) if findings.is_empty() => {
             println!("ok: kernel bench within tolerance of {baseline_path}");
             ExitCode::SUCCESS
@@ -194,13 +333,18 @@ fn bench_diff(baseline_path: &str, candidate_path: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let path = ledger_path(&mut args);
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.remove(i))
+        .is_some();
     match args.first().map(String::as_str) {
         Some("list") | None => {
             let records = match load_or_exit(&path) {
                 Ok(r) => r,
                 Err(code) => return code,
             };
-            list(&records);
+            list(&records, json);
             ExitCode::SUCCESS
         }
         Some("diff") => {
@@ -229,13 +373,13 @@ fn main() -> ExitCode {
                 Ok(r) => r,
                 Err(code) => return code,
             };
-            check(&records)
+            check(&records, json)
         }
         Some("bench-diff") => {
             let (Some(b), Some(c)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            bench_diff(b, c)
+            bench_diff(b, c, json)
         }
         _ => usage(),
     }

@@ -37,10 +37,30 @@
 //! to the server's per-round accounting, the cumulative trace total must
 //! match every `round_bytes` checkpoint, and the matching run-ledger record
 //! (found by config digest) must agree — any mismatch exits non-zero.
+//!
+//! `flame` merges `apf-prof` folded profiles (written with `--prof-file`
+//! or `APF_PROF`) from the processes of one run:
+//!
+//! ```text
+//! trace-report flame server.folded client*.folded [--top N] [--out PATH]
+//!              [--assert-contains FRAME]... [--json]
+//! ```
+//!
+//! All inputs must carry the same run id; each process's stacks are
+//! prefixed with its role (`server`, `client:N`) so the merged flamegraph
+//! splits by process first. The merged folded document goes to stdout
+//! (pipe it straight into `flamegraph.pl`) or `--out`; a top-N self-time
+//! table goes to stderr. `--assert-contains FRAME` exits non-zero unless
+//! some stack contains that frame — the verify harness uses it to prove a
+//! profiled round actually sampled `local_train` and `aggregate`.
+//!
+//! Both the single-file report and `flame` take `--json` to emit the same
+//! data as one machine-readable JSON document instead of tables.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use apf_bench::prof_merge::{self, ProfFile};
 use apf_bench::report::{fmt_mb, render_table};
 use apf_bench::trace_merge::MergedTrace;
 use apf_bench::trace_model::{group_processes, TraceFile};
@@ -329,6 +349,80 @@ impl Report {
         }
     }
 
+    /// The single-file report as one JSON document (`--json` mode): span
+    /// stats, per-thread self-time, freeze ratios, and phase bytes.
+    fn to_json(&self) -> Value {
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+        };
+        obj(vec![
+            ("records", Value::from_u64(self.lines)),
+            ("unparsable", Value::from_u64(self.skipped)),
+            (
+                "spans",
+                Value::Arr(
+                    self.span_stats()
+                        .into_iter()
+                        .map(|(key, s)| {
+                            obj(vec![
+                                ("span", Value::Str(key)),
+                                ("count", Value::from_u64(s.count)),
+                                ("self_us", Value::from_u64(s.self_us)),
+                                ("total_us", Value::from_u64(s.total_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "threads",
+                Value::Arr(
+                    self.thread_stats()
+                        .into_iter()
+                        .map(|(t, n, us)| {
+                            obj(vec![
+                                ("thread", Value::from_u64(t)),
+                                ("spans", Value::from_u64(n)),
+                                ("self_us", Value::from_u64(us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "layer_freeze",
+                Value::Arr(
+                    self.freeze
+                        .iter()
+                        .map(|((layer, round), ratio)| {
+                            obj(vec![
+                                ("layer", Value::Str(layer.clone())),
+                                ("round", Value::from_u64(*round)),
+                                ("frozen_ratio", Value::from_f64(*ratio)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "phases",
+                Value::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(phase, (up, down, n))| {
+                            obj(vec![
+                                ("phase", Value::Str(phase.clone())),
+                                ("transfers", Value::from_u64(*n)),
+                                ("bytes_up", Value::from_u64(*up)),
+                                ("bytes_down", Value::from_u64(*down)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     fn print_phases(&self) {
         if self.phases.is_empty() {
             println!("\n== bytes by phase ==\n(no fedsim.comm transfer events; run with APF_TRACE=debug)");
@@ -454,18 +548,94 @@ fn run_reconcile(paths: &[String], ledger_path: &str) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: trace-report <trace.jsonl>\n\
+    "usage: trace-report <trace.jsonl> [--json]\n\
      \x20      trace-report timeline <server.jsonl> <client.jsonl>... [--min-coverage PCT]\n\
      \x20      trace-report reconcile <server.jsonl> <client.jsonl>... --ledger <runs.jsonl>\n\
+     \x20      trace-report flame <profile.folded>... [--top N] [--out PATH]\n\
+     \x20                   [--assert-contains FRAME]... [--json]\n\
      \x20 produce traces with APF_TRACE=debug APF_TRACE_FILE=... (or --trace-file on\n\
-     \x20 apf-server/apf-client for distributed runs)"
+     \x20 apf-server/apf-client for distributed runs); produce profiles with\n\
+     \x20 APF_PROF=1 APF_PROF_FILE=... (or --prof-file)"
 }
 
-fn run_single(path: &str) -> Result<(), String> {
+fn run_flame(
+    paths: &[String],
+    top: usize,
+    assert_contains: &[String],
+    json: bool,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let mut files = Vec::new();
+    for p in paths {
+        files.push(ProfFile::load(p)?);
+    }
+    let merged = prof_merge::merge(&files)?;
+    if json {
+        println!("{}", merged.to_json().pretty());
+    } else {
+        let folded = merged.render_folded();
+        match out {
+            Some(path) => {
+                std::fs::write(path, &folded).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote merged folded stacks to {path}");
+            }
+            None => print!("{folded}"),
+        }
+        let total = merged.total_samples();
+        eprintln!(
+            "run {:016x}: {} profile(s), {} passes, {} samples, {} distinct stacks",
+            merged.run_id,
+            merged.files,
+            merged.passes,
+            total,
+            merged.stacks.len()
+        );
+        let rows: Vec<Vec<String>> = merged
+            .self_time()
+            .into_iter()
+            .take(top)
+            .map(|(frame, count)| {
+                let share = if total > 0 {
+                    format!("{:.1}%", 100.0 * count as f64 / total as f64)
+                } else {
+                    "-".to_owned()
+                };
+                vec![frame, count.to_string(), share]
+            })
+            .collect();
+        eprint!(
+            "{}",
+            render_table(
+                &format!("top {top} frames by self-time (samples)"),
+                &["frame", "samples", "share"],
+                &rows,
+            )
+        );
+    }
+    let missing: Vec<&String> = assert_contains
+        .iter()
+        .filter(|f| !merged.contains_frame(f))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "merged profile contains no {:?} frame(s) — {} total samples over {} stacks",
+            missing,
+            merged.total_samples(),
+            merged.stacks.len()
+        ));
+    }
+    Ok(())
+}
+
+fn run_single(path: &str, json: bool) -> Result<(), String> {
     let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut report = Report::new();
     for line in data.lines() {
         report.ingest_line(line);
+    }
+    if json {
+        println!("{}", report.to_json().pretty());
+        return Ok(());
     }
     println!(
         "{path}: {} records ({} unparsable)",
@@ -529,7 +699,41 @@ fn main() -> ExitCode {
                 (Some(l), _) => run_reconcile(&paths, l),
             })
         }
-        Some((path, [])) => run_single(path),
+        Some((cmd, rest)) if cmd == "flame" => {
+            let mut paths = Vec::new();
+            let mut top = 15usize;
+            let mut assert_contains = Vec::new();
+            let mut json = false;
+            let mut out = None;
+            let mut it = rest.iter();
+            let mut parse = || -> Result<(), String> {
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--top" => {
+                            let v = it.next().ok_or("--top needs a value")?;
+                            top = v.parse().map_err(|_| format!("bad --top {v}"))?;
+                        }
+                        "--assert-contains" => {
+                            let v = it.next().ok_or("--assert-contains needs a value")?;
+                            assert_contains.push(v.clone());
+                        }
+                        "--json" => json = true,
+                        "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+                        _ => paths.push(a.clone()),
+                    }
+                }
+                Ok(())
+            };
+            parse().and_then(|()| {
+                if paths.is_empty() {
+                    Err(format!("flame needs profile files\n{}", usage()))
+                } else {
+                    run_flame(&paths, top, &assert_contains, json, out.as_deref())
+                }
+            })
+        }
+        Some((path, [])) => run_single(path, false),
+        Some((path, [flag])) if flag == "--json" => run_single(path, true),
         Some(_) => Err(usage().to_owned()),
     };
     match result {

@@ -8,6 +8,7 @@
 
 pub mod harness;
 pub mod motivation;
+pub mod prof_merge;
 pub mod regress;
 pub mod report;
 pub mod setups;

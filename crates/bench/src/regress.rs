@@ -279,6 +279,12 @@ pub fn check_bench_json(
             });
             continue;
         };
+        if !cand_row.reliable {
+            // The candidate host could not actually run this many threads
+            // either (e.g. the check moved to a smaller machine); its
+            // numbers are noise, so comparing them would only add noise.
+            continue;
+        }
         let t = base_row.threads;
         // Higher-is-better throughputs: candidate must reach
         // baseline / (1 + tol).
@@ -491,6 +497,20 @@ mod tests {
         assert!(f.is_empty(), "{f:?}");
         // But a reliable baseline row still enforces its contract.
         let f = check_bench_json(cand, base, &Tolerances::default()).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unreliable_candidate_rows_are_skipped() {
+        // The candidate host could not really run threads=2 either: its
+        // (terrible) numbers are noise, not a regression.
+        let base = "{\"host_parallelism\": 2, \"results\": [\
+            {\"threads\": 1, \"matmul_gflops\": 10.0, \"conv2d_gflops\": 10.0, \"round_ms\": 100.0},\
+            {\"threads\": 2, \"matmul_gflops\": 20.0, \"conv2d_gflops\": 20.0, \"round_ms\": 50.0}]}";
+        let cand = "{\"host_parallelism\": 2, \"results\": [\
+            {\"threads\": 1, \"matmul_gflops\": 10.0, \"conv2d_gflops\": 10.0, \"round_ms\": 100.0},\
+            {\"threads\": 2, \"reliable\": false, \"matmul_gflops\": 1.0, \"conv2d_gflops\": 1.0, \"round_ms\": 500.0}]}";
+        let f = check_bench_json(base, cand, &Tolerances::default()).unwrap();
         assert!(f.is_empty(), "{f:?}");
     }
 

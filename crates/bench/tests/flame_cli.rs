@@ -1,0 +1,144 @@
+//! End-to-end CLI test for `trace-report flame`: merge the per-process
+//! folded profiles of one distributed run (server + clients, matching run
+//! ids), render the merged document, honor `--assert-contains` with a
+//! non-zero exit, refuse mixed runs, and emit parseable `--json`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use apf_fedsim::json;
+
+const SERVER: &str =
+    "# apf-prof run=00000000deadbeef role=server pid=10 passes=100 interval_us=1000\n\
+    # alloc aggregate 3 4096\n\
+    serve;round;aggregate 40\n\
+    serve 60\n";
+const CLIENT0: &str =
+    "# apf-prof run=00000000deadbeef role=client:0 pid=11 passes=90 interval_us=1000\n\
+    round;local_train 80\n";
+const CLIENT1: &str =
+    "# apf-prof run=00000000deadbeef role=client:1 pid=12 passes=90 interval_us=1000\n\
+    round;local_train 75\n\
+    round;push 5\n";
+
+fn write_profiles(dir: &PathBuf) -> Vec<String> {
+    std::fs::create_dir_all(dir).unwrap();
+    let files = [
+        ("server.folded", SERVER),
+        ("client0.folded", CLIENT0),
+        ("client1.folded", CLIENT1),
+    ];
+    files
+        .iter()
+        .map(|(name, text)| {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            path.to_str().unwrap().to_owned()
+        })
+        .collect()
+}
+
+fn flame(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_trace-report"))
+        .arg("flame")
+        .args(args)
+        .output()
+        .expect("run trace-report")
+}
+
+#[test]
+fn merges_matching_runs_and_asserts_frames() {
+    let dir = std::env::temp_dir().join("apf_flame_cli_ok");
+    let paths = write_profiles(&dir);
+    let path_refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+
+    let mut args = path_refs.clone();
+    args.extend([
+        "--assert-contains",
+        "local_train",
+        "--assert-contains",
+        "aggregate",
+    ]);
+    let out = flame(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Role-prefixed merged stacks in folded format on stdout.
+    assert!(
+        stdout.contains("server;serve;round;aggregate 40"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("client:0;round;local_train 80"), "{stdout}");
+    assert!(stdout.contains("client:1;round;local_train 75"), "{stdout}");
+    assert!(
+        stdout.contains("# alloc server;aggregate 3 4096"),
+        "{stdout}"
+    );
+    // The self-time table goes to stderr so stdout stays flamegraph.pl-clean.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("local_train"), "{stderr}");
+
+    // A frame nobody sampled fails the assertion with a non-zero exit.
+    let mut args = path_refs.clone();
+    args.extend(["--assert-contains", "no_such_frame"]);
+    let out = flame(&args);
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_mode_emits_parseable_merge() {
+    let dir = std::env::temp_dir().join("apf_flame_cli_json");
+    let paths = write_profiles(&dir);
+    let mut args: Vec<&str> = paths.iter().map(String::as_str).collect();
+    args.push("--json");
+    let out = flame(&args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("run").and_then(json::Value::as_str),
+        Some("00000000deadbeef")
+    );
+    assert_eq!(doc.get("files").and_then(json::Value::as_u64), Some(3));
+    assert_eq!(
+        doc.get("total_samples").and_then(json::Value::as_u64),
+        Some(260)
+    );
+    let top = doc
+        .get("self_time")
+        .and_then(json::Value::as_arr)
+        .and_then(|a| a.first())
+        .expect("self_time rows");
+    assert_eq!(
+        top.get("frame").and_then(json::Value::as_str),
+        Some("local_train")
+    );
+    assert_eq!(top.get("samples").and_then(json::Value::as_u64), Some(155));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mixed_run_ids_are_refused() {
+    let dir = std::env::temp_dir().join("apf_flame_cli_mixed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.folded");
+    let b = dir.join("b.folded");
+    std::fs::write(&a, SERVER).unwrap();
+    std::fs::write(&b, SERVER.replace("deadbeef", "0badf00d")).unwrap();
+    let out = flame(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("run id mismatch"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -126,6 +126,7 @@ pub struct FlRunnerBuilder {
     name: Option<String>,
     obs_addr: Option<String>,
     ledger_path: Option<PathBuf>,
+    profile: bool,
 }
 
 impl FlRunnerBuilder {
@@ -249,6 +250,18 @@ impl FlRunnerBuilder {
         self
     }
 
+    /// Samples this run with the `apf-prof` profiler: when
+    /// [`FlRunner::run`] completes it writes `flamegraph.pl`-compatible
+    /// folded stacks to `APF_PROF_FILE` (when set) and emits a
+    /// `profile_complete` summary event. Also enabled without code changes
+    /// by `APF_PROF=1` (or `APF_PROF=alloc` for allocation-site
+    /// attribution); if something else in the process already started a
+    /// profiler session, the runner leaves it alone.
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Assembles the runner.
     ///
     /// # Panics
@@ -354,6 +367,19 @@ impl FlRunnerBuilder {
                 .filter(|s| !s.is_empty())
                 .map(PathBuf::from)
         });
+        // Profiling: the builder flag forces a session on; otherwise defer
+        // to APF_PROF. Either way the runner only *finishes* (and writes)
+        // a session it started itself — a binary that began profiling
+        // before building the runner (e.g. bench-kernels --prof-file)
+        // keeps ownership of its session.
+        let prof_owned = if self.profile {
+            let file = std::env::var("APF_PROF_FILE")
+                .ok()
+                .filter(|s| !s.is_empty());
+            apf_prof::start_with(apf_prof::env_interval(), file, apf_prof::env_wants_alloc())
+        } else {
+            apf_prof::init_from_env()
+        };
         FlRunner {
             clients,
             strategy,
@@ -371,6 +397,7 @@ impl FlRunnerBuilder {
             config_digest,
             obs,
             ledger_path,
+            prof_owned,
         }
     }
 }
@@ -421,6 +448,9 @@ pub struct FlRunner {
     config_digest: u64,
     obs: Option<ObsServer>,
     ledger_path: Option<PathBuf>,
+    /// Whether this runner started the `apf-prof` session (and so finishes
+    /// and writes it when [`FlRunner::run`] completes).
+    prof_owned: bool,
 }
 
 impl std::fmt::Debug for FlRunner {
@@ -455,6 +485,7 @@ impl FlRunner {
             name: None,
             obs_addr: None,
             ledger_path: None,
+            profile: false,
         }
     }
 
@@ -695,6 +726,12 @@ impl FlRunner {
         apf_trace::metrics::gauge("fedsim.loss").set(f64::from(record.loss));
         apf_trace::metrics::gauge("fedsim.frozen_ratio").set(f64::from(record.frozen_ratio));
         apf_trace::metrics::gauge("fedsim.best_accuracy").set(f64::from(record.best_accuracy));
+        // Scratch-pool health at the round boundary: a healthy steady state
+        // holds misses/alloc_bytes flat after the warm-up round.
+        let (scratch_hits, scratch_misses, scratch_bytes) = apf_tensor::scratch::global_stats();
+        apf_trace::metrics::gauge("scratch.hits").set(scratch_hits as f64);
+        apf_trace::metrics::gauge("scratch.misses").set(scratch_misses as f64);
+        apf_trace::metrics::gauge("scratch.alloc_bytes").set(scratch_bytes as f64);
         if let Some(obs) = &self.obs {
             // Round-boundary sample for /snapshot and /series.
             let mut fields: Vec<(&str, f64)> = vec![
@@ -707,6 +744,9 @@ impl FlRunner {
                 ("fedsim.compute_secs", record.compute_secs),
                 ("fedsim.comm_secs", record.comm_secs),
                 ("fedsim.cum_secs", record.cum_secs),
+                ("scratch.hits", scratch_hits as f64),
+                ("scratch.misses", scratch_misses as f64),
+                ("scratch.alloc_bytes", scratch_bytes as f64),
             ];
             if let Some(acc) = record.accuracy {
                 fields.push(("fedsim.accuracy", f64::from(acc)));
@@ -742,6 +782,15 @@ impl FlRunner {
         }
         let wall_secs = t0.elapsed().as_secs_f64();
         apf_trace::metrics::emit();
+        if self.prof_owned {
+            self.prof_owned = false;
+            if let Some(profile) = apf_prof::finish() {
+                event!(Level::Info, target: "prof", "profile_complete",
+                    passes = profile.passes,
+                    samples = profile.total_samples(),
+                    stacks = profile.stacks.len());
+            }
+        }
         apf_trace::flush();
         if let Some(obs) = &self.obs {
             obs.state().mark_completed();

@@ -4,6 +4,7 @@
 //! apf-client --id N (--server HOST:PORT | --addr-file PATH)
 //!            [--connect-timeout-secs N] [--io-timeout-secs N]
 //!            [--fail-before-push ROUND] [--trace-file PATH]
+//!            [--prof-file PATH]
 //! ```
 //!
 //! Joins the server, receives the run spec in the Welcome frame, and runs
@@ -18,9 +19,21 @@
 //! `APF_TRACE`, defaulting to `debug`). The trace adopts the run id from
 //! the server's Welcome frame, so `trace-report` can merge it with the
 //! server's trace and the other clients'.
+//!
+//! `--prof-file` samples the client with `apf-prof` and writes folded
+//! flamegraph stacks there on exit (the CLI twin of
+//! `APF_PROF=1 APF_PROF_FILE=...`; `APF_PROF=alloc` additionally
+//! attributes allocations to spans). The profile header carries the same
+//! run id as the trace, so `trace-report flame` can merge it with the
+//! server's profile.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
+
+/// Allocation-site attribution capability (inert one-load passthrough
+/// unless `APF_PROF=alloc` turns attribution on).
+#[global_allocator]
+static ALLOC: apf_prof::alloc::ProfAlloc = apf_prof::alloc::ProfAlloc;
 use std::time::{Duration, Instant};
 
 use apf_net::{run_client, ClientOpts};
@@ -28,7 +41,7 @@ use apf_net::{run_client, ClientOpts};
 fn usage() -> &'static str {
     "usage: apf-client --id N (--server HOST:PORT | --addr-file PATH) \
      [--connect-timeout-secs N] [--io-timeout-secs N] [--fail-before-push ROUND] \
-     [--trace-file PATH]"
+     [--trace-file PATH] [--prof-file PATH]"
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -74,6 +87,7 @@ fn run() -> Result<(), String> {
     let mut io_timeout = Duration::from_secs(30);
     let mut fail_before_push: Option<u64> = None;
     let mut trace_file: Option<String> = None;
+    let mut prof_file: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -94,6 +108,7 @@ fn run() -> Result<(), String> {
                 fail_before_push = Some(value()?.parse().map_err(|_| "bad --fail-before-push")?);
             }
             "--trace-file" => trace_file = Some(value()?),
+            "--prof-file" => prof_file = Some(value()?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -102,6 +117,14 @@ fn run() -> Result<(), String> {
         Some(path) => init_tracing(path)?,
         None => apf_trace::init_from_env(),
     }
+    let prof_owned = match &prof_file {
+        Some(path) => apf_prof::start_with(
+            apf_prof::env_interval(),
+            Some(path.clone()),
+            apf_prof::env_wants_alloc(),
+        ),
+        None => apf_prof::init_from_env(),
+    };
     let addr = match (server, addr_file) {
         (Some(addr), None) => resolve(&addr)?,
         (None, Some(path)) => addr_from_file(&path, connect_timeout)?,
@@ -120,6 +143,9 @@ fn run() -> Result<(), String> {
         fail_before_push_round: fail_before_push,
     })
     .map_err(|e| e.to_string())?;
+    if prof_owned {
+        let _ = apf_prof::finish();
+    }
     apf_trace::flush();
     eprintln!(
         "client {id}: {} rounds, {} wire bytes{}",

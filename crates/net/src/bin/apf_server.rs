@@ -3,7 +3,8 @@
 //! ```text
 //! apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL]
 //!            [--trajectory-out PATH] [--ledger PATH] [--trace-file PATH]
-//!            [--join-timeout-secs N] [--io-timeout-secs N] [--sim]
+//!            [--prof-file PATH] [--join-timeout-secs N]
+//!            [--io-timeout-secs N] [--sim]
 //! ```
 //!
 //! Serves one federated run described by `--spec` (a `RunSpec` canonical
@@ -24,8 +25,20 @@
 //! carrying role/pid/spec so `trace-report` can merge the file with the
 //! clients' traces. With `APF_OBS_ADDR` set, a live `/metrics`+`/snapshot`
 //! endpoint serves the run's server-side counters.
+//!
+//! `--prof-file` samples the run with `apf-prof` and writes folded
+//! flamegraph stacks there on exit (the CLI twin of
+//! `APF_PROF=1 APF_PROF_FILE=...`; `APF_PROF=alloc` additionally
+//! attributes allocations to spans — this binary installs the attributing
+//! allocator). `trace-report flame` merges the output with the clients'
+//! profiles by run id.
 
 use std::process::ExitCode;
+
+/// Allocation-site attribution capability (inert one-load passthrough
+/// unless `APF_PROF=alloc` turns attribution on).
+#[global_allocator]
+static ALLOC: apf_prof::alloc::ProfAlloc = apf_prof::alloc::ProfAlloc;
 use std::time::{Duration, Instant};
 
 use apf_fedsim::{ExperimentLog, LedgerRecord, RunSpec, Trajectory};
@@ -39,6 +52,7 @@ struct Args {
     trajectory_out: Option<String>,
     ledger: Option<String>,
     trace_file: Option<String>,
+    prof_file: Option<String>,
     join_timeout: Duration,
     io_timeout: Duration,
     sim: bool,
@@ -47,7 +61,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: apf-server [--addr HOST:PORT] [--addr-file PATH] [--spec CANONICAL] \
      [--trajectory-out PATH] [--ledger PATH] [--trace-file PATH] \
-     [--join-timeout-secs N] [--io-timeout-secs N] [--sim]"
+     [--prof-file PATH] [--join-timeout-secs N] [--io-timeout-secs N] [--sim]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         trajectory_out: None,
         ledger: None,
         trace_file: None,
+        prof_file: None,
         join_timeout: Duration::from_secs(30),
         io_timeout: Duration::from_secs(10),
         sim: false,
@@ -74,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--trajectory-out" => args.trajectory_out = Some(value()?),
             "--ledger" => args.ledger = Some(value()?),
             "--trace-file" => args.trace_file = Some(value()?),
+            "--prof-file" => args.prof_file = Some(value()?),
             "--join-timeout-secs" => {
                 args.join_timeout =
                     Duration::from_secs(value()?.parse().map_err(|_| "bad --join-timeout-secs")?);
@@ -131,17 +147,34 @@ fn init_tracing(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts a profiler session for `--prof-file` (or defers to `APF_PROF`);
+/// returns whether this process owns the session and must finish it.
+fn init_profiling(prof_file: &Option<String>) -> bool {
+    match prof_file {
+        Some(path) => apf_prof::start_with(
+            apf_prof::env_interval(),
+            Some(path.clone()),
+            apf_prof::env_wants_alloc(),
+        ),
+        None => apf_prof::init_from_env(),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     match &args.trace_file {
         Some(path) => init_tracing(path)?,
         None => apf_trace::init_from_env(),
     }
+    let prof_owned = init_profiling(&args.prof_file);
     let t0 = Instant::now();
     if args.sim {
         let mut runner = args.spec.build_runner();
         runner.run();
         let log = runner.log().clone();
+        if prof_owned {
+            let _ = apf_prof::finish();
+        }
         write_outputs(&args, &log, None, t0.elapsed().as_secs_f64())?;
         eprintln!(
             "sim run complete: {} rounds, best accuracy {:.4}, {} bytes",
@@ -189,6 +222,9 @@ fn run() -> Result<(), String> {
     }
     eprintln!("serving {} clients on {addr}", args.spec.clients);
     let outcome = server.serve().map_err(|e| e.to_string())?;
+    if prof_owned {
+        let _ = apf_prof::finish();
+    }
     write_outputs(
         &args,
         &outcome.log,

@@ -119,8 +119,10 @@ pub fn run_client(opts: &ClientOpts) -> Result<ClientOutcome, NetError> {
     // into the same logical trace; `welcome_recv` (paired with the server's
     // `welcome_sent`) anchors cross-process clock alignment.
     let client_ctx = TraceContext::new(server_ctx.run_id, Role::Client(opts.id));
+    // Set even with tracing off: the stamp also tags `apf-prof` profile
+    // headers, so `trace-report flame` can merge per-process profiles.
+    apf_trace::set_thread_context(client_ctx);
     if apf_trace::enabled(Level::Info) {
-        apf_trace::set_thread_context(client_ctx);
         apf_trace::emit_header(&spec_text);
         event!(Level::Info, target: "net.client", "welcome_recv",
             client = opts.id, bytes_wire = k, peer_pid = server_ctx.pid,

@@ -209,8 +209,11 @@ impl NetServer {
         let canonical = spec.canonical();
         let run_id = mint_run_id(&canonical);
         let server_ctx = TraceContext::new(run_id, Role::Server);
+        // The context stamp is one TLS store and also tags `apf-prof`
+        // profile headers, so it is set even with tracing off; only the
+        // trace header record stays gated on the level.
+        apf_trace::set_thread_context(server_ctx);
         if apf_trace::enabled(Level::Info) {
-            apf_trace::set_thread_context(server_ctx);
             apf_trace::emit_header(&canonical);
         }
         let metrics = NetMetrics::new(n);

@@ -12,6 +12,14 @@
 //! | `/snapshot`        | JSON: run info, latest round sample, layer ratios   |
 //! | `/series?name=N`   | JSON: ring-buffered history of one series           |
 //! | `/series`          | JSON: index of known series names                   |
+//! | `/profile?seconds=N` | folded flamegraph stacks from an N-second sample  |
+//!
+//! `/profile` runs an inline `apf-prof` sampling window on the worker
+//! thread (seconds clamped to 1–30, default 2) and returns
+//! `flamegraph.pl`-ready folded output — a live profiler with no restart
+//! and no files. It composes with a background profiling session: stack
+//! tracking is reference-counted, so sampling a run that is already being
+//! profiled neither disturbs nor is disturbed by it.
 //!
 //! The server is deliberately minimal: `GET` only, `Connection: close` on
 //! every response, no keep-alive, no TLS. Malformed or oversized requests
@@ -249,6 +257,22 @@ fn handle_connection(mut stream: TcpStream, state: &ObsState) {
         "/snapshot" => {
             let body = state.snapshot_json();
             respond(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/profile" => {
+            let (_, seconds) = query_param(target, "seconds");
+            let seconds = seconds
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(2)
+                .clamp(1, 30);
+            let profile =
+                apf_prof::sample_window(Duration::from_secs(seconds), apf_prof::DEFAULT_INTERVAL);
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain",
+                &profile.render_folded(),
+            );
         }
         "/series" => match name {
             Some(name) => match state.series_json(&name) {

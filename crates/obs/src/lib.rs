@@ -30,7 +30,7 @@ mod conn;
 mod http;
 mod sink;
 mod state;
-mod store;
+pub mod store;
 
 pub use conn::{Acceptor, ConnQueue};
 pub use http::{http_get, ObsServer};

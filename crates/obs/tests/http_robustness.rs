@@ -51,6 +51,60 @@ fn well_formed_routes_respond() {
 }
 
 #[test]
+fn series_endpoint_reflects_ring_wraparound() {
+    let srv = server();
+    // Overfill one series past the default ring capacity: the endpoint must
+    // serve exactly the retained window, oldest surviving point first.
+    let extra = 5usize;
+    for i in 0..apf_obs::store::DEFAULT_CAPACITY + extra {
+        srv.state()
+            .store()
+            .record("wrap", i as f64, (i * 10) as f64);
+    }
+    let (status, body) = http_get(srv.addr(), "/series?name=wrap").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.matches('[').count() - 1,
+        apf_obs::store::DEFAULT_CAPACITY,
+        "point count after wraparound"
+    );
+    // The first `extra` points were evicted; the window starts at x=extra.
+    assert!(
+        body.contains(&format!("\"points\":[[{extra},{}]", extra * 10)),
+        "{}",
+        &body[..120]
+    );
+    assert!(!body.contains("[[0,0]"), "evicted point served");
+}
+
+#[test]
+fn profile_endpoint_returns_folded_stacks() {
+    let srv = server();
+    // A thread spinning inside a span while the 1-second window samples.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let worker = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _s =
+                    apf_trace::span!(apf_trace::Level::Trace, target: "obs", "obs_profile_probe");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+    let (status, body) = http_get(srv.addr(), "/profile?seconds=1").unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    worker.join().unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.starts_with("# apf-prof "),
+        "{}",
+        &body[..body.len().min(120)]
+    );
+    assert!(body.contains("obs_profile_probe"), "{body}");
+}
+
+#[test]
 fn unknown_path_and_series_are_404() {
     let srv = server();
     assert_eq!(http_get(srv.addr(), "/nope").unwrap().0, 404);

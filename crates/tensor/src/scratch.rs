@@ -19,6 +19,7 @@
 //! `misses` must stay flat across further training rounds.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Max buffers retained per thread. Beyond this, [`give`] drops the incoming
 /// buffer (the pool keeps its larger residents).
@@ -40,6 +41,28 @@ pub struct ScratchStats {
     pub misses: u64,
     /// Buffers handed back via [`give`].
     pub gives: u64,
+}
+
+/// Process-wide totals across every thread's pool, updated alongside the
+/// per-thread counters (relaxed adds; the per-thread [`stats`] stay the
+/// source of truth for single-thread asserts). These feed the
+/// `scratch.hits`/`scratch.misses`/`scratch.alloc_bytes` gauges the fedsim
+/// runner publishes, so pool health is visible on `/metrics` without
+/// running `bench-kernels`.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Bytes actually allocated on misses (capacity requested * 4).
+static GLOBAL_ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide scratch totals: `(hits, misses, alloc_bytes)` summed over
+/// every thread since process start ([`reset_stats`]/[`clear`] reset only
+/// the calling thread's counters, not these).
+pub fn global_stats() -> (u64, u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+        GLOBAL_ALLOC_BYTES.load(Ordering::Relaxed),
+    )
 }
 
 #[derive(Default)]
@@ -71,6 +94,7 @@ fn take_raw(len: usize) -> Vec<f32> {
         match best {
             Some(i) => {
                 p.stats.hits += 1;
+                GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
                 let mut buf = p.bufs.swap_remove(i);
                 p.total_cap -= buf.capacity();
                 buf.clear();
@@ -78,6 +102,8 @@ fn take_raw(len: usize) -> Vec<f32> {
             }
             None => {
                 p.stats.misses += 1;
+                GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+                GLOBAL_ALLOC_BYTES.fetch_add(len as u64 * 4, Ordering::Relaxed);
                 Vec::with_capacity(len)
             }
         }
@@ -196,6 +222,28 @@ mod tests {
         give(b);
         let big = take(500);
         assert!(big.capacity() >= 1000, "should reuse the large buffer");
+        clear();
+    }
+
+    #[test]
+    fn global_stats_accumulate_across_threads() {
+        let (h0, m0, b0) = global_stats();
+        clear();
+        give(take(16)); // miss (64 bytes) then pooled
+        let a = take(16); // hit
+        give(a);
+        std::thread::spawn(|| {
+            clear();
+            let b = take(8); // miss on a fresh thread (32 bytes)
+            give(b);
+            clear();
+        })
+        .join()
+        .unwrap();
+        let (h1, m1, b1) = global_stats();
+        assert!(h1 > h0, "hits {h0} -> {h1}");
+        assert!(m1 >= m0 + 2, "misses {m0} -> {m1}");
+        assert!(b1 >= b0 + 64 + 32, "alloc bytes {b0} -> {b1}");
         clear();
     }
 

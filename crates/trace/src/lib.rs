@@ -55,6 +55,7 @@
 pub mod context;
 pub mod metrics;
 pub mod sink;
+pub mod stack;
 
 mod emit;
 mod span;
@@ -113,10 +114,23 @@ impl Level {
     }
 }
 
-/// 0 = tracing off; otherwise the maximum enabled [`Level`] as u8.
-static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// The combined gate instrumented code checks with ONE relaxed load:
+/// the low bits hold the maximum enabled [`Level`] (0 = tracing off), and
+/// [`STACK_BIT`] marks profiler stack tracking as on (see [`stack`]).
+static GATE: AtomicU8 = AtomicU8::new(0);
+/// [`GATE`] bit: spans maintain the per-thread name stacks for `apf-prof`.
+const STACK_BIT: u8 = 0x80;
+/// [`GATE`] bits holding the maximum enabled level.
+const LEVEL_MASK: u8 = 0x7f;
 /// Set once any explicit or env-derived configuration has happened.
 static CONFIGURED: AtomicBool = AtomicBool::new(false);
+
+/// Stores a new maximum level without disturbing the profiler bit.
+fn store_level(bits: u8) {
+    let _ = GATE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |g| {
+        Some((g & STACK_BIT) | (bits & LEVEL_MASK))
+    });
+}
 
 static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -137,7 +151,51 @@ static PREINIT_DROPPED: AtomicU64 = AtomicU64::new(0);
 /// fields: a single relaxed atomic load, no allocation.
 #[inline(always)]
 pub fn enabled(level: Level) -> bool {
-    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+    level as u8 <= GATE.load(Ordering::Relaxed) & LEVEL_MASK
+}
+
+/// What a span at some level should do right now; see [`span_gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanGate {
+    /// Record the span to the sink (and track its name if profiling is on).
+    Record,
+    /// Only maintain the profiler name stack; record nothing.
+    StackOnly,
+    /// Do nothing at all.
+    Off,
+}
+
+/// The decision a [`span!`] site makes, from ONE relaxed atomic load:
+/// record (level enabled), stack-only (level disabled but profiler stack
+/// tracking on), or off entirely. The `Off` path evaluates no fields and
+/// allocates nothing.
+#[inline(always)]
+pub fn span_gate(level: Level) -> SpanGate {
+    let g = GATE.load(Ordering::Relaxed);
+    if level as u8 <= g & LEVEL_MASK {
+        SpanGate::Record
+    } else if g & STACK_BIT != 0 {
+        SpanGate::StackOnly
+    } else {
+        SpanGate::Off
+    }
+}
+
+/// Turns profiler stack tracking on or off (see [`stack`]). Independent of
+/// the tracing level: `apf-prof` enables this for the duration of a
+/// sampling session even when tracing is fully off.
+pub fn set_stack_tracking(on: bool) {
+    if on {
+        GATE.fetch_or(STACK_BIT, Ordering::Relaxed);
+    } else {
+        GATE.fetch_and(!STACK_BIT, Ordering::Relaxed);
+    }
+}
+
+/// Whether profiler stack tracking is currently on.
+#[inline(always)]
+pub fn stack_tracking() -> bool {
+    GATE.load(Ordering::Relaxed) & STACK_BIT != 0
 }
 
 /// Microseconds since tracing was initialized (monotonic).
@@ -209,14 +267,14 @@ fn report_preinit_dropped(dropped: u64) {
 /// latest call wins.
 pub fn init(level: Level, sink: Arc<dyn TraceSink>) {
     let dropped = install_sink(sink);
-    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    store_level(level as u8);
     CONFIGURED.store(true, Ordering::Relaxed);
     report_preinit_dropped(dropped);
 }
 
 /// Disables tracing and drops the sink (flushing it first).
 pub fn shutdown() {
-    MAX_LEVEL.store(0, Ordering::Relaxed);
+    store_level(0);
     flush();
     if let Ok(mut guard) = SINK.write() {
         *guard = None;
@@ -227,7 +285,7 @@ pub fn shutdown() {
 /// Adjusts the maximum recorded level without touching the sink.
 /// `None` disables tracing.
 pub fn set_level(level: Option<Level>) {
-    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+    store_level(level.map_or(0, |l| l as u8));
     CONFIGURED.store(true, Ordering::Relaxed);
 }
 
@@ -273,7 +331,7 @@ pub fn init_from_env() {
         _ => Arc::new(StderrSink),
     };
     let dropped = install_sink(sink);
-    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    store_level(level as u8);
     report_preinit_dropped(dropped);
 }
 
@@ -310,15 +368,17 @@ macro_rules! event {
 #[macro_export]
 macro_rules! span {
     ($lvl:expr, target: $target:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::enabled($lvl) {
-            $crate::Span::enter(
+        match $crate::span_gate($lvl) {
+            $crate::SpanGate::Record => $crate::Span::enter(
                 $lvl,
                 $target,
                 $name,
                 &[$((stringify!($key), $crate::FieldValue::from($val))),*],
-            )
-        } else {
-            $crate::Span::disabled()
+            ),
+            // Profiler stack tracking without tracing: push the name only;
+            // fields are never evaluated.
+            $crate::SpanGate::StackOnly => $crate::Span::stack_only($name),
+            $crate::SpanGate::Off => $crate::Span::disabled(),
         }
     };
 }
@@ -350,6 +410,26 @@ mod tests {
         set_level(Some(Level::Info));
         assert!(enabled(Level::Info));
         assert!(!enabled(Level::Debug));
+        set_level(None);
+    }
+
+    #[test]
+    fn span_gate_combines_level_and_stack_bit() {
+        set_level(None);
+        set_stack_tracking(false);
+        assert_eq!(span_gate(Level::Info), SpanGate::Off);
+        set_stack_tracking(true);
+        assert_eq!(span_gate(Level::Info), SpanGate::StackOnly);
+        assert!(stack_tracking());
+        set_level(Some(Level::Info));
+        assert_eq!(span_gate(Level::Info), SpanGate::Record);
+        assert_eq!(span_gate(Level::Trace), SpanGate::StackOnly);
+        // Level changes must not clobber the profiler bit, and vice versa.
+        set_level(Some(Level::Debug));
+        assert!(stack_tracking());
+        set_stack_tracking(false);
+        assert!(enabled(Level::Debug));
+        assert_eq!(span_gate(Level::Trace), SpanGate::Off);
         set_level(None);
     }
 }

@@ -437,4 +437,34 @@ mod tests {
         h2.record(1.0);
         assert_eq!(h2.quantile(0.5), None);
     }
+
+    #[test]
+    fn quantile_single_sample_interpolates_its_bucket() {
+        // One sample in (10, 20]: every rank lands in that bucket, so all
+        // quantiles interpolate between its edges and never escape them.
+        let h = histogram("test.metrics.quantile_single", &[10.0, 20.0, 30.0]);
+        h.record(15.0);
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(0.5), Some(15.0));
+        assert_eq!(h.quantile(1.0), Some(20.0));
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(h.quantile(-1.0), Some(10.0));
+        assert_eq!(h.quantile(2.0), Some(20.0));
+    }
+
+    #[test]
+    fn quantile_all_samples_in_one_bucket_stays_inside_it() {
+        // Everything lands in (1, 2]: empty neighbours must be skipped and
+        // the answer confined to the occupied bucket for any q.
+        let h = histogram("test.metrics.quantile_one_bucket", &[1.0, 2.0, 3.0]);
+        for _ in 0..8 {
+            h.record(1.5);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((1.0..=2.0).contains(&v), "q={q} escaped the bucket: {v}");
+        }
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
 }

@@ -59,18 +59,28 @@ struct ActiveSpan {
 /// clock and records one `"t":"span"` line when dropped.
 ///
 /// When the span's level is disabled at entry the guard is inert: no id is
-/// allocated, nothing is recorded, and drop is free.
+/// allocated, nothing is recorded, and drop is free. When profiler stack
+/// tracking is on (see [`crate::set_stack_tracking`]) the guard — recording
+/// or not — also keeps the span's *name* on this thread's live stack for
+/// the `apf-prof` sampler, popping it on drop.
 #[must_use = "a span guard times its scope; dropping it immediately records an empty span"]
-pub struct Span(Option<ActiveSpan>);
+pub struct Span {
+    active: Option<ActiveSpan>,
+    /// Whether this guard pushed a frame on the profiler name stack (popped
+    /// on drop). Tracked per-guard so toggling tracking mid-span stays
+    /// balanced.
+    pushed: bool,
+}
 
 impl std::fmt::Debug for Span {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.0 {
+        match &self.active {
             Some(a) => f
                 .debug_struct("Span")
                 .field("name", &a.name)
                 .field("id", &a.id)
                 .finish(),
+            None if self.pushed => f.write_str("Span(stack-only)"),
             None => f.write_str("Span(disabled)"),
         }
     }
@@ -81,7 +91,22 @@ impl Span {
     /// [`crate::span!`] macro returns this when the level is disabled so
     /// field expressions are never evaluated.
     pub fn disabled() -> Span {
-        Span(None)
+        Span {
+            active: None,
+            pushed: false,
+        }
+    }
+
+    /// A stack-only guard: keeps `name` on this thread's profiler stack for
+    /// the enclosed scope but records nothing to the trace sink. The
+    /// [`crate::span!`] macro returns this when the level is disabled but
+    /// stack tracking is on.
+    pub fn stack_only(name: &'static str) -> Span {
+        let pushed = crate::stack_tracking() && crate::stack::push_frame(name);
+        Span {
+            active: None,
+            pushed,
+        }
     }
 
     /// Opens a span. Prefer the [`crate::span!`] macro.
@@ -95,36 +120,44 @@ impl Span {
         fields: &[(&'static str, FieldValue)],
     ) -> Span {
         if !enabled(level) {
-            return Span(None);
+            // Direct callers bypassing the macro still honor profiling.
+            if crate::stack_tracking() {
+                return Span::stack_only(name);
+            }
+            return Span::disabled();
         }
+        let pushed = crate::stack_tracking() && crate::stack::push_frame(name);
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let parent = CURRENT.with(|c| c.replace(id));
-        Span(Some(ActiveSpan {
-            level,
-            target,
-            name,
-            id,
-            parent,
-            start_us: now_us(),
-            start: Instant::now(),
-            fields: fields.to_vec(),
-        }))
+        Span {
+            active: Some(ActiveSpan {
+                level,
+                target,
+                name,
+                id,
+                parent,
+                start_us: now_us(),
+                start: Instant::now(),
+                fields: fields.to_vec(),
+            }),
+            pushed,
+        }
     }
 
     /// This span's id (0 when the span is disabled).
     pub fn id(&self) -> u64 {
-        self.0.as_ref().map_or(0, |a| a.id)
+        self.active.as_ref().map_or(0, |a| a.id)
     }
 
     /// Whether the span is actually recording.
     pub fn is_recording(&self) -> bool {
-        self.0.is_some()
+        self.active.is_some()
     }
 
     /// Attaches an extra field after entry (e.g. a result computed inside
     /// the span). No-op when disabled.
     pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
-        if let Some(a) = &mut self.0 {
+        if let Some(a) = &mut self.active {
             a.fields.push((key, value.into()));
         }
     }
@@ -132,7 +165,10 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(a) = self.0.take() else {
+        if self.pushed {
+            crate::stack::pop_frame();
+        }
+        let Some(a) = self.active.take() else {
             return;
         };
         CURRENT.with(|c| c.set(a.parent));
@@ -174,5 +210,25 @@ mod tests {
         assert!(!s.is_recording());
         assert_eq!(s.id(), 0);
         assert_eq!(current_span_id(), 0);
+    }
+
+    #[test]
+    fn stack_only_span_tracks_name_without_recording() {
+        crate::set_level(None);
+        crate::set_stack_tracking(true);
+        let id = crate::stack::intern_name("span.test.stack_only");
+        {
+            let s = Span::stack_only("span.test.stack_only");
+            assert!(!s.is_recording());
+            assert_eq!(s.id(), 0);
+            assert_eq!(crate::stack::current_name_id(), id);
+        }
+        assert_ne!(crate::stack::current_name_id(), id);
+        crate::set_stack_tracking(false);
+        // With both tracing and tracking off, enter() is fully inert.
+        let s = Span::enter(Level::Info, "t", "span.test.stack_only", &[]);
+        assert!(!s.is_recording());
+        drop(s);
+        assert_eq!(crate::stack::current_name_id(), 0);
     }
 }

@@ -173,6 +173,53 @@ echo "== zero-alloc disabled tracing on the net hot path =="
 # free: the counting allocator proves zero allocations.
 APF_PAR_THREADS=1 cargo test -q --offline -p apf-net --test alloc
 
+echo "== profiling: sampled flamegraph of a 2-round sim run =="
+# A short profiled simulator run (bigger hidden layer + 100us sampling so
+# even the brief aggregate phase collects a solid sample count) must emit
+# non-empty folded output, and `trace-report flame` must find both the
+# training and the aggregation frames in it — proving the sampler sees
+# the span stacks the federated loop opens.
+prof_spec='apf-spec-v1;clients=4;rounds=2;local_iters=8;batch=32;train_n=512;test_n=128;hidden=512'
+APF_PROF_INTERVAL_US=100 timeout 240 "$server" --sim --spec "$prof_spec" \
+  --prof-file "$net_dir/sim.folded"
+test -s "$net_dir/sim.folded"
+cargo run -q --release --offline -p apf-bench --bin trace-report -- \
+  flame "$net_dir/sim.folded" \
+  --assert-contains local_train --assert-contains aggregate > /dev/null
+echo "OK: sim profile contains local_train and aggregate frames"
+
+echo "== profiling: per-process profiles of a networked run merge by run id =="
+# One server + three clients, each writing its own folded profile. Every
+# process stamps the profile header with the run id from the Welcome
+# handshake, so `trace-report flame` must merge all four files into one
+# role-prefixed flamegraph (it hard-fails on a run-id mismatch). The
+# networked reduce path has no `aggregate` span; assert the client-side
+# training frame and the server's always-open `serve` root instead.
+prof_net_spec='apf-spec-v1;clients=3;rounds=2;local_iters=8;batch=32;train_n=512;test_n=128;hidden=512'
+APF_PROF_INTERVAL_US=100 timeout 240 "$server" --addr 127.0.0.1:0 \
+  --addr-file "$net_dir/addr4" --spec "$prof_net_spec" \
+  --prof-file "$net_dir/server.folded" &
+net_pids=($!)
+for id in 0 1 2; do
+  APF_PROF_INTERVAL_US=100 timeout 240 "$client" --id "$id" \
+    --addr-file "$net_dir/addr4" --prof-file "$net_dir/client$id.folded" &
+  net_pids+=($!)
+done
+for pid in "${net_pids[@]}"; do wait "$pid"; done
+cargo run -q --release --offline -p apf-bench --bin trace-report -- \
+  flame "$net_dir/server.folded" "$net_dir"/client?.folded \
+  --assert-contains local_train --assert-contains serve \
+  > "$net_dir/merged.folded"
+test -s "$net_dir/merged.folded"
+echo "OK: four per-process profiles merged into one flamegraph document"
+
+echo "== zero-alloc disabled profiling on the hot path =="
+# With profiling off, every instrumentation site the profiler adds (span
+# stack pushes, the global allocator shim, sample_window gating) must be
+# one relaxed atomic load away from free: the counting allocator proves
+# zero allocations on the disabled path.
+APF_PAR_THREADS=1 cargo test -q --offline -p apf-prof --test disabled_alloc
+
 echo "== kernel bench regression vs committed baseline =="
 # Quick bench-kernels run diffed against BENCH_kernels.json: hard fail on
 # >20% regression when host parallelism matches the baseline's, warn-only
