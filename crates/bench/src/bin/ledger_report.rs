@@ -10,7 +10,9 @@
 //! `check` takes the newest record as the candidate, finds its baseline
 //! (the latest earlier record with the same config digest), and exits 1
 //! when the candidate regresses beyond tolerance (accuracy −0.5 pt, bytes
-//! +5%, wall time +20%; wall time is warn-only across differing hosts).
+//! +5%, wall time +20%, peak resident memory +25%; wall time and peak
+//! memory are warn-only across differing hosts, while the deterministic
+//! `steady_resident_bytes` accounting is enforced everywhere).
 //! Exit codes: 0 = clean, 1 = regression, 2 = usage or I/O error.
 //!
 //! `--json` switches `list`, `check`, and `bench-diff` to one
@@ -259,7 +261,7 @@ fn check(records: &[LedgerRecord], json: bool) -> ExitCode {
         cand.name, cand.config_digest
     );
     if findings.is_empty() {
-        println!("ok: within tolerance (accuracy -0.5pt, bytes +5%, wall +20%)");
+        println!("ok: within tolerance (accuracy -0.5pt, bytes +5%, wall +20%, peak memory +25%)");
         return ExitCode::SUCCESS;
     }
     for f in &findings {

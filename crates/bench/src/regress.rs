@@ -28,6 +28,11 @@ pub struct Tolerances {
     pub bytes_increase: f64,
     /// Maximum allowed relative growth in wall time (0.20 = +20%).
     pub time_increase: f64,
+    /// Maximum allowed relative growth in resident memory (0.25 = +25%).
+    /// Applies to the `peak_resident_bytes` metric (warn-only across hosts,
+    /// like wall time — allocators and page sizes differ) and to the
+    /// deterministic `steady_resident_bytes` accounting (always enforced).
+    pub memory_increase: f64,
     /// Baselines shorter than this many seconds make wall-time findings
     /// warnings rather than failures (sub-second runs are timing noise).
     pub min_timed_secs: f64,
@@ -39,6 +44,7 @@ impl Default for Tolerances {
             accuracy_drop: 0.005,
             bytes_increase: 0.05,
             time_increase: 0.20,
+            memory_increase: 0.25,
             min_timed_secs: 1.0,
         }
     }
@@ -134,6 +140,45 @@ pub fn check_records(
             },
         });
     }
+    // Peak resident memory (VmHWM): host-bound like wall time, so findings
+    // demote to warnings when the hosts differ. Older records without the
+    // metric are simply unguarded.
+    if let (Some(&bm), Some(&cm)) = (
+        baseline.metrics.get("peak_resident_bytes"),
+        candidate.metrics.get("peak_resident_bytes"),
+    ) {
+        if bm > 0.0 && cm > bm * (1.0 + tol.memory_increase) {
+            let comparable = baseline.host_parallelism == candidate.host_parallelism;
+            findings.push(Finding {
+                field: "peak_resident_bytes".to_owned(),
+                baseline: bm,
+                candidate: cm,
+                limit: format!("+{:.0}%", tol.memory_increase * 100.0),
+                severity: if comparable {
+                    Severity::Fail
+                } else {
+                    Severity::Warn
+                },
+            });
+        }
+    }
+    // Steady-state resident accounting from the population runner is
+    // deterministic byte bookkeeping, not a measurement — enforce it on any
+    // host.
+    if let (Some(&bm), Some(&cm)) = (
+        baseline.metrics.get("steady_resident_bytes"),
+        candidate.metrics.get("steady_resident_bytes"),
+    ) {
+        if bm > 0.0 && cm > bm * (1.0 + tol.memory_increase) {
+            findings.push(Finding {
+                field: "steady_resident_bytes".to_owned(),
+                baseline: bm,
+                candidate: cm,
+                limit: format!("+{:.0}%", tol.memory_increase * 100.0),
+                severity: Severity::Fail,
+            });
+        }
+    }
     findings
 }
 
@@ -178,6 +223,30 @@ pub struct MaskedRow {
     pub agg_ms: f64,
 }
 
+/// One registered-population row of the population-runner sweep.
+///
+/// The load-bearing column is `steady_resident_bytes`: across rows it must
+/// stay (nearly) flat as `registered` grows — resident memory scales with
+/// the sampled cohort, not the registered population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationRow {
+    /// Registered population size.
+    pub registered: u64,
+    /// Clients sampled per round.
+    pub cohort: u64,
+    /// Same convention as [`BenchRow::reliable`]: timing rows produced
+    /// above the host's parallelism are noise.
+    pub reliable: bool,
+    /// Mean wall time per round, ms (lower is better; host-bound).
+    pub round_ms: f64,
+    /// Deterministic steady-state resident bytes (registry + shells + slab
+    /// free lists + shared-manager dormant state).
+    pub steady_resident_bytes: f64,
+    /// Slab-store misses during post-warm-up rounds (must stay 0: the
+    /// zero-alloc steady-state contract).
+    pub slab_misses_steady: u64,
+}
+
 /// The parsed shape of `BENCH_kernels.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
@@ -187,6 +256,9 @@ pub struct BenchDoc {
     pub rows: Vec<BenchRow>,
     /// Masked-compute sweep rows (empty for baselines that predate them).
     pub masked: Vec<MaskedRow>,
+    /// Population-runner sweep rows (empty for baselines that predate
+    /// them).
+    pub population: Vec<PopulationRow>,
 }
 
 /// Parses `BENCH_kernels.json` text.
@@ -226,6 +298,24 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
             }
         })
         .collect();
+    let population = doc
+        .get("population")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            let num = |k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            let int = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+            PopulationRow {
+                registered: int("registered"),
+                cohort: int("cohort"),
+                reliable: r.get("reliable").and_then(Value::as_bool).unwrap_or(true),
+                round_ms: num("round_ms"),
+                steady_resident_bytes: num("steady_resident_bytes"),
+                slab_misses_steady: int("slab_misses_steady"),
+            }
+        })
+        .collect();
     Ok(BenchDoc {
         host_parallelism: doc
             .get("host_parallelism")
@@ -233,6 +323,7 @@ pub fn parse_bench_json(text: &str) -> Result<BenchDoc, String> {
             .unwrap_or(1),
         rows,
         masked,
+        population,
     })
 }
 
@@ -368,6 +459,59 @@ pub fn check_bench_json(
                     severity: Severity::Warn,
                 });
             }
+        }
+    }
+    for base_row in &baseline.population {
+        let key = (base_row.registered, base_row.cohort);
+        let Some(cand_row) = candidate
+            .population
+            .iter()
+            .find(|r| (r.registered, r.cohort) == key)
+        else {
+            findings.push(Finding {
+                field: format!("population[registered={}]", base_row.registered),
+                baseline: base_row.registered as f64,
+                candidate: f64::NAN,
+                limit: "row present".to_owned(),
+                severity: Severity::Fail,
+            });
+            continue;
+        };
+        // Steady resident bytes and slab misses are deterministic
+        // accounting, enforced on any host; round time is host-bound.
+        if base_row.steady_resident_bytes > 0.0
+            && cand_row.steady_resident_bytes
+                > base_row.steady_resident_bytes * (1.0 + tol.memory_increase)
+        {
+            findings.push(Finding {
+                field: format!("steady_resident_bytes_r{}", base_row.registered),
+                baseline: base_row.steady_resident_bytes,
+                candidate: cand_row.steady_resident_bytes,
+                limit: format!("+{:.0}%", tol.memory_increase * 100.0),
+                severity: Severity::Fail,
+            });
+        }
+        if base_row.slab_misses_steady == 0 && cand_row.slab_misses_steady > 0 {
+            findings.push(Finding {
+                field: format!("slab_misses_steady_r{}", base_row.registered),
+                baseline: 0.0,
+                candidate: cand_row.slab_misses_steady as f64,
+                limit: "0 (zero-alloc steady state)".to_owned(),
+                severity: Severity::Fail,
+            });
+        }
+        if base_row.reliable
+            && cand_row.reliable
+            && base_row.round_ms > 0.0
+            && cand_row.round_ms > base_row.round_ms * (1.0 + tol.time_increase)
+        {
+            findings.push(Finding {
+                field: format!("pop_round_ms_r{}", base_row.registered),
+                baseline: base_row.round_ms,
+                candidate: cand_row.round_ms,
+                limit: format!("+{:.0}%", tol.time_increase * 100.0),
+                severity,
+            });
         }
     }
     Ok(findings)
@@ -512,6 +656,84 @@ mod tests {
             {\"threads\": 2, \"reliable\": false, \"matmul_gflops\": 1.0, \"conv2d_gflops\": 1.0, \"round_ms\": 500.0}]}";
         let f = check_bench_json(base, cand, &Tolerances::default()).unwrap();
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn peak_memory_fails_same_host_warns_cross_host() {
+        let mut base = record(0.8, 1000, 10.0);
+        base.metrics.insert("peak_resident_bytes".to_owned(), 100e6);
+        let mut cand = record(0.8, 1000, 10.0);
+        cand.metrics.insert("peak_resident_bytes".to_owned(), 200e6);
+        let f = check_records(&base, &cand, &Tolerances::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].field, "peak_resident_bytes");
+        assert_eq!(f[0].severity, Severity::Fail);
+        cand.host_parallelism = 16;
+        let f = check_records(&base, &cand, &Tolerances::default());
+        assert_eq!(f[0].severity, Severity::Warn, "cross-host memory warns");
+        // Within tolerance: silent.
+        cand.host_parallelism = base.host_parallelism;
+        cand.metrics.insert("peak_resident_bytes".to_owned(), 110e6);
+        assert!(check_records(&base, &cand, &Tolerances::default()).is_empty());
+        // Records without the metric are unguarded, not failing.
+        cand.metrics.remove("peak_resident_bytes");
+        assert!(check_records(&base, &cand, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn steady_resident_is_enforced_cross_host() {
+        let mut base = record(0.8, 1000, 10.0);
+        base.metrics
+            .insert("steady_resident_bytes".to_owned(), 50e6);
+        let mut cand = record(0.8, 1000, 10.0);
+        cand.host_parallelism = 64;
+        cand.metrics
+            .insert("steady_resident_bytes".to_owned(), 80e6);
+        let f = check_records(&base, &cand, &Tolerances::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].field, "steady_resident_bytes");
+        assert_eq!(f[0].severity, Severity::Fail, "deterministic accounting");
+    }
+
+    fn pop_doc(resident: f64, misses: u64, round_ms: f64) -> String {
+        format!(
+            "{{\"host_parallelism\": 1, \"results\": [], \"population\": [\
+             {{\"registered\": 100000, \"cohort\": 256, \"round_ms\": {round_ms}, \
+               \"steady_resident_bytes\": {resident}, \"slab_misses_steady\": {misses}}}]}}"
+        )
+    }
+
+    #[test]
+    fn population_rows_guard_memory_and_slab_misses() {
+        let base = pop_doc(10e6, 0, 100.0);
+        let tol = Tolerances::default();
+        assert!(check_bench_json(&base, &pop_doc(11e6, 0, 105.0), &tol)
+            .unwrap()
+            .is_empty());
+        // Memory growth beyond tolerance: hard failure (deterministic).
+        let f = check_bench_json(&base, &pop_doc(20e6, 0, 100.0), &tol).unwrap();
+        assert!(any_failure(&f));
+        assert!(f.iter().any(|x| x.field == "steady_resident_bytes_r100000"));
+        // Any steady-state slab miss against a clean baseline: hard failure.
+        let f = check_bench_json(&base, &pop_doc(10e6, 3, 100.0), &tol).unwrap();
+        assert!(any_failure(&f));
+        assert!(f.iter().any(|x| x.field == "slab_misses_steady_r100000"));
+        // Round-time drift on the same host: failure like other kernels.
+        let f = check_bench_json(&base, &pop_doc(10e6, 0, 200.0), &tol).unwrap();
+        assert!(f.iter().any(|x| x.field == "pop_round_ms_r100000"));
+        // Missing row: failure.
+        let f = check_bench_json(
+            &base,
+            "{\"host_parallelism\": 1, \"results\": [], \"population\": []}",
+            &tol,
+        )
+        .unwrap();
+        assert!(any_failure(&f));
+        // Baselines that predate the sweep impose nothing.
+        let old = "{\"host_parallelism\": 1, \"results\": []}";
+        assert!(check_bench_json(old, &pop_doc(10e6, 0, 100.0), &tol)
+            .unwrap()
+            .is_empty());
     }
 
     fn masked_doc(sgd: f64, adam: f64, agg: f64) -> String {

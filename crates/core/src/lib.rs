@@ -39,6 +39,7 @@
 
 mod config;
 mod controller;
+mod dormant;
 mod error;
 mod manager;
 mod mask;
@@ -47,6 +48,7 @@ mod state;
 
 pub use config::{ApfConfig, ApfVariant, FreezeGranularity, ThresholdDecay};
 pub use controller::{Aimd, FixedPeriod, FreezeController, PureAdditive, PureMultiplicative};
+pub use dormant::DormantApfState;
 pub use error::ApfError;
 pub use manager::{ApfManager, SyncReport};
 pub use mask::{

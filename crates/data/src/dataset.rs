@@ -64,6 +64,13 @@ impl Dataset {
         self.inputs.shape()[1..].iter().product()
     }
 
+    /// Decomposes the dataset into its input tensor and label vector, so the
+    /// backing buffers can be recycled (e.g. into the slab store) when a
+    /// materialized client is suspended.
+    pub fn into_parts(self) -> (Tensor, Vec<usize>) {
+        (self.inputs, self.labels)
+    }
+
     /// Builds a new dataset from the given sample indices (with copying).
     ///
     /// # Panics

@@ -35,6 +35,6 @@ pub use partition::{
     classes_per_client_partition, dirichlet_partition, iid_partition, sample_gamma,
 };
 pub use synth::{
-    synth_images, synth_images_split, synth_kws, synth_kws_split, with_label_noise, IMAGE_SHAPE,
-    KWS_SHAPE, NUM_CLASSES,
+    synth_images, synth_images_split, synth_kws, synth_kws_split, with_label_noise, SynthImageGen,
+    IMAGE_SHAPE, KWS_SHAPE, NUM_CLASSES,
 };

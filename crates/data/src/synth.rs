@@ -56,28 +56,77 @@ pub fn synth_images(n: usize, seed: u64) -> Dataset {
 /// instantly.
 pub fn synth_images_split(n: usize, seed: u64, split: u64) -> Dataset {
     let [c, h, w] = IMAGE_SHAPE;
-    let sample_len = c * h * w;
-    let mut proto_rng = seeded_rng(derive_seed(seed, 0x1A6E));
-    let mut prototypes = Vec::with_capacity(NUM_CLASSES);
-    for _ in 0..NUM_CLASSES {
-        let mut p = normal_init(&[sample_len], 0.0, 1.6, &mut proto_rng).into_vec();
-        smooth(&mut p, c, h, w);
-        smooth(&mut p, c, h, w);
-        prototypes.push(p);
-    }
-    let mut rng = seeded_rng(derive_seed(derive_seed(seed, 0x5A3F), split));
-    let mut data = Vec::with_capacity(n * sample_len);
-    let mut labels = Vec::with_capacity(n);
-    for i in 0..n {
-        let class = i % NUM_CLASSES;
-        let brightness = 0.6 * sample_normal(&mut rng);
-        let proto = &prototypes[class];
-        for &p in proto {
-            data.push(p + 2.0 * sample_normal(&mut rng) + brightness);
-        }
-        labels.push(class);
-    }
+    let gen = SynthImageGen::new(seed);
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    gen.fill_split(n, split, &mut data, &mut labels);
     Dataset::new(Tensor::from_vec(data, &[n, c, h, w]), labels, NUM_CLASSES)
+}
+
+/// Reusable generator for the synthetic CIFAR-10 stand-in.
+///
+/// Precomputes the class prototypes once so that generating many small
+/// per-client shards (one `split` per client, as the population simulator
+/// does) costs only the per-sample noise stream and writes into
+/// caller-provided buffers — no allocation when the buffers are recycled
+/// through the slab store. Output is bitwise identical to
+/// [`synth_images_split`] with the same `(n, seed, split)`.
+#[derive(Debug, Clone)]
+pub struct SynthImageGen {
+    seed: u64,
+    prototypes: Vec<Vec<f32>>,
+}
+
+impl SynthImageGen {
+    /// Derives the class prototypes from `seed` (shared by every split).
+    pub fn new(seed: u64) -> Self {
+        let [c, h, w] = IMAGE_SHAPE;
+        let sample_len = c * h * w;
+        let mut proto_rng = seeded_rng(derive_seed(seed, 0x1A6E));
+        let mut prototypes = Vec::with_capacity(NUM_CLASSES);
+        for _ in 0..NUM_CLASSES {
+            let mut p = normal_init(&[sample_len], 0.0, 1.6, &mut proto_rng).into_vec();
+            smooth(&mut p, c, h, w);
+            smooth(&mut p, c, h, w);
+            prototypes.push(p);
+        }
+        SynthImageGen { seed, prototypes }
+    }
+
+    /// Scalar count of one sample.
+    pub fn sample_numel(&self) -> usize {
+        let [c, h, w] = IMAGE_SHAPE;
+        c * h * w
+    }
+
+    /// Fills `data`/`labels` (cleared first) with `n` samples of `split`,
+    /// exactly as [`synth_images_split`] would generate them.
+    pub fn fill_split(&self, n: usize, split: u64, data: &mut Vec<f32>, labels: &mut Vec<usize>) {
+        let mut rng = seeded_rng(derive_seed(derive_seed(self.seed, 0x5A3F), split));
+        data.clear();
+        data.reserve(n * self.sample_numel());
+        labels.clear();
+        labels.reserve(n);
+        for i in 0..n {
+            let class = i % NUM_CLASSES;
+            let brightness = 0.6 * sample_normal(&mut rng);
+            let proto = &self.prototypes[class];
+            for &p in proto {
+                data.push(p + 2.0 * sample_normal(&mut rng) + brightness);
+            }
+            labels.push(class);
+        }
+    }
+
+    /// Builds a [`Dataset`] for `split`, reusing `data` as backing storage
+    /// (e.g. a buffer taken from the slab store).
+    pub fn dataset_split(&self, n: usize, split: u64, data: Vec<f32>) -> Dataset {
+        let [c, h, w] = IMAGE_SHAPE;
+        let mut data = data;
+        let mut labels = Vec::new();
+        self.fill_split(n, split, &mut data, &mut labels);
+        Dataset::new(Tensor::from_vec(data, &[n, c, h, w]), labels, NUM_CLASSES)
+    }
 }
 
 /// Generates the training split of the synthetic keyword-spotting stand-in
@@ -179,6 +228,20 @@ mod tests {
         assert_eq!(ds.inputs().shape(), &[50, 20, 10]);
         let h = ds.class_histogram();
         assert_eq!(h.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn gen_matches_split_function_bitwise() {
+        let gen = SynthImageGen::new(7);
+        for split in [0u64, 3, 91] {
+            let via_fn = synth_images_split(12, 7, split);
+            let via_gen = gen.dataset_split(12, split, Vec::new());
+            assert_eq!(via_fn, via_gen);
+        }
+        // Reusing a dirty buffer must not change the output.
+        let dirty = vec![42.0f32; 999];
+        let reused = gen.dataset_split(12, 7, dirty);
+        assert_eq!(reused, synth_images_split(12, 7, 7));
     }
 
     #[test]

@@ -76,6 +76,27 @@ impl Client {
         &self.data
     }
 
+    /// Swaps in a new data shard, returning the old one (so its backing
+    /// buffers can be recycled). Used by the population runner when a
+    /// materialized shell is re-bound to a different registered client.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn replace_data(&mut self, data: Dataset) -> Dataset {
+        assert!(!data.is_empty(), "client has no data");
+        std::mem::replace(&mut self.data, data)
+    }
+
+    /// The batch-shuffle RNG state (part of a client's dormant snapshot).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the batch-shuffle RNG captured by [`Client::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Runs one round of local training: `ceil(workload * local_iters)`
     /// mini-batch steps, invoking `post_iteration` on the flat parameter
     /// vector after every step (the APF rollback hook, Alg. 1 line 2).

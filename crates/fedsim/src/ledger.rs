@@ -31,6 +31,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. Recorded
+/// into [`LedgerRecord::metrics`] as `peak_resident_bytes` so
+/// `ledger-report check` can flag memory regressions. Note the value is
+/// monotonic over a process lifetime — comparable across runs, not across
+/// phases within one process.
+pub fn peak_resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// One ledgered run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LedgerRecord {

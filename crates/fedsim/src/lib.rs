@@ -41,6 +41,7 @@ pub mod json;
 pub mod ledger;
 mod metrics;
 mod network;
+mod population;
 mod runner;
 mod spec;
 mod strategy;
@@ -48,9 +49,10 @@ mod trajectory;
 
 pub use client::Client;
 pub use extra::{DpGaussian, LayerFreeze, TopK};
-pub use ledger::{fnv1a64, load_ledger, LedgerRecord};
+pub use ledger::{fnv1a64, load_ledger, peak_resident_bytes, LedgerRecord};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;
+pub use population::{ClientRegistry, PopulationConfig, PopulationData, PopulationRunner};
 pub use runner::{FlConfig, FlRunner, FlRunnerBuilder, OptimizerKind};
 pub use spec::{EvalSetup, PartitionKind, RunSpec, SpecError, SpecStrategy};
 pub use strategy::{ApfStrategy, Cmfl, FullSync, Gaia, PartialSync, RoundComm, SyncStrategy};

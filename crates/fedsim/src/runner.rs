@@ -39,7 +39,7 @@ pub enum OptimizerKind {
 }
 
 impl OptimizerKind {
-    fn build(&self) -> Box<dyn Optimizer> {
+    pub(crate) fn build(&self) -> Box<dyn Optimizer> {
         match *self {
             OptimizerKind::Sgd {
                 lr,
@@ -732,6 +732,13 @@ impl FlRunner {
         apf_trace::metrics::gauge("scratch.hits").set(scratch_hits as f64);
         apf_trace::metrics::gauge("scratch.misses").set(scratch_misses as f64);
         apf_trace::metrics::gauge("scratch.alloc_bytes").set(scratch_bytes as f64);
+        // Slab-store health, same contract as the scratch pool: steady state
+        // means misses and alloc_bytes flat, resident_bytes bounded.
+        let (slab_hits, slab_misses, slab_alloc, slab_resident) = apf_tensor::slab::global_stats();
+        apf_trace::metrics::gauge("slab.hits").set(slab_hits as f64);
+        apf_trace::metrics::gauge("slab.misses").set(slab_misses as f64);
+        apf_trace::metrics::gauge("slab.alloc_bytes").set(slab_alloc as f64);
+        apf_trace::metrics::gauge("slab.resident_bytes").set(slab_resident as f64);
         if let Some(obs) = &self.obs {
             // Round-boundary sample for /snapshot and /series.
             let mut fields: Vec<(&str, f64)> = vec![
@@ -747,6 +754,10 @@ impl FlRunner {
                 ("scratch.hits", scratch_hits as f64),
                 ("scratch.misses", scratch_misses as f64),
                 ("scratch.alloc_bytes", scratch_bytes as f64),
+                ("slab.hits", slab_hits as f64),
+                ("slab.misses", slab_misses as f64),
+                ("slab.alloc_bytes", slab_alloc as f64),
+                ("slab.resident_bytes", slab_resident as f64),
             ];
             if let Some(acc) = record.accuracy {
                 fields.push(("fedsim.accuracy", f64::from(acc)));
@@ -796,13 +807,18 @@ impl FlRunner {
             obs.state().mark_completed();
         }
         if let Some(path) = self.ledger_path.clone() {
-            let record = LedgerRecord::from_log(
+            let mut record = LedgerRecord::from_log(
                 &self.log,
                 &self.model_name,
                 &self.strategy.name(),
                 self.config_digest,
                 wall_secs,
             );
+            if let Some(peak) = crate::ledger::peak_resident_bytes() {
+                record
+                    .metrics
+                    .insert("peak_resident_bytes".to_owned(), peak as f64);
+            }
             match record.append_to(&path) {
                 Ok(()) => event!(Level::Info, target: "fedsim", "ledger_appended",
                     path = path.display().to_string(),

@@ -18,10 +18,12 @@
 use apf::ApfConfig;
 use apf_data::{dirichlet_partition, iid_partition, synth_images_split, with_label_noise, Dataset};
 use apf_nn::{models, LrSchedule, Sequential, Sgd, Trainer};
+use apf_quant::EmaCodec;
 use apf_tensor::derive_seed;
 
 use crate::client::Client;
 use crate::ledger::fnv1a64;
+use crate::population::{PopulationConfig, PopulationData, PopulationRunner};
 use crate::runner::{config_canonical, FlConfig, FlRunner, OptimizerKind};
 use crate::strategy::{ApfStrategy, FullSync, SyncStrategy};
 
@@ -108,6 +110,13 @@ pub struct RunSpec {
     pub partition: PartitionKind,
     /// Synchronization strategy.
     pub strategy: SpecStrategy,
+    /// Clients sampled per round by the population runner (`0` = full
+    /// participation). Emitted in the canonical string only when non-zero,
+    /// so existing golden strings and digests are untouched.
+    pub cohort: usize,
+    /// Dormant-state codec of the population runner's registry and manager
+    /// hop. Emitted in the canonical string only when not dense.
+    pub dormant: EmaCodec,
     /// Train clients on the `apf-par` pool. Not part of the canonical
     /// string: parallelism is bitwise-invisible by the determinism contract.
     pub parallel: bool,
@@ -139,6 +148,8 @@ impl RunSpec {
                 ema_alpha: 0.9,
                 f16: false,
             },
+            cohort: 0,
+            dormant: EmaCodec::Dense,
             parallel: true,
         }
     }
@@ -161,7 +172,7 @@ impl RunSpec {
                 if f16 { "f16" } else { "f32" }
             ),
         };
-        format!(
+        let mut s = format!(
             "apf-spec-v1;clients={};rounds={};local_iters={};batch={};eval_every={};\
              eval_batch={};seed={};train_n={};test_n={};hidden={};lr={};momentum={};\
              weight_decay={};label_noise={};partition={partition};strategy={strategy}",
@@ -179,7 +190,17 @@ impl RunSpec {
             self.momentum,
             self.weight_decay,
             self.label_noise,
-        )
+        );
+        // Population keys entered the format after v1 shipped: default
+        // values stay invisible so pre-population canonical strings (and
+        // their digests) are bit-for-bit unchanged.
+        if self.cohort != 0 {
+            s.push_str(&format!(";cohort={}", self.cohort));
+        }
+        if self.dormant != EmaCodec::Dense {
+            s.push_str(&format!(";dormant={}", self.dormant.name()));
+        }
+        s
     }
 
     /// Parses a canonical string back into a spec.
@@ -219,6 +240,10 @@ impl RunSpec {
                 "momentum" => spec.momentum = v.parse().map_err(|_| bad("f32"))?,
                 "weight_decay" => spec.weight_decay = v.parse().map_err(|_| bad("f32"))?,
                 "label_noise" => spec.label_noise = v.parse().map_err(|_| bad("f32"))?,
+                "cohort" => spec.cohort = v.parse().map_err(|_| bad("usize"))?,
+                "dormant" => {
+                    spec.dormant = EmaCodec::parse(v).ok_or_else(|| bad("dormant codec"))?;
+                }
                 "partition" => {
                     let fields: Vec<&str> = v.split(',').collect();
                     spec.partition = match fields.as_slice() {
@@ -444,6 +469,44 @@ impl RunSpec {
         .build()
     }
 
+    /// Assembles the event-driven population runner for this spec: the same
+    /// registered clients and data shards as [`RunSpec::build_runner`], but
+    /// held as compact dormant registry state with cohort sampling per
+    /// [`RunSpec::cohort`]. With `cohort == 0` and a dense dormant codec the
+    /// result is bitwise identical to the classic runner.
+    ///
+    /// # Panics
+    /// Panics if the spec's strategy is not an APF variant — the population
+    /// runner's single-shared-manager design (§6.2) is APF-specific.
+    pub fn build_population_runner(&self) -> PopulationRunner {
+        let hidden = self.hidden;
+        let train = self.train_set();
+        let parts = self.partition_indices(&train);
+        let cfg = PopulationConfig {
+            fl: self.fl_config(),
+            registered: self.clients,
+            cohort: self.cohort,
+            codec: self.dormant,
+            shells: self.clients.clamp(1, 64),
+            apf: self
+                .apf_config()
+                .expect("population runner requires an APF strategy"),
+            wire_f16: self.wire_f16(),
+            optimizer: OptimizerKind::Sgd {
+                lr: self.lr,
+                momentum: self.momentum,
+                weight_decay: self.weight_decay,
+            },
+            schedule: LrSchedule::Constant(self.lr),
+        };
+        PopulationRunner::new(
+            cfg,
+            move |seed| models::mlp("m", &[3 * 16 * 16, hidden, 10], seed),
+            PopulationData::Shared { train, parts },
+            self.test_set(),
+        )
+    }
+
     /// The evaluation half of the run (for processes that are not running
     /// the full simulator, i.e. the `apf-net` server).
     pub fn eval_setup(&self) -> EvalSetup {
@@ -530,6 +593,26 @@ mod tests {
         ] {
             assert!(RunSpec::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn population_keys_default_invisibly() {
+        // Pre-population canonical strings (and digests) must be unchanged
+        // by the cohort/dormant additions.
+        let golden = RunSpec::golden();
+        let canon = golden.canonical();
+        assert!(!canon.contains("cohort="), "{canon}");
+        assert!(!canon.contains("dormant="), "{canon}");
+        // Non-default values round-trip exactly.
+        let spec = RunSpec {
+            cohort: 5,
+            dormant: EmaCodec::F16,
+            ..RunSpec::golden()
+        };
+        let canon = spec.canonical();
+        assert!(canon.ends_with(";cohort=5;dormant=f16"), "{canon}");
+        assert_eq!(RunSpec::parse(&canon).unwrap(), spec);
+        assert!(RunSpec::parse("apf-spec-v1;dormant=f64").is_err());
     }
 
     #[test]

@@ -141,6 +141,26 @@ impl Trainer {
         self.step
     }
 
+    /// Overwrites the step counter — used when a dormant client resumes, so
+    /// the learning-rate schedule picks up exactly where it left off.
+    pub fn set_step_count(&mut self, step: usize) {
+        self.step = step;
+    }
+
+    /// Serialized optimizer state (see [`Optimizer::export_state`]).
+    pub fn optimizer_state(&self) -> Vec<f32> {
+        self.optimizer.export_state()
+    }
+
+    /// Restores optimizer state captured by [`Trainer::optimizer_state`].
+    /// An empty slice resets the optimizer to its fresh state.
+    ///
+    /// # Panics
+    /// Panics when `state` does not match the optimizer's layout.
+    pub fn load_optimizer_state(&mut self, state: &[f32]) {
+        self.optimizer.import_state(state);
+    }
+
     /// The bit-packed per-scalar freeze mask the optimizer skips (buffer
     /// scalars such as batch-norm running statistics).
     pub fn freeze_mask(&self) -> &FreezeMask {
@@ -276,6 +296,45 @@ mod tests {
         let a1 = evaluate(&mut model, &x, &y, 3);
         let a2 = evaluate(&mut model, &x, &y, 10);
         assert!((a1 - a2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trainer_suspend_resume_is_bitwise_exact() {
+        let (x, y) = toy_problem(16, 5);
+        let schedule = LrSchedule::Multiplicative {
+            initial: 0.1,
+            factor: 0.5,
+            every: 2,
+        };
+        let mut reference = Trainer::new(
+            toy_model(5),
+            Box::new(Sgd::new(0.1).with_momentum(0.9)),
+            schedule,
+        );
+        for _ in 0..3 {
+            reference.train_batch(&x, &y);
+        }
+        // Capture the dormant snapshot: params + optimizer state + step count.
+        let params = reference.model_mut().flat_params();
+        let opt_state = reference.optimizer_state();
+        let step = reference.step_count();
+        // Rebuild from a differently-seeded model and restore everything.
+        let mut resumed = Trainer::new(
+            toy_model(99),
+            Box::new(Sgd::new(0.1).with_momentum(0.9)),
+            schedule,
+        );
+        resumed.model_mut().load_flat(&params);
+        resumed.load_optimizer_state(&opt_state);
+        resumed.set_step_count(step);
+        for _ in 0..3 {
+            reference.train_batch(&x, &y);
+            resumed.train_batch(&x, &y);
+        }
+        assert_eq!(
+            reference.model_mut().flat_params(),
+            resumed.model_mut().flat_params()
+        );
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Byte codecs for EMA stability trajectories.
+//!
+//! The population simulator keeps APF stability state (the Eq. 17 effective
+//! perturbation EMAs) in *dormant* form between rounds: a byte blob per
+//! registry entry instead of live `Vec<f32>`s. [`EmaCodec`] picks the
+//! encoding — [`EmaCodec::Dense`] stores raw little-endian `f32` bits
+//! (bit-exact, used whenever golden parity matters) and [`EmaCodec::F16`]
+//! stores binary16 bits (half the bytes, bounded relative error, for
+//! memory-bound populations). Both are fixed-stride, so a blob's length
+//! determines its element count.
+
+use crate::f16::{f16_bits_to_f32, f32_to_f16_bits};
+
+/// Errors decoding an EMA blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmaCodecError {
+    /// Blob length is not a multiple of the codec's stride.
+    BadLength {
+        /// The offending blob length in bytes.
+        len: usize,
+        /// The codec's element stride in bytes.
+        stride: usize,
+    },
+}
+
+impl std::fmt::Display for EmaCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmaCodecError::BadLength { len, stride } => {
+                write!(f, "blob length {len} is not a multiple of stride {stride}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmaCodecError {}
+
+/// How an EMA trajectory is serialized to bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmaCodec {
+    /// Raw little-endian `f32` bits — bit-exact round-trip.
+    #[default]
+    Dense,
+    /// IEEE binary16 bits — half the bytes, relative error ≤ 2⁻¹¹ for
+    /// normal values.
+    F16,
+}
+
+impl EmaCodec {
+    /// Bytes per encoded element.
+    pub fn stride(self) -> usize {
+        match self {
+            EmaCodec::Dense => 4,
+            EmaCodec::F16 => 2,
+        }
+    }
+
+    /// Encoded size of an `n`-element trajectory.
+    pub fn encoded_len(self, n: usize) -> usize {
+        n * self.stride()
+    }
+
+    /// The codec's spec-string name (`dense` / `f16`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EmaCodec::Dense => "dense",
+            EmaCodec::F16 => "f16",
+        }
+    }
+
+    /// Parses a spec-string name back to a codec.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "dense" => Some(EmaCodec::Dense),
+            "f16" => Some(EmaCodec::F16),
+            _ => None,
+        }
+    }
+
+    /// Appends the encoding of `vals` to `out`.
+    pub fn encode_into(self, vals: &[f32], out: &mut Vec<u8>) {
+        match self {
+            EmaCodec::Dense => {
+                for v in vals {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            EmaCodec::F16 => {
+                for &v in vals {
+                    out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Encodes `vals` to a fresh blob.
+    pub fn encode(self, vals: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len(vals.len()));
+        self.encode_into(vals, &mut out);
+        out
+    }
+
+    /// Decodes a blob produced by [`EmaCodec::encode`], appending to `out`.
+    ///
+    /// # Errors
+    /// Returns [`EmaCodecError::BadLength`] when `bytes` is not a whole
+    /// number of elements.
+    pub fn decode_into(self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), EmaCodecError> {
+        let stride = self.stride();
+        if !bytes.len().is_multiple_of(stride) {
+            return Err(EmaCodecError::BadLength {
+                len: bytes.len(),
+                stride,
+            });
+        }
+        match self {
+            EmaCodec::Dense => {
+                for c in bytes.chunks_exact(4) {
+                    out.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+                }
+            }
+            EmaCodec::F16 => {
+                for c in bytes.chunks_exact(2) {
+                    out.push(f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a blob to a fresh vector.
+    ///
+    /// # Errors
+    /// Returns [`EmaCodecError::BadLength`] when `bytes` is not a whole
+    /// number of elements.
+    pub fn decode(self, bytes: &[u8]) -> Result<Vec<f32>, EmaCodecError> {
+        let mut out = Vec::with_capacity(bytes.len() / self.stride());
+        self.decode_into(bytes, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> Vec<f32> {
+        (0..300)
+            .map(|i| ((i as f32) * 0.13 - 20.0).sin() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn dense_roundtrip_is_bit_exact() {
+        let xs = trajectory();
+        let blob = EmaCodec::Dense.encode(&xs);
+        assert_eq!(blob.len(), EmaCodec::Dense.encoded_len(xs.len()));
+        let back = EmaCodec::Dense.decode(&blob).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f16_roundtrip_matches_the_wire_projection() {
+        let xs = trajectory();
+        let blob = EmaCodec::F16.encode(&xs);
+        assert_eq!(blob.len(), xs.len() * 2);
+        let back = EmaCodec::F16.decode(&blob).unwrap();
+        let expected = crate::f16_decode(&crate::f16_encode(&xs));
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn bad_length_is_rejected() {
+        assert!(matches!(
+            EmaCodec::Dense.decode(&[0, 1, 2]),
+            Err(EmaCodecError::BadLength { len: 3, stride: 4 })
+        ));
+        assert!(matches!(
+            EmaCodec::F16.decode(&[0]),
+            Err(EmaCodecError::BadLength { len: 1, stride: 2 })
+        ));
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for codec in [EmaCodec::Dense, EmaCodec::F16] {
+            assert_eq!(EmaCodec::parse(codec.name()), Some(codec));
+        }
+        assert_eq!(EmaCodec::parse("q8"), None);
+    }
+
+    #[test]
+    fn encode_into_appends() {
+        let mut out = vec![0xFFu8];
+        EmaCodec::F16.encode_into(&[1.0], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], 0xFF);
+    }
+}

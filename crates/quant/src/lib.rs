@@ -19,10 +19,12 @@
 //! assert_eq!(back, xs); // these values are exactly representable
 //! ```
 
+mod ema;
 mod f16;
 mod qsgd;
 mod ternary;
 
+pub use ema::{EmaCodec, EmaCodecError};
 pub use f16::{f16_bits_to_f32, f16_decode, f16_encode, f16_roundtrip_in_place, f32_to_f16_bits};
 pub use qsgd::{qsgd_decode, qsgd_encode, QsgdPayload};
 pub use ternary::{ternary_decode, ternary_encode, TernaryPayload};

@@ -137,6 +137,19 @@ impl Rng {
     pub fn split(&mut self) -> Rng {
         Rng::new(self.next_u64())
     }
+
+    /// The raw 256-bit generator state, for compact suspend/resume of a
+    /// stream (e.g. a dormant client's shuffle RNG in the population
+    /// simulator).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Rng::state`],
+    /// continuing the stream exactly where it left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
 }
 
 /// Types [`Rng::gen`] can draw.
@@ -375,6 +388,18 @@ mod tests {
         let mut r = Rng::new(7);
         let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
         assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = Rng::new(11);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -33,6 +33,8 @@ fn spec(strategy: SpecStrategy, rounds: usize) -> RunSpec {
         },
         strategy,
         parallel: false,
+        cohort: 0,
+        dormant: apf_quant::EmaCodec::Dense,
     }
 }
 
